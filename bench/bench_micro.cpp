@@ -1,0 +1,135 @@
+// Experiment E9: micro-costs of the building blocks - epoch algebra,
+// vector-clock operations by size, and the per-handler fast/slow path
+// latencies of each detector variant. google-benchmark based.
+#include <benchmark/benchmark.h>
+
+#include "vft/detector.h"
+
+namespace {
+
+using namespace vft;
+
+void BM_EpochOps(benchmark::State& state) {
+  Epoch a = Epoch::make(3, 100);
+  Epoch b = Epoch::make(3, 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(leq(a, b));
+    benchmark::DoNotOptimize(max(a, b));
+    benchmark::DoNotOptimize(a.inc());
+  }
+}
+BENCHMARK(BM_EpochOps);
+
+void BM_VectorClockLeq(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  VectorClock a, b;
+  for (Tid t = 0; t < n; ++t) {
+    a.set(t, Epoch::make(t, 5));
+    b.set(t, Epoch::make(t, 9));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.leq(b));
+}
+BENCHMARK(BM_VectorClockLeq)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_VectorClockJoin(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  VectorClock a, b;
+  for (Tid t = 0; t < n; ++t) {
+    a.set(t, Epoch::make(t, 5));
+    b.set(t, Epoch::make(t, 9));
+  }
+  for (auto _ : state) {
+    a.join(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_VectorClockJoin)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SyncVectorClockGet(benchmark::State& state) {
+  SyncVectorClock v;
+  v.set_locked(5, Epoch::make(5, 3));
+  for (auto _ : state) benchmark::DoNotOptimize(v.get(5));
+}
+BENCHMARK(BM_SyncVectorClockGet);
+
+// --- handler fast paths: the costs Table 1 is made of ---
+
+template <typename D>
+void BM_ReadSameEpoch(benchmark::State& state) {
+  D d(nullptr, nullptr);
+  ThreadState st(0);
+  typename D::VarState x;
+  d.read(st, x);  // prime: R = E_t
+  for (auto _ : state) benchmark::DoNotOptimize(d.read(st, x));
+}
+BENCHMARK_TEMPLATE(BM_ReadSameEpoch, VftV1);
+BENCHMARK_TEMPLATE(BM_ReadSameEpoch, VftV15);
+BENCHMARK_TEMPLATE(BM_ReadSameEpoch, VftV2);
+BENCHMARK_TEMPLATE(BM_ReadSameEpoch, FtMutex);
+BENCHMARK_TEMPLATE(BM_ReadSameEpoch, FtCas);
+BENCHMARK_TEMPLATE(BM_ReadSameEpoch, Djit);
+
+template <typename D>
+void BM_WriteSameEpoch(benchmark::State& state) {
+  D d(nullptr, nullptr);
+  ThreadState st(0);
+  typename D::VarState x;
+  d.write(st, x);
+  for (auto _ : state) benchmark::DoNotOptimize(d.write(st, x));
+}
+BENCHMARK_TEMPLATE(BM_WriteSameEpoch, VftV1);
+BENCHMARK_TEMPLATE(BM_WriteSameEpoch, VftV15);
+BENCHMARK_TEMPLATE(BM_WriteSameEpoch, VftV2);
+BENCHMARK_TEMPLATE(BM_WriteSameEpoch, FtMutex);
+BENCHMARK_TEMPLATE(BM_WriteSameEpoch, FtCas);
+BENCHMARK_TEMPLATE(BM_WriteSameEpoch, Djit);
+
+template <typename D>
+void BM_ReadSharedSameEpoch(benchmark::State& state) {
+  D d(nullptr, nullptr);
+  ThreadState s0(0), s1(1), st(2);
+  typename D::VarState x;
+  d.read(s0, x);
+  d.read(s1, x);  // force SHARED
+  d.read(st, x);  // prime V[2]
+  for (auto _ : state) benchmark::DoNotOptimize(d.read(st, x));
+}
+BENCHMARK_TEMPLATE(BM_ReadSharedSameEpoch, VftV1);
+BENCHMARK_TEMPLATE(BM_ReadSharedSameEpoch, VftV15);
+BENCHMARK_TEMPLATE(BM_ReadSharedSameEpoch, VftV2);
+BENCHMARK_TEMPLATE(BM_ReadSharedSameEpoch, FtMutex);
+BENCHMARK_TEMPLATE(BM_ReadSharedSameEpoch, FtCas);
+
+// Epoch-advancing read: every iteration takes the [Read Exclusive] slow
+// path (bounded by clock overflow, so restart the state periodically).
+template <typename D>
+void BM_ReadExclusiveSlowPath(benchmark::State& state) {
+  D d(nullptr, nullptr);
+  auto st = std::make_unique<ThreadState>(0);
+  auto x = std::make_unique<typename D::VarState>();
+  std::uint32_t c = 0;
+  for (auto _ : state) {
+    st->inc();  // new epoch each access -> never same-epoch
+    benchmark::DoNotOptimize(d.read(*st, *x));
+    if (++c == Epoch::kMaxClock - 4) {
+      st = std::make_unique<ThreadState>(0);
+      x = std::make_unique<typename D::VarState>();
+      c = 0;
+    }
+  }
+}
+BENCHMARK_TEMPLATE(BM_ReadExclusiveSlowPath, VftV1);
+BENCHMARK_TEMPLATE(BM_ReadExclusiveSlowPath, VftV2);
+BENCHMARK_TEMPLATE(BM_ReadExclusiveSlowPath, FtCas);
+
+void BM_SpecStep(benchmark::State& state) {
+  Spec spec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.on_read(0, 0));
+  }
+}
+BENCHMARK(BM_SpecStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Experiment E10: read-shared contention scaling. Section 4 attributes
+// VerifiedFT-v1's 15x overhead to two costs: the per-access lock
+// round-trip, and lock contention on read-shared VarStates, which "in
+// effect serializes otherwise-concurrent accesses to read-shared
+// variables". This bench isolates that effect: T threads repeatedly read
+// one small shared table; reported is wall time per detector and thread
+// count.
+//
+// On a single-core host the *contention* component is muted (threads
+// time-slice rather than collide), so the per-access lock cost dominates;
+// on a multi-core host the v1 column degrades with T while v2 stays flat.
+// EXPERIMENTS.md discusses both regimes.
+#include <chrono>
+
+#include "harness.h"
+
+namespace {
+
+using namespace vft;
+using namespace vft::bench;
+
+volatile std::uint64_t g_sink;
+void benchmark_keep(std::uint64_t v) { g_sink = v; }
+
+template <Detector D, typename... ToolArgs>
+double run_read_shared(std::uint32_t threads, std::uint32_t scale,
+                       ToolArgs&&... args) {
+  RaceCollector races;
+  rt::Runtime<D> R(D(&races, std::forward<ToolArgs>(args)...));
+  typename rt::Runtime<D>::MainScope scope(R);
+  const std::size_t entries = 128;
+  const std::size_t reps = 2000ull * scale;
+  rt::Array<std::uint64_t, D> table(R, entries, 3);
+  const auto t0 = std::chrono::steady_clock::now();
+  rt::parallel_for_threads(R, threads, [&](std::uint32_t) {
+    std::uint64_t acc = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      for (std::size_t i = 0; i < entries; ++i) acc += table.load(i);
+    }
+    benchmark_keep(acc);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  VFT_CHECK(races.empty());
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig bc = BenchConfig::from_env();
+  std::printf("Read-shared scaling: T threads re-reading one shared table "
+              "(seconds; scale=%u)\n\n", bc.scale);
+  std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "threads", "none", "v1",
+              "v1.5", "v2", "FT-Mutex", "FT-CAS");
+  for (const std::uint32_t t : {1u, 2u, 4u, 8u}) {
+    const double n0 = run_read_shared<rt::NullTool>(t, bc.scale);
+    const double v1 = run_read_shared<VftV1>(t, bc.scale);
+    const double v15 = run_read_shared<VftV15>(t, bc.scale);
+    const double v2 = run_read_shared<VftV2>(t, bc.scale);
+    const double fm = run_read_shared<FtMutex>(t, bc.scale);
+    const double fc = run_read_shared<FtCas>(t, bc.scale);
+    std::printf("%8u %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n", t, n0, v1,
+                v15, v2, fm, fc);
+  }
+  std::printf("\nexpectation: v1/v1.5 pay a lock per read (and serialize "
+              "under real parallelism); v2/FT-CAS stay near the base "
+              "line's slope\n");
+  return 0;
+}

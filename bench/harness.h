@@ -1,0 +1,89 @@
+// Shared measurement harness for the table benches, mirroring the paper's
+// methodology (Section 8): run the target's workload in a warm-up phase,
+// then measure repeated iterations and report
+//
+//   overhead = (CheckerTime - BaseTime) / BaseTime.
+//
+// Defaults are sized for a small container; environment variables scale
+// them up to paper-like runs:
+//   VFT_BENCH_THREADS (default 4; the paper used 16 on a 16-core box)
+//   VFT_BENCH_SCALE   (default 2)
+//   VFT_BENCH_ITERS   (default 3 measured iterations; paper used 10)
+//   VFT_BENCH_WARMUP  (default 1)
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "kernels/all.h"
+
+namespace vft::bench {
+
+struct BenchConfig {
+  std::uint32_t threads = 4;
+  std::uint32_t scale = 2;
+  int iters = 3;
+  int warmup = 1;
+
+  static BenchConfig from_env() {
+    BenchConfig cfg;
+    if (const char* v = std::getenv("VFT_BENCH_THREADS")) {
+      cfg.threads = static_cast<std::uint32_t>(std::atoi(v));
+    }
+    if (const char* v = std::getenv("VFT_BENCH_SCALE")) {
+      cfg.scale = static_cast<std::uint32_t>(std::atoi(v));
+    }
+    if (const char* v = std::getenv("VFT_BENCH_ITERS")) {
+      cfg.iters = std::atoi(v);
+    }
+    if (const char* v = std::getenv("VFT_BENCH_WARMUP")) {
+      cfg.warmup = std::atoi(v);
+    }
+    return cfg;
+  }
+};
+
+/// Times `iters` runs of one kernel under tool D and returns the mean
+/// seconds per run. One validated warm-up run checks the kernel's output
+/// and race-freedom; timed runs skip validation so uninstrumented checking
+/// work cannot dilute the ratios.
+template <Detector D, typename... ToolArgs>
+double time_kernel(kernels::KernelFn<D> fn, const BenchConfig& bc,
+                   const char* name, ToolArgs&&... tool_args) {
+  kernels::KernelConfig cfg;
+  cfg.threads = bc.threads;
+  cfg.scale = bc.scale;
+
+  for (int w = 0; w < bc.warmup; ++w) {
+    cfg.validate = (w == 0);
+    auto [result, races] = kernels::run_kernel<D>(
+        fn, cfg, std::forward<ToolArgs>(tool_args)...);
+    if (w == 0 && (!result.valid || races != 0)) {
+      std::fprintf(stderr, "FATAL: %s invalid under %s (valid=%d races=%zu)\n",
+                   name, D::kName, result.valid ? 1 : 0, races);
+      std::exit(1);
+    }
+  }
+
+  cfg.validate = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < bc.iters; ++i) {
+    RaceCollector races;
+    rt::Runtime<D> R(D(&races, std::forward<ToolArgs>(tool_args)...));
+    typename rt::Runtime<D>::MainScope scope(R);
+    fn(R, cfg);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() / bc.iters;
+}
+
+inline double geomean(const std::vector<double>& xs) {
+  double log_sum = 0.0;
+  for (const double x : xs) log_sum += std::log(x);
+  return xs.empty() ? 0.0 : std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace vft::bench

@@ -1,0 +1,84 @@
+// Detector bake-off on a single workload: run one kernel from the suite
+// under every detector in the family and print time, reports, and the
+// rule mix - the quickest way to feel the Table 1 tradeoffs.
+//
+//   $ ./detector_comparison            # sparse (read-shared-heavy)
+//   $ ./detector_comparison raytracer  # any kernel from the suite
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "kernels/all.h"
+
+namespace {
+
+using namespace vft;
+using namespace vft::kernels;
+
+template <typename D, typename... Args>
+void run_one(const char* kernel_name, Args&&... args) {
+  const auto table = kernel_table<D>();
+  for (const auto& e : table) {
+    if (std::string(e.name) != kernel_name) continue;
+    RaceCollector races;
+    RuleStats stats;
+    rt::Runtime<D> R(D(&races, &stats, std::forward<Args>(args)...));
+    typename rt::Runtime<D>::MainScope scope(R);
+    KernelConfig cfg;
+    cfg.threads = 4;
+    cfg.scale = 4;
+    const auto t0 = std::chrono::steady_clock::now();
+    const KernelResult result = e.fn(R, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const std::uint64_t total = stats.total_accesses();
+    const std::uint64_t fast = stats.count(Rule::kReadSameEpoch) +
+                               stats.count(Rule::kWriteSameEpoch) +
+                               stats.count(Rule::kReadSharedSameEpoch);
+    std::printf("%-16s %8.4fs  valid=%d  races=%-3zu  accesses=%-10llu "
+                "fast-path=%5.1f%%\n",
+                D::kName, secs, result.valid ? 1 : 0, races.count(),
+                static_cast<unsigned long long>(total),
+                total ? 100.0 * static_cast<double>(fast) /
+                            static_cast<double>(total)
+                      : 0.0);
+    return;
+  }
+  std::fprintf(stderr, "unknown kernel %s\n", kernel_name);
+  std::exit(2);
+}
+
+void run_base(const char* kernel_name) {
+  for (const auto& e : kernel_table<rt::NullTool>()) {
+    if (std::string(e.name) != kernel_name) continue;
+    RaceCollector races;
+    rt::Runtime<rt::NullTool> R{rt::NullTool(&races)};
+    rt::Runtime<rt::NullTool>::MainScope scope(R);
+    KernelConfig cfg;
+    cfg.threads = 4;
+    cfg.scale = 4;
+    const auto t0 = std::chrono::steady_clock::now();
+    e.fn(R, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::printf("%-16s %8.4fs  (uninstrumented base)\n", "none",
+                std::chrono::duration<double>(t1 - t0).count());
+    return;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* kernel = argc > 1 ? argv[1] : "sparse";
+  std::printf("kernel: %s (4 threads, scale 4)\n\n", kernel);
+  run_base(kernel);
+  run_one<VftV1>(kernel);
+  run_one<VftV15>(kernel);
+  run_one<VftV2>(kernel);
+  run_one<FtMutex>(kernel);
+  run_one<FtCas>(kernel);
+  run_one<Djit>(kernel);
+  std::printf("\nSee bench_table1 for the full suite with warm-up and "
+              "repetition.\n");
+  return 0;
+}

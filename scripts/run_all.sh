@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Build, test, and run every bench with default (quick) sizing - the
+# smoke-level reproduction. See collect_experiments.sh for the full-size
+# runs behind EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do
+  [ -x "$b" ] && "$b"
+done

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run the whole test suite under ThreadSanitizer: validates the detectors'
+# *own* synchronization (every analysis-state access is a lock or a
+# std::atomic, so any TSan report inside src/vft is a discipline
+# violation - the "concurrency bugs in a concurrency bug detector" check).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+cmake --build build-tsan
+ctest --test-dir build-tsan --output-on-failure

@@ -1,0 +1,81 @@
+// Kernel registry: every benchmark kernel, addressable by name, for a
+// given detector type. Benches and tests iterate this table to cover the
+// whole suite (the rows of Table 1).
+#pragma once
+
+#include <vector>
+
+#include "kernels/avrora_sim.h"
+#include "kernels/batik_raster.h"
+#include "kernels/crypt.h"
+#include "kernels/fop_layout.h"
+#include "kernels/h2db.h"
+#include "kernels/jython_interp.h"
+#include "kernels/kernel.h"
+#include "kernels/lufact.h"
+#include "kernels/lusearch_idx.h"
+#include "kernels/lusearch_query.h"
+#include "kernels/moldyn.h"
+#include "kernels/montecarlo.h"
+#include "kernels/pmd_analyze.h"
+#include "kernels/raytracer.h"
+#include "kernels/series.h"
+#include "kernels/sor.h"
+#include "kernels/sparse.h"
+#include "kernels/sunflow_render.h"
+#include "kernels/tomcat_server.h"
+#include "kernels/xalan_xform.h"
+
+namespace vft::kernels {
+
+template <Detector D>
+using KernelFn = KernelResult (*)(rt::Runtime<D>&, const KernelConfig&);
+
+template <Detector D>
+struct KernelEntry {
+  const char* name;
+  KernelFn<D> fn;
+  /// True when the kernel supports inject_race fault injection.
+  bool injectable;
+};
+
+/// All 19 kernels, in Table 1 row order (JavaGrande block then the DaCapo
+/// block; tradebeans/eclipse are omitted in the paper too).
+template <Detector D>
+std::vector<KernelEntry<D>> kernel_table() {
+  return {
+      {"crypt", &crypt<D>, true},
+      {"lufact", &lufact<D>, false},
+      {"moldyn", &moldyn<D>, false},
+      {"montecarlo", &montecarlo<D>, false},
+      {"raytracer", &raytracer<D>, false},
+      {"series", &series<D>, false},
+      {"sor", &sor<D>, false},
+      {"sparse", &sparse<D>, false},
+      {"avrora", &avrora_sim<D>, false},
+      {"batik", &batik_raster<D>, false},
+      {"fop", &fop_layout<D>, false},
+      {"h2", &h2db<D>, false},
+      {"jython", &jython_interp<D>, false},
+      {"luindex", &lusearch_idx<D>, false},
+      {"lusearch", &lusearch_query<D>, false},
+      {"pmd", &pmd_analyze<D>, false},
+      {"sunflow", &sunflow_render<D>, false},
+      {"tomcat", &tomcat_server<D>, false},
+      {"xalan", &xalan_xform<D>, false},
+  };
+}
+
+/// Run one kernel under a fresh runtime/collector; returns (result, races).
+template <Detector D, typename... ToolArgs>
+std::pair<KernelResult, std::size_t> run_kernel(KernelFn<D> fn,
+                                                const KernelConfig& cfg,
+                                                ToolArgs&&... tool_args) {
+  RaceCollector races;
+  rt::Runtime<D> R(D(&races, std::forward<ToolArgs>(tool_args)...));
+  typename rt::Runtime<D>::MainScope scope(R);
+  const KernelResult result = fn(R, cfg);
+  return {result, races.count()};
+}
+
+}  // namespace vft::kernels

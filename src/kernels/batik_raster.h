@@ -1,0 +1,115 @@
+// batik: DaCapo batik analogue - SVG-style rasterization. A read-shared
+// shape table (circles and axis-aligned boxes with fill styles) is
+// scan-converted into per-worker tile buffers; a small read-shared style
+// palette is consulted per covered pixel. Low-to-moderate overhead with
+// little locking (batik: 3.8-4.2x in Table 1, nearly tool-independent).
+//
+// Validation: winding-independent coverage count cross-checked against an
+// uninstrumented sequential rasterization of sampled rows.
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace vft::kernels {
+
+namespace batik_detail {
+
+constexpr std::size_t kShapes = 48;
+// Shape layout: [kind(0=circle,1=box), a, b, c, d, style]
+//   circle: center (a,b), radius c ; box: corners (a,b)-(c,d)
+constexpr std::size_t kStride = 6;
+
+template <typename Fetch, typename Style>
+double shade(std::size_t x, std::size_t y, Fetch&& shape, Style&& style) {
+  const double fx = static_cast<double>(x);
+  const double fy = static_cast<double>(y);
+  double acc = 0.0;
+  for (std::size_t s = 0; s < kShapes; ++s) {
+    const double kind = shape(s * kStride);
+    bool inside;
+    if (kind < 0.5) {
+      const double dx = fx - shape(s * kStride + 1);
+      const double dy = fy - shape(s * kStride + 2);
+      const double r = shape(s * kStride + 3);
+      inside = dx * dx + dy * dy <= r * r;
+    } else {
+      inside = fx >= shape(s * kStride + 1) && fy >= shape(s * kStride + 2) &&
+               fx <= shape(s * kStride + 3) && fy <= shape(s * kStride + 4);
+    }
+    if (inside) {
+      const auto sid = static_cast<std::size_t>(shape(s * kStride + 5));
+      acc = 0.75 * acc + 0.25 * style(sid);  // painter's-order blend
+    }
+  }
+  return acc;
+}
+
+}  // namespace batik_detail
+
+template <Detector D>
+KernelResult batik_raster(rt::Runtime<D>& R, const KernelConfig& cfg) {
+  using namespace batik_detail;
+  const std::size_t width = 128;
+  const std::size_t height = 32 * cfg.scale + 32;
+  constexpr std::size_t kStyles = 16;
+
+  rt::Array<double, D> shapes(R, kShapes * kStride);
+  rt::Array<double, D> palette(R, kStyles);
+  rt::Array<double, D> canvas(R, width * height);
+
+  Rng rng(cfg.seed);
+  for (std::size_t s = 0; s < kShapes; ++s) {
+    const bool circle = (rng.next() & 1) == 0;
+    shapes.store(s * kStride + 0, circle ? 0.0 : 1.0);
+    if (circle) {
+      shapes.store(s * kStride + 1, rng.next_double() * width);
+      shapes.store(s * kStride + 2, rng.next_double() * height);
+      shapes.store(s * kStride + 3, 4.0 + rng.next_double() * 24.0);
+      shapes.store(s * kStride + 4, 0.0);
+    } else {
+      const double x0 = rng.next_double() * width;
+      const double y0 = rng.next_double() * height;
+      shapes.store(s * kStride + 1, x0);
+      shapes.store(s * kStride + 2, y0);
+      shapes.store(s * kStride + 3, x0 + 4.0 + rng.next_double() * 30.0);
+      shapes.store(s * kStride + 4, y0 + 4.0 + rng.next_double() * 20.0);
+    }
+    shapes.store(s * kStride + 5,
+                 static_cast<double>(rng.next_below(kStyles)));
+  }
+  for (std::size_t i = 0; i < kStyles; ++i) {
+    palette.store(i, 0.1 + 0.9 * rng.next_double());
+  }
+
+  rt::parallel_for_threads(R, cfg.threads, [&](std::uint32_t w) {
+    // Row-banded tiles.
+    const Slice rows = slice_of(height, w, cfg.threads);
+    for (std::size_t y = rows.begin; y < rows.end; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const double v =
+            shade(x, y, [&](std::size_t i) { return shapes.load(i); },
+                  [&](std::size_t sid) { return palette.load(sid); });
+        canvas.store(y * width + x, v);
+      }
+    }
+  });
+
+  bool valid = true;
+  if (cfg.validate) {
+    for (std::size_t y = 0; y < height && valid; y += 37) {
+      for (std::size_t x = 0; x < width && valid; x += 17) {
+        const double ref =
+            shade(x, y, [&](std::size_t i) { return shapes.raw(i); },
+                  [&](std::size_t sid) { return palette.raw(sid); });
+        valid = canvas.raw(y * width + x) == ref;
+      }
+    }
+  }
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < width * height; i += 11) {
+    checksum += canvas.raw(i);
+  }
+  return KernelResult{checksum, valid};
+}
+
+}  // namespace vft::kernels

@@ -1,0 +1,132 @@
+// crypt: JavaGrande IDEA-crypt analogue (DESIGN.md 1.4).
+//
+// Block cipher encrypt + decrypt over a partitioned text array with a
+// small, hot, *read-shared* round-key table. The access mix is dominated
+// by key-table reads (read-shared same-epoch after the first touch per
+// epoch) and per-thread text reads/writes (same-epoch / exclusive), which
+// is why the real crypt shows the highest overheads in Table 1: almost
+// every cycle of the target is a heap access.
+//
+// Cipher: XTEA (64-bit blocks, 32 rounds) with the round-key additions
+// precomputed into a 128-entry table so each round performs two
+// instrumented key reads, as the IDEA key schedule does.
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace vft::kernels {
+
+namespace crypt_detail {
+
+constexpr std::uint32_t kRounds = 32;
+
+/// One XTEA encryption of block b, operating *in place* on the buffer the
+/// way the Java IDEA kernel works byte-wise through its arrays: every
+/// round re-loads and re-stores the two block words (thread-partitioned,
+/// so [Read/Write Same Epoch] traffic) and reads two round-key terms
+/// (read-shared traffic). This access density is what makes crypt the
+/// most overhead-sensitive row of Table 1.
+template <Detector D>
+inline void encipher(rt::Array<std::uint32_t, D>& buf, std::size_t b,
+                     rt::Array<std::uint32_t, D>& ks0,
+                     rt::Array<std::uint32_t, D>& ks1) {
+  for (std::uint32_t r = 0; r < kRounds; ++r) {
+    std::uint32_t v0 = buf.load(2 * b);
+    std::uint32_t v1 = buf.load(2 * b + 1);
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ ks0.load(r);
+    buf.store(2 * b, v0);
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ ks1.load(r);
+    buf.store(2 * b + 1, v1);
+  }
+}
+
+template <Detector D>
+inline void decipher(rt::Array<std::uint32_t, D>& buf, std::size_t b,
+                     rt::Array<std::uint32_t, D>& ks0,
+                     rt::Array<std::uint32_t, D>& ks1) {
+  for (std::uint32_t r = kRounds; r-- > 0;) {
+    std::uint32_t v1 = buf.load(2 * b + 1);
+    std::uint32_t v0 = buf.load(2 * b);
+    v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ ks1.load(r);
+    buf.store(2 * b + 1, v1);
+    v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ ks0.load(r);
+    buf.store(2 * b, v0);
+  }
+}
+
+}  // namespace crypt_detail
+
+template <Detector D>
+KernelResult crypt(rt::Runtime<D>& R, const KernelConfig& cfg) {
+  using namespace crypt_detail;
+  const std::size_t blocks = static_cast<std::size_t>(4096) * cfg.scale;
+  const std::size_t words = blocks * 2;
+
+  rt::Array<std::uint32_t, D> text(R, words);
+  rt::Array<std::uint32_t, D> enc(R, words);
+  rt::Array<std::uint32_t, D> dec(R, words);
+  rt::Array<std::uint32_t, D> ks0(R, kRounds);
+  rt::Array<std::uint32_t, D> ks1(R, kRounds);
+
+  // Key schedule + plaintext, filled by the main thread (exclusive epochs);
+  // workers read them after the fork happens-before edge.
+  Rng rng(cfg.seed);
+  std::uint32_t key[4];
+  for (std::uint32_t& k : key) k = static_cast<std::uint32_t>(rng.next());
+  std::uint32_t sum = 0;
+  constexpr std::uint32_t kDelta = 0x9E3779B9;
+  for (std::uint32_t r = 0; r < kRounds; ++r) {
+    ks0.store(r, sum + key[sum & 3]);
+    sum += kDelta;
+    ks1.store(r, sum + key[(sum >> 11) & 3]);
+  }
+  for (std::size_t i = 0; i < words; ++i) {
+    text.store(i, static_cast<std::uint32_t>(rng.next()));
+  }
+
+  // Phase 1: parallel encrypt (each worker owns a block slice).
+  rt::parallel_for_threads(R, cfg.threads, [&](std::uint32_t w) {
+    const Slice s = slice_of(blocks, w, cfg.threads);
+    for (std::size_t b = s.begin; b < s.end; ++b) {
+      enc.store(2 * b, text.load(2 * b));
+      enc.store(2 * b + 1, text.load(2 * b + 1));
+      encipher(enc, b, ks0, ks1);
+    }
+  });
+
+  // Optional fault injection: one worker re-writes a block of `enc` that
+  // belongs to another worker's slice, without synchronization.
+  if (cfg.inject_race && cfg.threads >= 2) {
+    rt::parallel_for_threads(R, 2, [&](std::uint32_t w) {
+      enc.store(0, enc.load(0) + w);  // both threads, same element, no lock
+    });
+  }
+
+  // Phase 2: parallel decrypt.
+  rt::parallel_for_threads(R, cfg.threads, [&](std::uint32_t w) {
+    const Slice s = slice_of(blocks, w, cfg.threads);
+    for (std::size_t b = s.begin; b < s.end; ++b) {
+      dec.store(2 * b, enc.load(2 * b));
+      dec.store(2 * b + 1, enc.load(2 * b + 1));
+      decipher(dec, b, ks0, ks1);
+    }
+  });
+
+  // Validate round-trip on a sample (cheap relative to the cipher work).
+  bool valid = true;
+  if (!cfg.inject_race) {
+    for (std::size_t i = 0; i < words; i += 97) {
+      if (dec.raw(i) != text.raw(i)) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < words; i += 1021) {
+    checksum += static_cast<double>(enc.raw(i) & 0xFFFF);
+  }
+  return KernelResult{checksum, valid};
+}
+
+}  // namespace vft::kernels

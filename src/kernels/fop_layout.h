@@ -1,0 +1,89 @@
+// fop: DaCapo fop analogue - XSL-FO style document layout. A block tree
+// (built by the main thread, read-shared) goes through two barrier-
+// separated passes: a parallel *measure* pass computing intrinsic sizes
+// bottom-up within per-worker subtree ranges, and a parallel *position*
+// pass assigning coordinates from the measured sizes. Mix: read-shared
+// tree + phase-exclusive measure/position arrays; short run, moderate
+// uniform overhead (fop: ~10x across all tools in Table 1).
+//
+// Validation: total laid-out height equals the sequential sum of block
+// heights (exact, same addition order), and positions are monotone.
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace vft::kernels {
+
+template <Detector D>
+KernelResult fop_layout(rt::Runtime<D>& R, const KernelConfig& cfg) {
+  const std::size_t blocks = 6000ull * cfg.scale;
+  // Block record: [font, chars, indent]
+  rt::Array<std::uint64_t, D> font(R, blocks);
+  rt::Array<std::uint64_t, D> chars(R, blocks);
+  rt::Array<std::uint64_t, D> indent(R, blocks);
+  rt::Array<double, D> widths(R, 8);  // read-shared font metrics
+  rt::Array<double, D> measured(R, blocks);  // measure-pass output
+  rt::Array<double, D> ypos(R, blocks);      // position-pass output
+  rt::Barrier<D> barrier(R, cfg.threads);
+
+  Rng rng(cfg.seed);
+  for (std::size_t i = 0; i < 8; ++i) {
+    widths.store(i, 5.0 + 0.7 * static_cast<double>(i));
+  }
+  for (std::size_t b = 0; b < blocks; ++b) {
+    font.store(b, rng.next_below(8));
+    chars.store(b, 10 + rng.next_below(70));
+    indent.store(b, rng.next_below(4) * 12);
+  }
+  const double page_width = 480.0;
+  const double line_height = 11.2;
+
+  rt::parallel_for_threads(R, cfg.threads, [&](std::uint32_t w) {
+    const Slice s = slice_of(blocks, w, cfg.threads);
+    // Pass 1 (measure): lines needed per block at its indent.
+    for (std::size_t b = s.begin; b < s.end; ++b) {
+      const double cw = widths.load(font.load(b));
+      const double usable = page_width - static_cast<double>(indent.load(b));
+      const double text = cw * static_cast<double>(chars.load(b));
+      const double lines = std::ceil(text / usable);
+      measured.store(b, lines * line_height);
+    }
+    barrier.arrive_and_wait();
+    // Pass 2 (position): prefix heights within the slice, then each worker
+    // adds the preceding slices' totals (reads other slices' measures:
+    // read-shared after the barrier).
+    double before = 0.0;
+    for (std::size_t b = 0; b < s.begin; ++b) before += measured.load(b);
+    double y = before;
+    for (std::size_t b = s.begin; b < s.end; ++b) {
+      ypos.store(b, y);
+      y += measured.load(b);
+    }
+    barrier.arrive_and_wait();
+  });
+
+  bool valid = true;
+  double total = 0.0;
+  if (cfg.validate) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const double cw = widths.raw(font.raw(b));
+      const double usable = page_width - static_cast<double>(indent.raw(b));
+      const double lines =
+          std::ceil(cw * static_cast<double>(chars.raw(b)) / usable);
+      if (measured.raw(b) != lines * line_height) valid = false;
+      total += measured.raw(b);
+    }
+    // Last block's position + height == total height (exact: same order).
+    double y = 0.0;
+    for (std::size_t b = 0; b + 1 < blocks; ++b) y += measured.raw(b);
+    if (ypos.raw(blocks - 1) != y) valid = false;
+    for (std::size_t b = 1; b < blocks; ++b) {
+      if (ypos.raw(b) < ypos.raw(b - 1)) valid = false;
+    }
+  }
+  double checksum = 0.0;
+  for (std::size_t b = 0; b < blocks; b += 13) checksum += ypos.raw(b);
+  return KernelResult{checksum, valid};
+}
+
+}  // namespace vft::kernels

@@ -1,0 +1,92 @@
+// h2db: DaCapo h2 analogue - a lock-striped in-memory key-value table
+// under a mixed get/put/delete workload. Bucket data is instrumented and
+// bucket locks are real, so accesses are lock-protected and migrate
+// between threads; moderate overhead in the table (h2: 7-11x).
+//
+// Validation: every worker tracks the net change it made to the sum of
+// stored values (puts return the old value under the bucket lock, so the
+// delta is exact); the final table scan must equal the sum of deltas.
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernel.h"
+
+namespace vft::kernels {
+
+template <Detector D>
+KernelResult h2db(rt::Runtime<D>& R, const KernelConfig& cfg) {
+  const std::size_t buckets = 128;
+  const std::size_t slots = 16;  // open-addressed slots per bucket
+  const std::uint64_t ops_per_thread = 30000ull * cfg.scale;
+
+  struct Bucket {
+    std::unique_ptr<rt::Mutex<D>> mu;
+    std::unique_ptr<rt::Array<std::uint64_t, D>> keys;  // 0 = empty
+    std::unique_ptr<rt::Array<std::uint64_t, D>> vals;
+  };
+  std::vector<Bucket> table(buckets);
+  for (auto& b : table) {
+    b.mu = std::make_unique<rt::Mutex<D>>(R);
+    b.keys = std::make_unique<rt::Array<std::uint64_t, D>>(R, slots);
+    b.vals = std::make_unique<rt::Array<std::uint64_t, D>>(R, slots);
+  }
+
+  std::vector<std::int64_t> deltas(cfg.threads, 0);
+
+  rt::parallel_for_threads(R, cfg.threads, [&](std::uint32_t w) {
+    Rng rng(cfg.seed * 101 + w);
+    std::int64_t delta = 0;
+    for (std::uint64_t op = 0; op < ops_per_thread; ++op) {
+      const std::uint64_t key = 1 + rng.next_below(buckets * slots / 2);
+      Bucket& b = table[key % buckets];
+      const std::uint64_t kind = rng.next_below(10);
+      rt::Guard<D> g(*b.mu);
+      // Linear probe for the key (and the first free slot).
+      std::size_t found = slots, free_slot = slots;
+      for (std::size_t s = 0; s < slots; ++s) {
+        const std::uint64_t k = b.keys->load(s);
+        if (k == key) {
+          found = s;
+          break;
+        }
+        if (k == 0 && free_slot == slots) free_slot = s;
+      }
+      if (kind < 6) {  // get
+        if (found != slots) (void)b.vals->load(found);
+      } else if (kind < 9) {  // put
+        const std::uint64_t v = 1 + rng.next_below(1000);
+        if (found != slots) {
+          delta += static_cast<std::int64_t>(v) -
+                   static_cast<std::int64_t>(b.vals->load(found));
+          b.vals->store(found, v);
+        } else if (free_slot != slots) {
+          b.keys->store(free_slot, key);
+          b.vals->store(free_slot, v);
+          delta += static_cast<std::int64_t>(v);
+        }
+      } else {  // delete
+        if (found != slots) {
+          delta -= static_cast<std::int64_t>(b.vals->load(found));
+          b.keys->store(found, 0);
+          b.vals->store(found, 0);
+        }
+      }
+    }
+    deltas[w] = delta;  // own slot, joined before being read
+  });
+
+  std::int64_t expected = 0;
+  for (const std::int64_t d : deltas) expected += d;
+  std::int64_t actual = 0;
+  for (auto& b : table) {
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (b.keys->raw(s) != 0) {
+        actual += static_cast<std::int64_t>(b.vals->raw(s));
+      }
+    }
+  }
+  return KernelResult{static_cast<double>(actual), actual == expected};
+}
+
+}  // namespace vft::kernels

@@ -1,0 +1,86 @@
+// lusearch_idx: DaCapo luindex/lusearch analogue - document indexing.
+// Workers tokenize their own synthetic documents into *thread-local*
+// instrumented frequency tables (same-epoch-dominated traffic), then merge
+// into a global striped dictionary under locks. Mostly thread-local work
+// puts this in the mid-to-high-teens overhead band of the real luindex/
+// lusearch (13-24x) because the access density is high even though
+// sharing is rare.
+//
+// Validation: the dictionary totals must equal the number of tokens
+// generated (counted locally, uninstrumented).
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernel.h"
+
+namespace vft::kernels {
+
+template <Detector D>
+KernelResult lusearch_idx(rt::Runtime<D>& R, const KernelConfig& cfg) {
+  const std::size_t vocab = 512;
+  const std::size_t docs_per_thread = 24 * cfg.scale;
+  const std::size_t tokens_per_doc = 2000;
+  const std::size_t stripes = 16;
+
+  struct Stripe {
+    std::unique_ptr<rt::Mutex<D>> mu;
+    std::unique_ptr<rt::Array<std::uint64_t, D>> counts;  // vocab/stripes terms
+  };
+  std::vector<Stripe> dict(stripes);
+  const std::size_t per_stripe = vocab / stripes;
+  for (auto& s : dict) {
+    s.mu = std::make_unique<rt::Mutex<D>>(R);
+    s.counts = std::make_unique<rt::Array<std::uint64_t, D>>(R, per_stripe);
+  }
+
+  std::vector<std::uint64_t> generated(cfg.threads, 0);
+
+  rt::parallel_for_threads(R, cfg.threads, [&](std::uint32_t w) {
+    Rng rng(cfg.seed * 53 + w);
+    // Thread-local frequency table, instrumented (the detector sees dense
+    // exclusive-epoch traffic here, like real per-document scratch).
+    rt::Array<std::uint64_t, D> local(R, vocab);
+    std::uint64_t tokens = 0;
+    for (std::size_t doc = 0; doc < docs_per_thread; ++doc) {
+      for (std::size_t i = 0; i < vocab; ++i) local.store(i, 0);
+      for (std::size_t tok = 0; tok < tokens_per_doc; ++tok) {
+        // Zipf-ish skew: favor low term ids.
+        const std::uint64_t r = rng.next_below(vocab * vocab);
+        const std::size_t term = static_cast<std::size_t>(
+            static_cast<double>(vocab) * (1.0 - std::sqrt(static_cast<double>(r) /
+                                                          (vocab * vocab))));
+        const std::size_t t = std::min(term, vocab - 1);
+        local.store(t, local.load(t) + 1);
+        ++tokens;
+      }
+      // Merge the document's counts into the striped dictionary.
+      for (std::size_t stripe = 0; stripe < stripes; ++stripe) {
+        rt::Guard<D> g(*dict[stripe].mu);
+        for (std::size_t k = 0; k < per_stripe; ++k) {
+          const std::size_t term = stripe * per_stripe + k;
+          const std::uint64_t c = local.load(term);
+          if (c != 0) {
+            dict[stripe].counts->store(k, dict[stripe].counts->load(k) + c);
+          }
+        }
+      }
+    }
+    generated[w] = tokens;
+  });
+
+  std::uint64_t expected = 0;
+  for (const std::uint64_t g : generated) expected += g;
+  std::uint64_t total = 0;
+  double checksum = 0.0;
+  for (std::size_t stripe = 0; stripe < stripes; ++stripe) {
+    for (std::size_t k = 0; k < per_stripe; ++k) {
+      const std::uint64_t c = dict[stripe].counts->raw(k);
+      total += c;
+      checksum += static_cast<double>(c) * static_cast<double>(k % 7);
+    }
+  }
+  return KernelResult{checksum, total == expected};
+}
+
+}  // namespace vft::kernels

@@ -1,0 +1,83 @@
+// lusearch (query side): DaCapo lusearch analogue, complementing the
+// indexing-side `lusearch_idx` (which stands in for luindex). A postings
+// index built by the main thread is *read-shared* by query workers that
+// score documents into thread-local accumulators: read-shared postings
+// traversal + dense exclusive scoring traffic (lusearch: 19-24x in
+// Table 1, with v2 ~= the historical tools).
+//
+// Validation: top-scoring document of a sampled query recomputed
+// sequentially and compared.
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernel.h"
+
+namespace vft::kernels {
+
+template <Detector D>
+KernelResult lusearch_query(rt::Runtime<D>& R, const KernelConfig& cfg) {
+  const std::size_t vocab = 256;
+  const std::size_t docs = 512;
+  const std::size_t postings_per_term = 24;
+  const std::size_t queries_per_thread = 180 * cfg.scale;
+  constexpr std::size_t kQueryTerms = 4;
+
+  // CSR-style postings: term t owns rows [t*P, (t+1)*P) of (doc, weight).
+  rt::Array<std::uint32_t, D> post_doc(R, vocab * postings_per_term);
+  rt::Array<double, D> post_weight(R, vocab * postings_per_term);
+
+  Rng rng(cfg.seed);
+  for (std::size_t i = 0; i < vocab * postings_per_term; ++i) {
+    post_doc.store(i, static_cast<std::uint32_t>(rng.next_below(docs)));
+    post_weight.store(i, 0.1 + rng.next_double());
+  }
+
+  std::vector<double> best_scores(cfg.threads, 0.0);
+
+  rt::parallel_for_threads(R, cfg.threads, [&](std::uint32_t w) {
+    Rng qrng(cfg.seed * 61 + w);
+    rt::Array<double, D> scores(R, docs);  // thread-local accumulator
+    double best = 0.0;
+    for (std::size_t q = 0; q < queries_per_thread; ++q) {
+      for (std::size_t d = 0; d < docs; ++d) scores.store(d, 0.0);
+      for (std::size_t k = 0; k < kQueryTerms; ++k) {
+        const std::size_t term = qrng.next_below(vocab);
+        for (std::size_t p = 0; p < postings_per_term; ++p) {
+          const std::size_t row = term * postings_per_term + p;
+          const std::uint32_t doc = post_doc.load(row);
+          scores.store(doc, scores.load(doc) + post_weight.load(row));
+        }
+      }
+      for (std::size_t d = 0; d < docs; ++d) {
+        best = std::max(best, scores.load(d));
+      }
+    }
+    best_scores[w] = best;
+  });
+
+  bool valid = true;
+  if (cfg.validate) {
+    // Re-run thread 0's queries against raw postings.
+    Rng qrng(cfg.seed * 61 + 0);
+    std::vector<double> scores(docs);
+    double best = 0.0;
+    for (std::size_t q = 0; q < queries_per_thread; ++q) {
+      std::fill(scores.begin(), scores.end(), 0.0);
+      for (std::size_t k = 0; k < kQueryTerms; ++k) {
+        const std::size_t term = qrng.next_below(vocab);
+        for (std::size_t p = 0; p < postings_per_term; ++p) {
+          const std::size_t row = term * postings_per_term + p;
+          scores[post_doc.raw(row)] += post_weight.raw(row);
+        }
+      }
+      for (std::size_t d = 0; d < docs; ++d) best = std::max(best, scores[d]);
+    }
+    valid = best_scores[0] == best;
+  }
+  double checksum = 0.0;
+  for (const double b : best_scores) checksum += b;
+  return KernelResult{checksum, valid};
+}
+
+}  // namespace vft::kernels

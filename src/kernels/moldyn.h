@@ -1,0 +1,90 @@
+// moldyn: JavaGrande molecular-dynamics analogue.
+//
+// Velocity-Verlet N-body integration with a Lennard-Jones-ish pairwise
+// force, barrier-phased: every worker reads *all* positions (read-shared)
+// to compute forces for its own particle slice (exclusive writes), then
+// updates its own positions/velocities. The all-to-all position reads make
+// this moderately read-shared-heavy, like the real moldyn.
+//
+// Validation: total momentum is conserved up to floating-point noise
+// (forces are computed pairwise-symmetrically within one worker's view).
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace vft::kernels {
+
+template <Detector D>
+KernelResult moldyn(rt::Runtime<D>& R, const KernelConfig& cfg) {
+  const std::size_t n = 256;                       // particles
+  const std::size_t steps = 3 * cfg.scale;         // timesteps
+  const double dt = 1e-4;
+
+  rt::Array<double, D> pos(R, 3 * n);
+  rt::Array<double, D> vel(R, 3 * n);
+  rt::Array<double, D> force(R, 3 * n);
+  rt::Barrier<D> barrier(R, cfg.threads);
+
+  Rng rng(cfg.seed);
+  // Lattice-ish positions and zero net momentum.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      pos.store(3 * i + d,
+                static_cast<double>((i * (d + 7)) % 17) * 0.71 +
+                    0.05 * rng.next_double());
+      vel.store(3 * i + d, 0.0);
+    }
+  }
+
+  rt::parallel_for_threads(R, cfg.threads, [&](std::uint32_t w) {
+    const Slice s = slice_of(n, w, cfg.threads);
+    for (std::size_t step = 0; step < steps; ++step) {
+      // Force phase: read-shared positions, exclusive force writes.
+      for (std::size_t i = s.begin; i < s.end; ++i) {
+        double fx = 0.0, fy = 0.0, fz = 0.0;
+        const double xi = pos.load(3 * i);
+        const double yi = pos.load(3 * i + 1);
+        const double zi = pos.load(3 * i + 2);
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          const double dx = xi - pos.load(3 * j);
+          const double dy = yi - pos.load(3 * j + 1);
+          const double dz = zi - pos.load(3 * j + 2);
+          const double r2 = dx * dx + dy * dy + dz * dz + 0.3;
+          const double inv2 = 1.0 / r2;
+          const double inv6 = inv2 * inv2 * inv2;
+          const double mag = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+          fx += mag * dx;
+          fy += mag * dy;
+          fz += mag * dz;
+        }
+        force.store(3 * i, fx);
+        force.store(3 * i + 1, fy);
+        force.store(3 * i + 2, fz);
+      }
+      barrier.arrive_and_wait();
+      // Integration phase: exclusive position/velocity updates.
+      for (std::size_t i = s.begin; i < s.end; ++i) {
+        for (int d = 0; d < 3; ++d) {
+          const double v = vel.load(3 * i + d) + dt * force.load(3 * i + d);
+          vel.store(3 * i + d, v);
+          pos.store(3 * i + d, pos.load(3 * i + d) + dt * v);
+        }
+      }
+      barrier.arrive_and_wait();
+    }
+  });
+
+  // Momentum conservation: started at zero, forces are antisymmetric.
+  double px = 0.0, py = 0.0, pz = 0.0, checksum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    px += vel.raw(3 * i);
+    py += vel.raw(3 * i + 1);
+    pz += vel.raw(3 * i + 2);
+    checksum += pos.raw(3 * i);
+  }
+  const double drift = std::abs(px) + std::abs(py) + std::abs(pz);
+  return KernelResult{checksum, drift < 1e-6 * static_cast<double>(steps + 1)};
+}
+
+}  // namespace vft::kernels

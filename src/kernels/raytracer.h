@@ -1,0 +1,118 @@
+// raytracer: JavaGrande raytracer analogue.
+//
+// A sphere-scene ray tracer: the scene description (sphere centers, radii,
+// colors, one light) is hot *read-shared* data consulted many times per
+// pixel; pixels are written exclusively by the rendering worker (rows are
+// dealt round-robin). Heavy read-shared traffic is why the real raytracer
+// gains so much from v2's lock-free [Read Shared Same Epoch] path
+// (Table 1: 82x for v1 vs 13.3x for v2).
+//
+// Validation: 16 sampled pixels are re-rendered sequentially with
+// uninstrumented reads and compared bit-for-bit.
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace vft::kernels {
+
+namespace ray_detail {
+
+constexpr std::size_t kSpheres = 12;
+// Scene layout in the flat array: per sphere [cx, cy, cz, r, shade].
+constexpr std::size_t kStride = 5;
+
+struct Vec {
+  double x, y, z;
+};
+
+inline Vec sub(Vec a, Vec b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+inline double dot(Vec a, Vec b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+inline Vec scale(Vec a, double s) { return {a.x * s, a.y * s, a.z * s}; }
+inline Vec add(Vec a, Vec b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+inline Vec norm(Vec a) {
+  const double inv = 1.0 / std::sqrt(dot(a, a));
+  return scale(a, inv);
+}
+
+/// Trace one primary ray against the scene; `fetch(i)` reads scene slot i
+/// (instrumented in the parallel phase, raw in validation).
+template <typename Fetch>
+double shade_pixel(double px, double py, Fetch&& fetch) {
+  const Vec origin{0.0, 0.0, -6.0};
+  const Vec dir = norm(Vec{px, py, 2.0});
+  double best_t = 1e30;
+  std::size_t hit = kSpheres;
+  for (std::size_t s = 0; s < kSpheres; ++s) {
+    const Vec c{fetch(s * kStride), fetch(s * kStride + 1),
+                fetch(s * kStride + 2)};
+    const double r = fetch(s * kStride + 3);
+    const Vec oc = sub(origin, c);
+    const double b = 2.0 * dot(oc, dir);
+    const double cc = dot(oc, oc) - r * r;
+    const double disc = b * b - 4.0 * cc;
+    if (disc <= 0.0) continue;
+    const double t = (-b - std::sqrt(disc)) * 0.5;
+    if (t > 1e-6 && t < best_t) {
+      best_t = t;
+      hit = s;
+    }
+  }
+  if (hit == kSpheres) return 0.02;  // background
+  const Vec c{fetch(hit * kStride), fetch(hit * kStride + 1),
+              fetch(hit * kStride + 2)};
+  const Vec p = add(origin, scale(dir, best_t));
+  const Vec n = norm(sub(p, c));
+  const Vec light = norm(Vec{0.4, 0.9, -0.5});
+  const double lambert = std::max(0.0, dot(n, light));
+  return fetch(hit * kStride + 4) * (0.15 + 0.85 * lambert);
+}
+
+}  // namespace ray_detail
+
+template <Detector D>
+KernelResult raytracer(rt::Runtime<D>& R, const KernelConfig& cfg) {
+  using namespace ray_detail;
+  const std::size_t width = 96;
+  const std::size_t height = 24 * cfg.scale + 24;
+
+  rt::Array<double, D> scene(R, kSpheres * kStride);
+  rt::Array<double, D> image(R, width * height);
+
+  Rng rng(cfg.seed);
+  for (std::size_t s = 0; s < kSpheres; ++s) {
+    scene.store(s * kStride + 0, (rng.next_double() - 0.5) * 6.0);
+    scene.store(s * kStride + 1, (rng.next_double() - 0.5) * 4.0);
+    scene.store(s * kStride + 2, rng.next_double() * 4.0);
+    scene.store(s * kStride + 3, 0.4 + rng.next_double() * 0.9);
+    scene.store(s * kStride + 4, 0.3 + rng.next_double() * 0.7);
+  }
+
+  rt::parallel_for_threads(R, cfg.threads, [&](std::uint32_t w) {
+    for (std::size_t y = w; y < height; y += cfg.threads) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const double px = (static_cast<double>(x) / width - 0.5) * 4.0;
+        const double py = (static_cast<double>(y) / height - 0.5) * 3.0;
+        const double v =
+            shade_pixel(px, py, [&](std::size_t i) { return scene.load(i); });
+        image.store(y * width + x, v);
+      }
+    }
+  });
+
+  // Validate 16 sampled pixels against an uninstrumented re-render.
+  bool valid = true;
+  for (std::size_t k = 0; k < 16 && valid; ++k) {
+    const std::size_t x = (k * 37) % width;
+    const std::size_t y = (k * 53) % height;
+    const double px = (static_cast<double>(x) / width - 0.5) * 4.0;
+    const double py = (static_cast<double>(y) / height - 0.5) * 3.0;
+    const double ref =
+        shade_pixel(px, py, [&](std::size_t i) { return scene.raw(i); });
+    valid = image.raw(y * width + x) == ref;
+  }
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < width * height; i += 7) checksum += image.raw(i);
+  return KernelResult{checksum, valid};
+}
+
+}  // namespace vft::kernels

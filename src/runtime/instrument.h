@@ -1,0 +1,324 @@
+// Instrumented target-program primitives: the RoadRunner analogue.
+//
+// RoadRunner rewrites JVM bytecode so each memory/sync operation of the
+// target runs an event handler inline in the acting thread. C++ offers no
+// portable bytecode rewriting, so target programs here are written against
+// these wrappers instead (DESIGN.md substitution table): the execution
+// model - inline handlers, one shadow object per thread/lock/variable - is
+// the same, only the insertion mechanism differs.
+//
+// Handler ordering follows Section 4: acquire and join handlers run
+// *after* the target operation; all others run *before* it.
+//
+// The target data itself lives in std::atomic cells accessed with relaxed
+// ordering (a plain mov on mainstream ISAs). This is how the target can
+// legally exhibit the data races the detector is meant to find: a C++
+// program with native unsynchronized accesses would be UB, while relaxed
+// atomics give TSan-style defined-but-racy behaviour.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <string>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/tool.h"
+#include "vft/vector_clock.h"
+
+namespace vft::rt {
+
+/// True when D performs analysis; NullTool configurations skip even the
+/// inline vector-clock work of Volatile/Barrier so that base-time runs
+/// measure the uninstrumented target.
+template <typename D>
+inline constexpr bool kInstrumented = !std::is_same_v<D, NullTool>;
+
+/// One instrumented scalar variable with an inline shadow VarState.
+template <typename T, Detector D>
+class Var {
+ public:
+  explicit Var(Runtime<D>& rt, T initial = T{}, std::uint64_t id = 0)
+      : rt_(&rt), data_(initial) {
+    shadow_.id = id != 0 ? id : reinterpret_cast<std::uint64_t>(this);
+  }
+
+  T load() {
+    rt_->tool().read(rt_->self(), shadow_);
+    return data_.load(std::memory_order_relaxed);
+  }
+
+  void store(T v) {
+    rt_->tool().write(rt_->self(), shadow_);
+    data_.store(v, std::memory_order_relaxed);
+  }
+
+  /// Uninstrumented access (post-join result collection and the like).
+  T raw() const { return data_.load(std::memory_order_relaxed); }
+
+  /// Register a human-readable name for race reports (describe()).
+  void set_name(std::string name) {
+    if (RaceCollector* rc = rt_->tool().races()) {
+      rc->name_var(shadow_.id, std::move(name));
+    }
+  }
+
+  typename D::VarState& shadow() { return shadow_; }
+
+ private:
+  Runtime<D>* rt_;
+  std::atomic<T> data_;
+  typename D::VarState shadow_;
+};
+
+/// Instrumented array: one shadow VarState per element (RoadRunner's
+/// fine-grained array shadow mode).
+template <typename T, Detector D>
+class Array {
+ public:
+  Array(Runtime<D>& rt, std::size_t n, T initial = T{})
+      : rt_(&rt),
+        n_(n),
+        data_(std::make_unique<std::atomic<T>[]>(n)),
+        shadow_(std::make_unique<typename D::VarState[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      data_[i].store(initial, std::memory_order_relaxed);
+      shadow_[i].id = reinterpret_cast<std::uint64_t>(&shadow_[i]);
+    }
+  }
+
+  std::size_t size() const { return n_; }
+
+  T load(std::size_t i) {
+    VFT_ASSERT(i < n_);
+    rt_->tool().read(rt_->self(), shadow_[i]);
+    return data_[i].load(std::memory_order_relaxed);
+  }
+
+  void store(std::size_t i, T v) {
+    VFT_ASSERT(i < n_);
+    rt_->tool().write(rt_->self(), shadow_[i]);
+    data_[i].store(v, std::memory_order_relaxed);
+  }
+
+  /// Uninstrumented access, for target code that operates on provably
+  /// thread-private scratch data (matching how real tools exclude
+  /// known-local accesses; used sparingly and called out in the kernels).
+  T raw(std::size_t i) const { return data_[i].load(std::memory_order_relaxed); }
+  void raw_store(std::size_t i, T v) {
+    data_[i].store(v, std::memory_order_relaxed);
+  }
+
+  /// Register element names "name[i]" for race reports.
+  void set_name(const std::string& name) {
+    if (RaceCollector* rc = rt_->tool().races()) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        rc->name_var(shadow_[i].id, name + "[" + std::to_string(i) + "]");
+      }
+    }
+  }
+
+  typename D::VarState& shadow(std::size_t i) { return shadow_[i]; }
+
+ private:
+  Runtime<D>* rt_;
+  std::size_t n_;
+  std::unique_ptr<std::atomic<T>[]> data_;
+  std::unique_ptr<typename D::VarState[]> shadow_;
+};
+
+/// Instrumented mutex: a real std::mutex plus the LockState shadow.
+template <Detector D>
+class Mutex {
+ public:
+  explicit Mutex(Runtime<D>& rt) : rt_(&rt) {}
+
+  void lock() {
+    mu_.lock();
+    rt_->tool().acquire(rt_->self(), shadow_);  // handler after the acquire
+  }
+
+  void unlock() {
+    rt_->tool().release(rt_->self(), shadow_);  // handler before the release
+    mu_.unlock();
+  }
+
+  LockState& shadow() { return shadow_; }
+  std::mutex& native() { return mu_; }
+
+ private:
+  Runtime<D>* rt_;
+  std::mutex mu_;
+  LockState shadow_;
+};
+
+/// RAII guard for Mutex.
+template <Detector D>
+class Guard {
+ public:
+  explicit Guard(Mutex<D>& m) : m_(&m) { m_->lock(); }
+  ~Guard() { m_->unlock(); }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  Mutex<D>* m_;
+};
+
+/// Instrumented Java-style volatile variable. Reads and writes are
+/// synchronization operations: a write publishes the writer's clock
+/// (release-like: Sv.V := Sv.V join St.V; inc_t), a read acquires it
+/// (St.V := St.V join Sv.V) - the standard FastTrack treatment mentioned
+/// in Section 7 ("Additional Synchronization Primitives").
+template <typename T, Detector D>
+class Volatile {
+ public:
+  explicit Volatile(Runtime<D>& rt, T initial = T{})
+      : rt_(&rt), data_(initial) {}
+
+  T load() {
+    if constexpr (kInstrumented<D>) {
+      std::scoped_lock lk(mu_);
+      rt_->self().join(vc_);
+    }
+    return data_.load(std::memory_order_acquire);
+  }
+
+  void store(T v) {
+    if constexpr (kInstrumented<D>) {
+      std::scoped_lock lk(mu_);
+      ThreadState& st = rt_->self();
+      vc_.join(st.V);
+      st.inc();
+    }
+    data_.store(v, std::memory_order_release);
+  }
+
+ private:
+  Runtime<D>* rt_;
+  std::mutex mu_;  // protects vc_ (multiple readers/writers synchronize)
+  VectorClock vc_;
+  std::atomic<T> data_;
+};
+
+/// Instrumented cyclic barrier for a fixed party count. Happens-before:
+/// every operation before any arrival happens-before every operation after
+/// the corresponding departure (all-to-all), modeled by joining all
+/// arrivals' clocks and re-acquiring the merged clock on departure, then
+/// starting a fresh epoch (as in the barrier support of the standard
+/// FastTrack implementations, Section 7).
+template <Detector D>
+class Barrier {
+ public:
+  Barrier(Runtime<D>& rt, std::uint32_t parties)
+      : rt_(&rt), parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock lk(mu_);
+    if constexpr (kInstrumented<D>) gather_.join(rt_->self().V);
+    const std::uint64_t my_phase = phase_;
+    if (++arrived_ == parties_) {
+      released_ = gather_;
+      gather_ = VectorClock();
+      arrived_ = 0;
+      ++phase_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return phase_ != my_phase; });
+    }
+    if constexpr (kInstrumented<D>) {
+      ThreadState& st = rt_->self();
+      st.join(released_);
+      st.inc();  // departures start a new epoch, like a release
+    }
+  }
+
+ private:
+  Runtime<D>* rt_;
+  const std::uint32_t parties_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  VectorClock gather_;    // accumulating arrivals for the current phase
+  VectorClock released_;  // merged clock of the last completed phase
+  std::uint32_t arrived_ = 0;
+  std::uint64_t phase_ = 0;
+};
+
+/// Instrumented condition variable over an instrumented Mutex. The
+/// analysis sees wait as release + (re)acquire of the monitor, exactly the
+/// wait/notify treatment of Section 7; notify itself is not an event
+/// (ordering flows through the monitor).
+template <Detector D>
+class CondVar {
+ public:
+  explicit CondVar(Runtime<D>& rt) : rt_(&rt) {}
+
+  template <typename Pred>
+  void wait(Mutex<D>& m, Pred pred) {
+    while (!pred()) {
+      rt_->tool().release(rt_->self(), m.shadow());  // before releasing
+      std::unique_lock lk(m.native(), std::adopt_lock);
+      cv_.wait(lk);
+      lk.release();  // keep the native mutex held; we reacquired it
+      rt_->tool().acquire(rt_->self(), m.shadow());  // after reacquiring
+    }
+  }
+
+  void notify_all() { cv_.notify_all(); }
+  void notify_one() { cv_.notify_one(); }
+
+ private:
+  Runtime<D>* rt_;
+  std::condition_variable cv_;
+};
+
+/// Instrumented thread. The fork handler runs in the parent *before* the
+/// child starts (while the child's ThreadState is still parent-local); the
+/// join handler runs in the joiner *after* the native join (when the
+/// child's state is read-only). Section 4's discipline, verbatim.
+template <Detector D>
+class Thread {
+ public:
+  template <typename Fn>
+  Thread(Runtime<D>& rt, Fn fn) : rt_(&rt), child_(&rt.registry().create()) {
+    rt_->tool().fork(rt_->self(), *child_);
+    native_ = std::thread([this, fn = std::move(fn)]() mutable {
+      Registry::ThreadScope scope(*child_);
+      fn();
+    });
+  }
+
+  ~Thread() { VFT_CHECK(!native_.joinable()); }  // must be joined explicitly
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  void join() {
+    native_.join();
+    rt_->tool().join(rt_->self(), *child_);
+    rt_->registry().retire(*child_);
+  }
+
+  ThreadState& state() { return *child_; }
+
+ private:
+  Runtime<D>* rt_;
+  ThreadState* child_;
+  std::thread native_;
+};
+
+/// Fork `n` workers running fn(worker_index) and join them all: the
+/// ubiquitous parallel-kernel shape.
+template <Detector D, typename Fn>
+void parallel_for_threads(Runtime<D>& rt, std::uint32_t n, Fn fn) {
+  std::vector<std::unique_ptr<Thread<D>>> workers;
+  workers.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    workers.push_back(std::make_unique<Thread<D>>(rt, [fn, i] { fn(i); }));
+  }
+  for (auto& w : workers) w->join();
+}
+
+}  // namespace vft::rt

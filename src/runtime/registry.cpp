@@ -1,0 +1,7 @@
+#include "runtime/registry.h"
+
+namespace vft::rt {
+
+thread_local ThreadState* Registry::tl_self_ = nullptr;
+
+}  // namespace vft::rt

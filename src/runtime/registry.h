@@ -1,0 +1,88 @@
+// Thread registry: the runtime-system half of Section 4's assumption that
+// there is a one-to-one mapping between target threads and ThreadState
+// objects, and that each handler runs in the thread performing the
+// operation.
+//
+// The registry allocates dense thread ids, owns the ThreadState objects,
+// and tracks the calling thread's identity in a thread_local (set while a
+// target thread is "entered" into a runtime). Thread ids of joined threads
+// are reused - the successor's vector clock continues the predecessor's
+// (see ThreadState's reuse constructor for the precision tradeoff) - so a
+// long-running target can create far more than Epoch::kMaxTid threads as
+// long as no more than kMaxTid+1 are live at once.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "vft/assert.h"
+#include "vft/shadow_state.h"
+
+namespace vft::rt {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The calling thread's ThreadState (set by ThreadScope). Handlers use
+  /// this to find "st" without threading it through target code.
+  static ThreadState* current() { return tl_self_; }
+
+  /// Allocate a ThreadState: a retired slot's successor if one is free,
+  /// else a fresh tid. Thread-safe (forks may be concurrent).
+  ThreadState& create() {
+    std::scoped_lock lk(mu_);
+    if (!free_.empty()) {
+      const Tid t = free_.back();
+      free_.pop_back();
+      auto fresh = std::make_unique<ThreadState>(t, slots_[t]->V);
+      slots_[t] = std::move(fresh);
+      return *slots_[t];
+    }
+    const Tid t = static_cast<Tid>(slots_.size());
+    VFT_CHECK(t <= Epoch::kMaxTid);
+    slots_.push_back(std::make_unique<ThreadState>(t));
+    return *slots_.back();
+  }
+
+  /// Return a joined thread's slot to the free list. The caller must have
+  /// already run the join handler; the state object stays alive (its final
+  /// VC seeds the slot's next occupant).
+  void retire(const ThreadState& ts) {
+    std::scoped_lock lk(mu_);
+    free_.push_back(ts.t);
+  }
+
+  /// Number of tids ever allocated (for tests).
+  std::size_t slots_in_use() const {
+    std::scoped_lock lk(mu_);
+    return slots_.size();
+  }
+
+  /// RAII: marks the calling OS thread as running target thread `ts` for
+  /// the duration of the scope. Nestable (restores the previous binding),
+  /// which lets a bench harness run several runtimes from one main thread.
+  class ThreadScope {
+   public:
+    explicit ThreadScope(ThreadState& ts) : prev_(tl_self_) { tl_self_ = &ts; }
+    ~ThreadScope() { tl_self_ = prev_; }
+    ThreadScope(const ThreadScope&) = delete;
+    ThreadScope& operator=(const ThreadScope&) = delete;
+
+   private:
+    ThreadState* prev_;
+  };
+
+ private:
+  static thread_local ThreadState* tl_self_;
+
+  mutable std::mutex mu_;
+  std::deque<std::unique_ptr<ThreadState>> slots_;
+  std::vector<Tid> free_;
+};
+
+}  // namespace vft::rt

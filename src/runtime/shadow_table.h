@@ -1,0 +1,88 @@
+// Address-keyed shadow memory: the TSan-style mapping from target memory
+// locations to VarState objects, for instrumenting raw pointers rather
+// than rt::Var/rt::Array wrappers (whose shadow is inline).
+//
+// Layout: a fixed power-of-two array of shards, each a mutex-protected
+// open hash map. The shard mutex is held only during lookup/insert, never
+// during the detector handler, so the detector's own locking discipline
+// (and its lock-free fast paths) is unaffected - the table adds a
+// fixed lookup cost per access, which is why the kernels use inline
+// shadow instead (and why real tools burn address bits for direct-mapped
+// shadow; see EXPERIMENTS.md notes).
+//
+// VarState addresses are stable once created (node-based map + unique_ptr),
+// matching the runtime-system assumption of Section 4 that the mapping
+// from variables to VarState objects is one-to-one and persistent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "runtime/tool.h"
+
+namespace vft::rt {
+
+template <Detector D>
+class ShadowTable {
+ public:
+  ShadowTable() = default;
+  ShadowTable(const ShadowTable&) = delete;
+  ShadowTable& operator=(const ShadowTable&) = delete;
+
+  /// The VarState shadowing `addr` (created on first use). Thread-safe.
+  typename D::VarState& of(const void* addr) {
+    const auto key = reinterpret_cast<std::uintptr_t>(addr);
+    Shard& shard = shards_[shard_of(key)];
+    std::scoped_lock lk(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      auto state = std::make_unique<typename D::VarState>();
+      state->id = key;
+      it = shard.map.emplace(key, std::move(state)).first;
+    }
+    return *it->second;
+  }
+
+  /// Number of shadowed locations (racy snapshot; for tests/diagnostics).
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::scoped_lock lk(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+
+  static std::size_t shard_of(std::uintptr_t key) {
+    // Mix before masking: heap addresses share low-bit alignment patterns.
+    key ^= key >> 17;
+    key *= 0x9E3779B97F4A7C15ull;
+    return (key >> 32) & (kShards - 1);
+  }
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uintptr_t, std::unique_ptr<typename D::VarState>> map;
+  };
+
+  Shard shards_[kShards];
+};
+
+/// Raw-pointer instrumentation entry points (the API a compiler pass would
+/// call; exercised by tests and the shadow-table example).
+template <Detector D>
+bool instrumented_read(Runtime<D>& rt, ShadowTable<D>& table, const void* addr) {
+  return rt.tool().read(rt.self(), table.of(addr));
+}
+
+template <Detector D>
+bool instrumented_write(Runtime<D>& rt, ShadowTable<D>& table, const void* addr) {
+  return rt.tool().write(rt.self(), table.of(addr));
+}
+
+}  // namespace vft::rt

@@ -1,0 +1,163 @@
+// Additional synchronization primitives (Section 7, "Additional
+// Synchronization Primitives"): reader-writer locks, reentrant mutexes
+// (Java monitors are reentrant; only the outermost enter/exit is an
+// analysis event), and once-initialization capturing the happens-before
+// edge between a static initializer and every later use.
+#pragma once
+
+#include <shared_mutex>
+
+#include "runtime/instrument.h"
+
+namespace vft::rt {
+
+/// Instrumented reader-writer lock with the standard FastTrack-style
+/// happens-before treatment:
+///   write-unlock publishes the writer's clock (w_vc) and resets the
+///   accumulated reader clock (the writer joined it on entry, so w_vc
+///   dominates it);
+///   write-lock joins w_vc and r_vc;
+///   read-unlock folds the reader's clock into r_vc (readers don't order
+///   each other - they only order against later writers);
+///   read-lock joins w_vc only.
+template <Detector D>
+class SharedMutex {
+ public:
+  explicit SharedMutex(Runtime<D>& rt) : rt_(&rt) {}
+
+  void lock() {  // writer
+    mu_.lock();
+    if constexpr (kInstrumented<D>) {
+      std::scoped_lock lk(vc_mu_);
+      ThreadState& st = rt_->self();
+      st.join(w_vc_);
+      st.join(r_vc_);
+    }
+  }
+
+  void unlock() {
+    if constexpr (kInstrumented<D>) {
+      std::scoped_lock lk(vc_mu_);
+      ThreadState& st = rt_->self();
+      w_vc_.copy(st.V);
+      r_vc_ = VectorClock();  // dominated by w_vc_ (joined at lock())
+      st.inc();
+    }
+    mu_.unlock();
+  }
+
+  void lock_shared() {  // reader
+    mu_.lock_shared();
+    if constexpr (kInstrumented<D>) {
+      std::scoped_lock lk(vc_mu_);
+      rt_->self().join(w_vc_);
+    }
+  }
+
+  void unlock_shared() {
+    if constexpr (kInstrumented<D>) {
+      std::scoped_lock lk(vc_mu_);
+      ThreadState& st = rt_->self();
+      r_vc_.join(st.V);
+      st.inc();
+    }
+    mu_.unlock_shared();
+  }
+
+ private:
+  Runtime<D>* rt_;
+  std::shared_mutex mu_;
+  std::mutex vc_mu_;  // concurrent readers need their VC updates ordered
+  VectorClock w_vc_;
+  VectorClock r_vc_;
+};
+
+template <Detector D>
+class SharedGuard {
+ public:
+  explicit SharedGuard(SharedMutex<D>& m) : m_(&m) { m_->lock_shared(); }
+  ~SharedGuard() { m_->unlock_shared(); }
+  SharedGuard(const SharedGuard&) = delete;
+  SharedGuard& operator=(const SharedGuard&) = delete;
+
+ private:
+  SharedMutex<D>* m_;
+};
+
+/// Instrumented reentrant mutex. Nested acquires by the holder are not
+/// analysis events (RoadRunner filters reentrant monitor operations the
+/// same way) - only the outermost enter runs the acquire handler and only
+/// the outermost exit runs the release handler.
+template <Detector D>
+class RecursiveMutex {
+ public:
+  explicit RecursiveMutex(Runtime<D>& rt) : rt_(&rt) {}
+
+  void lock() {
+    mu_.lock();
+    if (depth_++ == 0) {
+      rt_->tool().acquire(rt_->self(), shadow_);
+    }
+  }
+
+  void unlock() {
+    VFT_CHECK(depth_ > 0);
+    if (--depth_ == 0) {
+      rt_->tool().release(rt_->self(), shadow_);
+    }
+    mu_.unlock();
+  }
+
+  /// Current nesting depth as seen by the holder (testing aid).
+  int depth() const { return depth_; }
+
+ private:
+  Runtime<D>* rt_;
+  std::recursive_mutex mu_;
+  // depth_ is only accessed while mu_ is held, i.e. by the owner.
+  int depth_ = 0;
+  LockState shadow_;
+};
+
+/// Once-initialization with the Section 7 static-initializer ordering: the
+/// initializer's effects happen-before every get(). After initialization
+/// the captured clock is immutable, so get() reads it with one acquire
+/// load and a lock-free join.
+template <typename T, Detector D>
+class Once {
+ public:
+  explicit Once(Runtime<D>& rt) : rt_(&rt) {}
+
+  /// Runs `init` exactly once (first caller); every caller returns the
+  /// value ordered after the initializer.
+  template <typename Fn>
+  T& get(Fn&& init) {
+    if (!ready_.load(std::memory_order_acquire)) {
+      std::scoped_lock lk(mu_);
+      if (!ready_.load(std::memory_order_relaxed)) {
+        value_ = init();
+        if constexpr (kInstrumented<D>) {
+          init_vc_.copy(rt_->self().V);
+          rt_->self().inc();  // initializer epoch closes, like a release
+        }
+        ready_.store(true, std::memory_order_release);
+      }
+    }
+    if constexpr (kInstrumented<D>) {
+      // init_vc_ is immutable once ready_: lock-free join is safe.
+      rt_->self().join(init_vc_);
+    }
+    return value_;
+  }
+
+  bool initialized() const { return ready_.load(std::memory_order_acquire); }
+
+ private:
+  Runtime<D>* rt_;
+  std::atomic<bool> ready_{false};
+  std::mutex mu_;
+  VectorClock init_vc_;
+  T value_{};
+};
+
+}  // namespace vft::rt

@@ -1,0 +1,108 @@
+// Instrumented fixed-size thread pool: the execution substrate of the
+// server-style DaCapo programs (tomcat/h2 use pools, not thread-per-task).
+// Happens-before is inherited from the instrumented queue lock and
+// condition variable: a task observes everything its submitter did before
+// submit(), and wait_idle()/the destructor observe everything every
+// completed task did - the same guarantees Java executors give via their
+// internal synchronization, expressed with this runtime's own primitives
+// so the detector sees every edge.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "runtime/instrument.h"
+
+namespace vft::rt {
+
+template <Detector D>
+class ThreadPool {
+ public:
+  ThreadPool(Runtime<D>& rt, std::uint32_t workers)
+      : rt_(&rt), mu_(rt), cv_(rt), idle_cv_(rt), accepting_(rt, 1),
+        pending_(rt, 0), active_(rt, 0) {
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      workers_.push_back(std::make_unique<Thread<D>>(rt, [this] { run(); }));
+    }
+  }
+
+  ~ThreadPool() { shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. The submitting thread's clock is published via the
+  /// queue lock, so the executing worker is ordered after the submitter.
+  void submit(std::function<void()> task) {
+    mu_.lock();
+    VFT_CHECK(accepting_.load() == 1);
+    queue_.push_back(std::move(task));
+    pending_.store(pending_.load() + 1);
+    mu_.unlock();
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished. The caller is ordered
+  /// after all of them (it re-acquires the queue lock last released by the
+  /// final worker).
+  void wait_idle() {
+    mu_.lock();
+    idle_cv_.wait(mu_, [&] {
+      return pending_.load() == 0 && active_.load() == 0;
+    });
+    mu_.unlock();
+  }
+
+  /// Stops accepting work, drains the queue, joins the workers. Idempotent.
+  void shutdown() {
+    if (workers_.empty()) return;
+    mu_.lock();
+    accepting_.store(0);
+    mu_.unlock();
+    cv_.notify_all();
+    for (auto& w : workers_) w->join();
+    workers_.clear();
+  }
+
+ private:
+  void run() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        mu_.lock();
+        cv_.wait(mu_, [&] {
+          return pending_.load() > 0 || accepting_.load() == 0;
+        });
+        if (pending_.load() == 0) {  // shutting down, queue drained
+          mu_.unlock();
+          return;
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        pending_.store(pending_.load() - 1);
+        active_.store(active_.load() + 1);
+        mu_.unlock();
+      }
+      task();
+      {
+        mu_.lock();
+        active_.store(active_.load() - 1);
+        mu_.unlock();
+        idle_cv_.notify_all();
+        cv_.notify_one();
+      }
+    }
+  }
+
+  Runtime<D>* rt_;
+  Mutex<D> mu_;
+  CondVar<D> cv_;       // workers wait for tasks
+  CondVar<D> idle_cv_;  // wait_idle() waits for drain
+  Var<int, D> accepting_;
+  Var<int, D> pending_;
+  Var<int, D> active_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  std::vector<std::unique_ptr<Thread<D>>> workers_;
+};
+
+}  // namespace vft::rt

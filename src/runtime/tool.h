@@ -1,0 +1,78 @@
+// Tool plumbing: the NullTool used for base-time measurement, and the
+// Runtime that binds a detector to a registry.
+//
+// Like RoadRunner, the runtime dispatches events to the tool inline in the
+// thread that performed the target operation; with a template parameter
+// the dispatch is static, so tool fast paths inline into the target code
+// (the C++ analogue of RoadRunner inlining fast-path handlers, Section 7).
+#pragma once
+
+#include <utility>
+
+#include "runtime/registry.h"
+#include "vft/detector.h"
+
+namespace vft::rt {
+
+/// The "no analysis" tool: every handler is a no-op that the optimizer
+/// erases. Targets instantiated with NullTool measure base running time
+/// (the denominator of the Table 1 overheads).
+class NullTool {
+ public:
+  static constexpr const char* kName = "none";
+
+  struct VarState {
+    std::uint64_t id = 0;
+  };
+
+  explicit NullTool(RaceCollector* = nullptr, RuleStats* = nullptr) {}
+
+  RaceCollector* races() const { return nullptr; }
+
+  bool read(ThreadState&, VarState&) { return true; }
+  bool write(ThreadState&, VarState&) { return true; }
+  void acquire(ThreadState&, LockState&) {}
+  void release(ThreadState&, LockState&) {}
+  void fork(ThreadState&, ThreadState&) {}
+  void join(ThreadState&, ThreadState&) {}
+};
+
+static_assert(Detector<NullTool>);
+
+/// One analysis session: a detector instance plus the thread registry it
+/// works against. Target wrappers (Var, Array, Mutex, Thread, ...) hold a
+/// pointer to their Runtime and route events through it.
+template <Detector D>
+class Runtime {
+ public:
+  using Tool = D;
+
+  explicit Runtime(D tool) : tool_(std::move(tool)) {}
+
+  D& tool() { return tool_; }
+  Registry& registry() { return registry_; }
+
+  /// The calling thread's state; the thread must be inside a ThreadScope
+  /// (MainScope or a runtime-spawned Thread).
+  ThreadState& self() {
+    ThreadState* ts = Registry::current();
+    VFT_CHECK(ts != nullptr);
+    return *ts;
+  }
+
+  /// RAII registration of the program's initial thread. The ThreadState is
+  /// owned by the registry; the scope only binds the thread_local.
+  class MainScope {
+   public:
+    explicit MainScope(Runtime& rt) : scope_(rt.registry_.create()) {}
+
+   private:
+    Registry::ThreadScope scope_;
+  };
+
+ private:
+  D tool_;
+  Registry registry_;
+};
+
+}  // namespace vft::rt

@@ -1,0 +1,105 @@
+#include "trace/feasibility.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vft::trace {
+
+namespace {
+
+struct ThreadInfo {
+  bool forked = false;       // appeared as fork target
+  bool joined = false;       // appeared as join target
+  bool ran = false;          // performed at least one operation
+  bool ran_since_fork = false;
+};
+
+}  // namespace
+
+std::optional<FeasibilityError> check_feasible(const Trace& trace) {
+  std::unordered_map<LockId, std::optional<Tid>> lock_holder;
+  std::unordered_map<Tid, ThreadInfo> threads;
+
+  auto fail = [](std::size_t i, std::string msg) {
+    return FeasibilityError{i, std::move(msg)};
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Op& op = trace[i];
+    if (op.t > Epoch::kMaxTid) {
+      return fail(i, "thread id exceeds epoch packing limit");
+    }
+    ThreadInfo& self = threads[op.t];
+    // Constraint (4), first half: a forked thread has no ops before its
+    // fork. Seeing an op from a thread that is later forked is caught when
+    // the fork arrives; here we catch ops after a join of this thread.
+    if (self.joined) {
+      return fail(i, "operation of thread " + std::to_string(op.t) +
+                         " after join on it");
+    }
+    self.ran = true;
+    self.ran_since_fork = true;
+
+    switch (op.kind) {
+      case OpKind::kRead:
+      case OpKind::kWrite:
+      case OpKind::kVolRead:
+      case OpKind::kVolWrite:  // volatiles carry no feasibility constraints
+        break;
+      case OpKind::kAcquire: {
+        std::optional<Tid>& holder = lock_holder[op.target];
+        if (holder.has_value()) {
+          return fail(i, "acquire of lock m" + std::to_string(op.target) +
+                             " already held by thread " +
+                             std::to_string(*holder));
+        }
+        holder = op.t;
+        break;
+      }
+      case OpKind::kRelease: {
+        std::optional<Tid>& holder = lock_holder[op.target];
+        if (!holder.has_value() || *holder != op.t) {
+          return fail(i, "release of lock m" + std::to_string(op.target) +
+                             " not held by thread " + std::to_string(op.t));
+        }
+        holder.reset();
+        break;
+      }
+      case OpKind::kFork: {
+        const Tid u = static_cast<Tid>(op.target);
+        if (u == op.t) return fail(i, "thread forks itself");
+        if (u > Epoch::kMaxTid) {
+          return fail(i, "forked thread id exceeds epoch packing limit");
+        }
+        ThreadInfo& child = threads[u];
+        if (child.forked) {
+          return fail(i, "thread " + std::to_string(u) + " forked twice");
+        }
+        if (child.ran) {
+          return fail(i, "thread " + std::to_string(u) +
+                             " has operations before its fork");
+        }
+        child.forked = true;
+        child.ran_since_fork = false;
+        break;
+      }
+      case OpKind::kJoin: {
+        const Tid u = static_cast<Tid>(op.target);
+        if (u == op.t) return fail(i, "thread joins itself");
+        ThreadInfo& child = threads[u];
+        if (!child.forked) {
+          return fail(i, "join on never-forked thread " + std::to_string(u));
+        }
+        if (!child.ran_since_fork) {
+          return fail(i, "no operation of thread " + std::to_string(u) +
+                             " between its fork and join");
+        }
+        child.joined = true;
+        break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vft::trace

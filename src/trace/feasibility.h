@@ -1,0 +1,37 @@
+// Feasibility checking for traces, per Section 2: a feasible trace
+// respects the usual constraints on forks, joins, and locking:
+//   (1) no thread acquires a lock previously acquired but not released,
+//   (2) no thread releases a lock it did not previously acquire,
+//   (3) each thread is forked at most once,
+//   (4) no instructions of thread u precede fork(t,u) or follow join(t',u),
+//   (5) at least one instruction of u lies between fork(t,u) and join(t',u).
+// We additionally reject self-forks/joins and joins on threads that were
+// never forked (the analysis rules presuppose the join target ran), and
+// bound thread ids by the epoch packing.
+//
+// Both the trace generator (which must only emit feasible traces) and the
+// property-test harness (which must only feed detectors feasible traces;
+// Theorem 3.1 is stated over feasible traces only) are validated with this
+// checker.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace vft::trace {
+
+struct FeasibilityError {
+  std::size_t index;    // offending operation
+  std::string message;  // which constraint broke and how
+};
+
+/// Returns nullopt when the trace is feasible, else the first violation.
+std::optional<FeasibilityError> check_feasible(const Trace& trace);
+
+inline bool is_feasible(const Trace& trace) {
+  return !check_feasible(trace).has_value();
+}
+
+}  // namespace vft::trace

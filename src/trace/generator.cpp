@@ -1,0 +1,157 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "vft/assert.h"
+
+namespace vft::trace {
+
+namespace {
+
+enum class ThreadPhase : std::uint8_t {
+  kActive,      // running, may emit ops
+  kNotStarted,  // available as a fork target
+  kFinished,    // terminated, available as a join target
+  kJoined,      // joined; emits nothing ever again
+};
+
+struct GenThread {
+  ThreadPhase phase = ThreadPhase::kNotStarted;
+  bool was_forked = false;
+  std::uint32_t ops_since_fork = 0;
+  std::vector<LockId> held;  // emitted acquires without matching release
+};
+
+}  // namespace
+
+Trace generate(const GeneratorConfig& config) {
+  VFT_CHECK(config.initial_threads >= 1);
+  const std::uint32_t total =
+      config.initial_threads + config.max_threads;
+  VFT_CHECK(total - 1 <= Epoch::kMaxTid);
+
+  std::mt19937_64 rng(config.seed);
+  auto chance = [&](double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+  };
+  auto pick = [&](std::uint32_t n) {
+    return std::uniform_int_distribution<std::uint32_t>(0, n - 1)(rng);
+  };
+
+  std::vector<GenThread> threads(total);
+  for (std::uint32_t i = 0; i < config.initial_threads; ++i) {
+    threads[i].phase = ThreadPhase::kActive;
+    threads[i].ops_since_fork = 1;  // initial threads are never joined-gated
+  }
+
+  // Guard lock per variable; disciplined vars always access under it.
+  const std::uint32_t nlocks = std::max(config.locks, 1u);
+  auto guard_of = [&](VarId x) { return static_cast<LockId>(x % nlocks); };
+  std::vector<bool> disciplined(config.vars);
+  for (std::uint32_t x = 0; x < config.vars; ++x) {
+    disciplined[x] = chance(config.disciplined_fraction);
+  }
+
+  std::vector<std::optional<Tid>> lock_holder(nlocks);
+
+  Trace out;
+  out.reserve(config.ops);
+  auto emit = [&](Op op) {
+    out.push_back(op);
+    threads[op.t].ops_since_fork++;
+  };
+
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = static_cast<std::size_t>(config.ops) * 50 + 1000;
+  while (out.size() < config.ops && attempts++ < max_attempts) {
+    // Pick a random active thread.
+    std::vector<Tid> active;
+    for (Tid t = 0; t < total; ++t) {
+      if (threads[t].phase == ThreadPhase::kActive) active.push_back(t);
+    }
+    if (active.empty()) break;
+    const Tid t = active[pick(static_cast<std::uint32_t>(active.size()))];
+    GenThread& self = threads[t];
+
+    if (chance(config.sync_fraction)) {
+      if (chance(config.fork_join_fraction)) {
+        // Try fork, then termination, then join.
+        std::vector<Tid> forkable;
+        std::vector<Tid> joinable;
+        for (Tid u = 0; u < total; ++u) {
+          if (threads[u].phase == ThreadPhase::kNotStarted) forkable.push_back(u);
+          if (threads[u].phase == ThreadPhase::kFinished) joinable.push_back(u);
+        }
+        const double which =
+            std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+        if (which < 0.4 && !forkable.empty()) {
+          const Tid u = forkable[pick(static_cast<std::uint32_t>(forkable.size()))];
+          emit(fork(t, u));
+          threads[u].phase = ThreadPhase::kActive;
+          threads[u].was_forked = true;
+          threads[u].ops_since_fork = 0;
+        } else if (which < 0.7 && !joinable.empty()) {
+          const Tid u = joinable[pick(static_cast<std::uint32_t>(joinable.size()))];
+          emit(join(t, u));
+          threads[u].phase = ThreadPhase::kJoined;
+        } else if (self.was_forked && self.ops_since_fork >= 1 &&
+                   self.held.empty() && active.size() >= 2) {
+          // Terminate (emit nothing); becomes a join target. Constraint
+          // (5) is met: ops_since_fork >= 1.
+          self.phase = ThreadPhase::kFinished;
+        }
+        continue;
+      }
+      if (config.volatiles > 0 && chance(config.volatile_fraction)) {
+        const std::uint64_t v = pick(config.volatiles);
+        emit(chance(0.5) ? vrd(t, v) : vwr(t, v));
+        continue;
+      }
+      // Lock op: release something held, else acquire something free.
+      if (!self.held.empty() && chance(0.6)) {
+        const std::size_t k = pick(static_cast<std::uint32_t>(self.held.size()));
+        const LockId m = self.held[k];
+        self.held.erase(self.held.begin() + static_cast<std::ptrdiff_t>(k));
+        lock_holder[m].reset();
+        emit(rel(t, m));
+      } else {
+        const LockId m = pick(nlocks);
+        if (!lock_holder[m].has_value()) {
+          lock_holder[m] = t;
+          self.held.push_back(m);
+          emit(acq(t, m));
+        }
+      }
+      continue;
+    }
+
+    // Memory access.
+    if (config.vars == 0) continue;
+    const VarId x = pick(config.vars);
+    const bool is_read = chance(config.read_fraction);
+    if (disciplined[x]) {
+      const LockId m = guard_of(x);
+      const bool already_held = lock_holder[m].has_value() && *lock_holder[m] == t;
+      if (!already_held) {
+        if (lock_holder[m].has_value()) continue;  // guard busy; try later
+        lock_holder[m] = t;
+        self.held.push_back(m);
+        emit(acq(t, m));
+      }
+      emit(is_read ? rd(t, x) : wr(t, x));
+      if (!already_held) {
+        lock_holder[m].reset();
+        self.held.erase(
+            std::find(self.held.begin(), self.held.end(), m));
+        emit(rel(t, m));
+      }
+    } else {
+      emit(is_read ? rd(t, x) : wr(t, x));
+    }
+  }
+  return out;
+}
+
+}  // namespace vft::trace

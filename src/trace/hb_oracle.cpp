@@ -1,0 +1,181 @@
+#include "trace/hb_oracle.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vft/assert.h"
+
+namespace vft::trace {
+
+namespace {
+
+/// Plain integer vector clock (no epochs - this oracle deliberately shares
+/// no machinery with the analysis under test).
+struct IntVC {
+  std::vector<std::uint64_t> v;
+
+  std::uint64_t get(std::size_t i) const { return i < v.size() ? v[i] : 0; }
+  void set(std::size_t i, std::uint64_t val) {
+    if (v.size() <= i) v.resize(i + 1, 0);
+    v[i] = val;
+  }
+  void join(const IntVC& o) {
+    if (v.size() < o.v.size()) v.resize(o.v.size(), 0);
+    for (std::size_t i = 0; i < o.v.size(); ++i) v[i] = std::max(v[i], o.v[i]);
+  }
+};
+
+struct Access {
+  std::size_t index;
+  Tid t;
+  bool is_write;
+  IntVC ts;
+};
+
+}  // namespace
+
+HbResult analyze(const Trace& trace) {
+  std::unordered_map<Tid, IntVC> threads;
+  std::unordered_map<LockId, IntVC> locks;
+  std::unordered_map<std::uint64_t, IntVC> volatiles;
+  std::unordered_map<VarId, std::vector<Access>> accesses;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Op& op = trace[i];
+    threads[op.t];  // materialize before taking references
+
+    // Pre-op joins: this op happens after the joined-from event. Copies
+    // avoid holding references across same-map insertions (rehashing).
+    if (op.kind == OpKind::kAcquire) {
+      const IntVC lm = locks[op.target];
+      threads.at(op.t).join(lm);
+    }
+    if (op.kind == OpKind::kJoin) {
+      const IntVC cu = threads[static_cast<Tid>(op.target)];
+      threads.at(op.t).join(cu);
+    }
+    if (op.kind == OpKind::kVolRead) {
+      const IntVC vv = volatiles[op.target];
+      threads.at(op.t).join(vv);
+    }
+
+    // Tick and timestamp: each operation gets a unique VC.
+    IntVC& ct2 = threads.at(op.t);
+    ct2.set(op.t, ct2.get(op.t) + 1);
+    const IntVC ts = ct2;
+
+    // Post-op propagation: later events on the edge target happen after
+    // this op (so the copy happens after the timestamp tick).
+    if (op.kind == OpKind::kRelease) locks[op.target] = ts;
+    if (op.kind == OpKind::kVolWrite) volatiles[op.target].join(ts);
+    if (op.kind == OpKind::kFork) {
+      threads[static_cast<Tid>(op.target)].join(ts);
+    }
+
+    if (op.kind == OpKind::kRead || op.kind == OpKind::kWrite) {
+      const bool is_write = op.kind == OpKind::kWrite;
+      std::vector<Access>& hist = accesses[op.target];
+      for (const Access& a : hist) {
+        if (!a.is_write && !is_write) continue;  // read-read never conflicts
+        // a happens-before this op iff ts(a)[thread(a)] <= ts[thread(a)].
+        if (a.ts.get(a.t) <= ts.get(a.t)) continue;
+        return HbResult{RacePair{a.index, i}};
+      }
+      hist.push_back(Access{i, op.t, is_write, ts});
+    }
+  }
+  return HbResult{std::nullopt};
+}
+
+HbResult analyze_closure(const Trace& trace) {
+  const std::size_t n = trace.size();
+  const std::size_t words = (n + 63) / 64;
+  // reach[i] = set of indices j with j happens-before i (j < i).
+  std::vector<std::vector<std::uint64_t>> reach(n);
+
+  std::unordered_map<Tid, std::size_t> last_of_thread;
+  std::unordered_map<LockId, std::size_t> last_release;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> vol_writes;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    VFT_ASSERT(from < to);
+    std::vector<std::uint64_t>& r = reach[to];
+    const std::vector<std::uint64_t>& src = reach[from];
+    for (std::size_t w = 0; w < src.size(); ++w) r[w] |= src[w];
+    r[from / 64] |= std::uint64_t{1} << (from % 64);
+  };
+
+  std::unordered_map<Tid, std::size_t> pending_fork;  // child -> fork index
+
+  for (std::size_t i = 0; i < n; ++i) {
+    reach[i].assign(words, 0);
+    const Op& op = trace[i];
+
+    auto it = last_of_thread.find(op.t);
+    if (it != last_of_thread.end()) add_edge(it->second, i);  // program order
+
+    // fork(t,u) happens-before every op of u: edge to u's first op, then
+    // u's program order plus transitivity covers the rest.
+    auto pf = pending_fork.find(op.t);
+    if (pf != pending_fork.end()) {
+      add_edge(pf->second, i);
+      pending_fork.erase(pf);
+    }
+
+    switch (op.kind) {
+      case OpKind::kAcquire: {
+        auto lr = last_release.find(op.target);
+        if (lr != last_release.end() && lr->second != kNone) {
+          add_edge(lr->second, i);
+        }
+        break;
+      }
+      case OpKind::kRelease:
+        last_release[op.target] = i;
+        break;
+      case OpKind::kFork:
+        pending_fork[static_cast<Tid>(op.target)] = i;
+        break;
+      case OpKind::kJoin: {
+        // Every op of u happens-before join(t,u): edge from u's last op.
+        auto lu = last_of_thread.find(static_cast<Tid>(op.target));
+        if (lu != last_of_thread.end()) add_edge(lu->second, i);
+        break;
+      }
+      case OpKind::kVolWrite:
+        vol_writes[op.target].push_back(i);
+        break;
+      case OpKind::kVolRead: {
+        // Every earlier volatile write happens-before this read. (Writes
+        // do not order each other, so each needs its own edge.)
+        for (const std::size_t w : vol_writes[op.target]) add_edge(w, i);
+        break;
+      }
+      default:
+        break;
+    }
+    last_of_thread[op.t] = i;
+  }
+
+  auto ordered = [&](std::size_t a, std::size_t b) {
+    return (reach[b][a / 64] >> (a % 64)) & 1;
+  };
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const Op& b = trace[j];
+    if (b.kind != OpKind::kRead && b.kind != OpKind::kWrite) continue;
+    for (std::size_t i = 0; i < j; ++i) {
+      const Op& a = trace[i];
+      if (a.kind != OpKind::kRead && a.kind != OpKind::kWrite) continue;
+      if (a.target != b.target) continue;
+      if (a.kind == OpKind::kRead && b.kind == OpKind::kRead) continue;
+      if (!ordered(i, j)) return HbResult{RacePair{i, j}};
+    }
+  }
+  return HbResult{std::nullopt};
+}
+
+}  // namespace vft::trace

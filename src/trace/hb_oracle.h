@@ -1,0 +1,48 @@
+// Gold-standard happens-before race oracle over the Section 2 trace
+// language, used to validate Theorem 3.1 (the analysis reports an error
+// iff the trace has a race) against the specification and, transitively,
+// against every detector.
+//
+// Two independent implementations are provided and cross-checked in the
+// test suite:
+//
+//   - analyze(): the classic Mattern-style per-operation vector-clock
+//     timestamping (O(n * T)), finding the earliest operation that races
+//     with an earlier conflicting access;
+//   - analyze_closure(): an explicit happens-before DAG (program order,
+//     release->acquire per lock, fork->child op, child op->join edges)
+//     with transitive-closure reachability (O(n^2) and up), structurally
+//     as close to the Section 2 definition as code gets.
+//
+// Neither uses epochs or any FastTrack machinery, so agreement with the
+// specification is meaningful evidence, not a shared-bug tautology.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "trace/trace.h"
+
+namespace vft::trace {
+
+struct RacePair {
+  std::size_t first;   // index of the earlier access
+  std::size_t second;  // index of the racing (later) access
+};
+
+struct HbResult {
+  /// The earliest operation (by trace index of the *second* access) that
+  /// races with some earlier conflicting access; nullopt if race-free.
+  std::optional<RacePair> first_race;
+
+  bool race_free() const { return !first_race.has_value(); }
+};
+
+/// Vector-clock timestamping oracle. Precondition: trace is feasible.
+HbResult analyze(const Trace& trace);
+
+/// Transitive-closure oracle. Precondition: trace is feasible. Quadratic
+/// in trace length and intended for traces up to a few thousand ops.
+HbResult analyze_closure(const Trace& trace);
+
+}  // namespace vft::trace

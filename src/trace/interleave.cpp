@@ -1,0 +1,139 @@
+#include "trace/interleave.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "vft/assert.h"
+
+namespace vft::trace {
+
+namespace {
+
+struct EnumState {
+  std::vector<ThreadProgram> programs;
+  std::vector<std::size_t> pc;          // next op per thread
+  std::vector<bool> started;            // false while a fork is pending
+  std::vector<bool> joined;             // true after some join(t, u)
+  std::unordered_map<LockId, std::optional<Tid>> lock_holder;
+  Trace current;
+  std::size_t count = 0;
+  const std::function<void(const Trace&)>* visit = nullptr;
+};
+
+bool exhausted(const EnumState& s, Tid t) {
+  return s.pc[t] >= s.programs[t].size();
+}
+
+/// Whether thread t's next op can be scheduled now.
+bool schedulable(const EnumState& s, Tid t) {
+  if (!s.started[t] || s.joined[t] || exhausted(s, t)) return false;
+  const Op& op = s.programs[t][s.pc[t]];
+  switch (op.kind) {
+    case OpKind::kAcquire: {
+      const auto it = s.lock_holder.find(op.target);
+      return it == s.lock_holder.end() || !it->second.has_value();
+    }
+    case OpKind::kRelease: {
+      const auto it = s.lock_holder.find(op.target);
+      return it != s.lock_holder.end() && it->second == t;
+    }
+    case OpKind::kFork: {
+      const Tid u = static_cast<Tid>(op.target);
+      return u < s.programs.size() && !s.started[u] && s.pc[u] == 0;
+    }
+    case OpKind::kJoin: {
+      const Tid u = static_cast<Tid>(op.target);
+      // Block until the target ran at least one op and finished its
+      // program (constraints (4) and (5) of Section 2).
+      return u < s.programs.size() && s.started[u] && !s.joined[u] &&
+             !s.programs[u].empty() && exhausted(s, u);
+    }
+    default:
+      return true;
+  }
+}
+
+void recurse(EnumState& s) {
+  bool any = false;
+  for (Tid t = 0; t < s.programs.size(); ++t) {
+    if (!schedulable(s, t)) continue;
+    any = true;
+    Op op = s.programs[t][s.pc[t]];
+    op.t = t;
+    // Apply.
+    s.pc[t]++;
+    s.current.push_back(op);
+    std::optional<Tid> saved_holder;
+    switch (op.kind) {
+      case OpKind::kAcquire:
+        saved_holder = s.lock_holder[op.target];
+        s.lock_holder[op.target] = t;
+        break;
+      case OpKind::kRelease:
+        saved_holder = s.lock_holder[op.target];
+        s.lock_holder[op.target].reset();
+        break;
+      case OpKind::kFork:
+        s.started[static_cast<Tid>(op.target)] = true;
+        break;
+      case OpKind::kJoin:
+        s.joined[static_cast<Tid>(op.target)] = true;
+        break;
+      default:
+        break;
+    }
+    recurse(s);
+    // Undo.
+    switch (op.kind) {
+      case OpKind::kAcquire:
+      case OpKind::kRelease:
+        s.lock_holder[op.target] = saved_holder;
+        break;
+      case OpKind::kFork:
+        s.started[static_cast<Tid>(op.target)] = false;
+        break;
+      case OpKind::kJoin:
+        s.joined[static_cast<Tid>(op.target)] = false;
+        break;
+      default:
+        break;
+    }
+    s.current.pop_back();
+    s.pc[t]--;
+  }
+  if (!any) {
+    // Either complete or deadlocked mid-way; only visit complete merges.
+    for (Tid t = 0; t < s.programs.size(); ++t) {
+      if (s.started[t] && !exhausted(s, t)) return;  // deadlock: skip
+    }
+    ++s.count;
+    (*s.visit)(s.current);
+  }
+}
+
+}  // namespace
+
+std::size_t for_each_interleaving(
+    std::vector<ThreadProgram> programs,
+    const std::function<void(const Trace&)>& visit) {
+  VFT_CHECK(programs.size() <= Epoch::kMaxTid);
+  EnumState s;
+  s.programs = std::move(programs);
+  s.pc.assign(s.programs.size(), 0);
+  // A thread is initially started unless some program forks it.
+  s.started.assign(s.programs.size(), true);
+  for (const ThreadProgram& p : s.programs) {
+    for (const Op& op : p) {
+      if (op.kind == OpKind::kFork) {
+        const Tid u = static_cast<Tid>(op.target);
+        if (u < s.started.size()) s.started[u] = false;
+      }
+    }
+  }
+  s.joined.assign(s.programs.size(), false);
+  s.visit = &visit;
+  recurse(s);
+  return s.count;
+}
+
+}  // namespace vft::trace

@@ -1,0 +1,37 @@
+// Exhaustive interleaving enumeration for small concurrent programs: given
+// per-thread operation sequences, produce *every* feasible merge (schedule)
+// as a trace. Where the random generator samples the schedule space, this
+// explorer covers it - the engine behind the small-scope exhaustive form
+// of the Theorem 3.1 tests (every schedule of a program template, every
+// detector, every verdict checked against the oracle).
+//
+// Feasibility pruning: a thread whose next operation acquires a held lock
+// is not schedulable at that point; fork/join targets must respect the
+// Section 2 constraints (the caller's per-thread programs express forks
+// and joins like any other op; enumeration only schedules a thread's ops
+// after its fork and stops scheduling after it is joined - callers are
+// expected to provide programs whose joins come after the target thread's
+// last op in every schedule, which the enumerator enforces by blocking a
+// join until the target thread's program is exhausted).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace vft::trace {
+
+/// One thread's program: the ops it performs, in order. The op's `t` field
+/// is ignored on input (set from the program's position).
+using ThreadProgram = std::vector<Op>;
+
+/// Calls `visit` once per feasible interleaving. Returns the number of
+/// interleavings visited. Threads [0, programs.size()) exist from the
+/// start unless some program forks them (a thread with a pending fork
+/// cannot run before it).
+std::size_t for_each_interleaving(
+    std::vector<ThreadProgram> programs,
+    const std::function<void(const Trace&)>& visit);
+
+}  // namespace vft::trace

@@ -1,0 +1,66 @@
+#include "trace/minimize.h"
+
+#include <vector>
+
+#include "trace/feasibility.h"
+#include "trace/hb_oracle.h"
+
+namespace vft::trace {
+
+namespace {
+
+bool still_racy(const Trace& t, std::size_t* calls) {
+  ++*calls;
+  return is_feasible(t) && !analyze(t).race_free();
+}
+
+/// Remove indices [lo, hi) from t.
+Trace without_range(const Trace& t, std::size_t lo, std::size_t hi) {
+  Trace out;
+  out.reserve(t.size() - (hi - lo));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i < lo || i >= hi) out.push_back(t[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize_racy_trace(const Trace& input) {
+  MinimizeResult result;
+  result.trace = input;
+  if (!still_racy(result.trace, &result.oracle_calls)) {
+    return result;  // nothing to do (precondition violated)
+  }
+
+  // ddmin-style: try removing geometrically shrinking chunks, then single
+  // operations until a fixed point (1-minimality).
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    std::size_t chunk = std::max<std::size_t>(result.trace.size() / 2, 1);
+    while (chunk >= 1) {
+      bool removed_at_this_size = false;
+      // Scan from the back: later ops are more often droppable (everything
+      // after the racing access is irrelevant).
+      for (std::size_t hi = result.trace.size(); hi >= chunk; --hi) {
+        const std::size_t lo = hi - chunk;
+        Trace candidate = without_range(result.trace, lo, hi);
+        if (still_racy(candidate, &result.oracle_calls)) {
+          result.trace = std::move(candidate);
+          removed_at_this_size = true;
+          shrunk = true;
+          hi = result.trace.size() + 1;  // restart the scan (post --hi)
+        }
+        if (result.trace.size() < chunk) break;
+      }
+      if (!removed_at_this_size) {
+        if (chunk == 1) break;
+        chunk /= 2;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vft::trace

@@ -1,0 +1,27 @@
+// Trace minimization: shrink a racy feasible trace to a locally minimal
+// racy subsequence - the delta-debugging step of the race-triage workflow
+// (take the enormous trace behind a report, cut it down to the handful of
+// operations that actually constitute the race, then read it).
+//
+// The predicate for "still interesting" is: feasible AND the HB oracle
+// still finds a race. Minimization preserves subsequence-ness, so every
+// operation in the output appeared in the input in the same order.
+#pragma once
+
+#include "trace/trace.h"
+
+namespace vft::trace {
+
+struct MinimizeResult {
+  Trace trace;             // locally minimal racy subsequence
+  std::size_t oracle_calls = 0;  // work accounting (for tests/telemetry)
+};
+
+/// Precondition: `input` is feasible and races (checked; returns the input
+/// unchanged with oracle_calls = 1 if it does not race).
+/// Postcondition: the result is feasible, races, is a subsequence of the
+/// input, and removing any single remaining operation either breaks
+/// feasibility or the race (1-minimality).
+MinimizeResult minimize_racy_trace(const Trace& input);
+
+}  // namespace vft::trace

@@ -1,0 +1,45 @@
+#include "trace/replay.h"
+
+namespace vft::trace {
+
+SpecReplayResult replay_spec(const Trace& trace, Spec& spec) {
+  SpecReplayResult out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Op& op = trace[i];
+    Spec::StepResult r{};
+    switch (op.kind) {
+      case OpKind::kRead:
+        r = spec.on_read(op.t, op.target);
+        break;
+      case OpKind::kWrite:
+        r = spec.on_write(op.t, op.target);
+        break;
+      case OpKind::kAcquire:
+        r = spec.on_acquire(op.t, op.target);
+        break;
+      case OpKind::kRelease:
+        r = spec.on_release(op.t, op.target);
+        break;
+      case OpKind::kFork:
+        r = spec.on_fork(op.t, static_cast<Tid>(op.target));
+        break;
+      case OpKind::kJoin:
+        r = spec.on_join(op.t, static_cast<Tid>(op.target));
+        break;
+      case OpKind::kVolRead:
+        r = spec.on_vol_read(op.t, op.target);
+        break;
+      case OpKind::kVolWrite:
+        r = spec.on_vol_write(op.t, op.target);
+        break;
+    }
+    out.rules.push_back(r.rule);
+    if (r.error) {
+      out.error_index = i;
+      break;  // Figure 2: the analysis stops at Error
+    }
+  }
+  return out;
+}
+
+}  // namespace vft::trace

@@ -1,0 +1,137 @@
+#include "trace/trace.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace vft::trace {
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kRead: return "rd";
+    case OpKind::kWrite: return "wr";
+    case OpKind::kAcquire: return "acq";
+    case OpKind::kRelease: return "rel";
+    case OpKind::kFork: return "fork";
+    case OpKind::kJoin: return "join";
+    case OpKind::kVolRead: return "vrd";
+    case OpKind::kVolWrite: return "vwr";
+  }
+  return "?";
+}
+
+std::string Op::str() const {
+  std::string out = op_kind_name(kind);
+  out += "(";
+  out += std::to_string(t);
+  out += ",";
+  switch (kind) {
+    case OpKind::kRead:
+    case OpKind::kWrite:
+      out += "x";
+      break;
+    case OpKind::kAcquire:
+    case OpKind::kRelease:
+      out += "m";
+      break;
+    case OpKind::kVolRead:
+    case OpKind::kVolWrite:
+      out += "v";
+      break;
+    default:
+      break;
+  }
+  out += std::to_string(target);
+  out += ")";
+  return out;
+}
+
+std::string to_string(const Trace& trace) {
+  std::string out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i != 0) out += "; ";
+    out += trace[i].str();
+  }
+  return out;
+}
+
+namespace {
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (std::isspace(static_cast<unsigned char>(s[i])) != 0)) {
+    ++i;
+  }
+}
+
+bool parse_number(const std::string& s, std::size_t& i, std::uint64_t* out) {
+  if (i >= s.size() || std::isdigit(static_cast<unsigned char>(s[i])) == 0) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])) != 0) {
+    v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+    ++i;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse(const std::string& text, Trace* out) {
+  out->clear();
+  std::size_t i = 0;
+  for (;;) {
+    skip_ws(text, i);
+    if (i >= text.size()) return true;
+    std::size_t start = i;
+    while (i < text.size() && std::isalpha(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+    const std::string name = text.substr(start, i - start);
+    OpKind kind;
+    if (name == "rd") {
+      kind = OpKind::kRead;
+    } else if (name == "wr") {
+      kind = OpKind::kWrite;
+    } else if (name == "acq") {
+      kind = OpKind::kAcquire;
+    } else if (name == "rel") {
+      kind = OpKind::kRelease;
+    } else if (name == "fork") {
+      kind = OpKind::kFork;
+    } else if (name == "join") {
+      kind = OpKind::kJoin;
+    } else if (name == "vrd") {
+      kind = OpKind::kVolRead;
+    } else if (name == "vwr") {
+      kind = OpKind::kVolWrite;
+    } else {
+      return false;
+    }
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != '(') return false;
+    ++i;
+    skip_ws(text, i);
+    std::uint64_t tid = 0;
+    if (!parse_number(text, i, &tid)) return false;
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != ',') return false;
+    ++i;
+    skip_ws(text, i);
+    // Optional sigil: 'x' before variables, 'm' before locks.
+    if (i < text.size() &&
+        (text[i] == 'x' || text[i] == 'm' || text[i] == 'v')) {
+      ++i;
+    }
+    std::uint64_t target = 0;
+    if (!parse_number(text, i, &target)) return false;
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != ')') return false;
+    ++i;
+    out->push_back(Op{kind, static_cast<Tid>(tid), target});
+    skip_ws(text, i);
+    if (i < text.size() && text[i] == ';') ++i;
+  }
+}
+
+}  // namespace vft::trace

@@ -1,0 +1,69 @@
+// The Section 2 trace language: a trace is a sequence of operations
+//
+//   rd(t,x) | wr(t,x) | acq(t,m) | rel(t,m) | fork(t,u) | join(t,u)
+//
+// over thread ids t,u, variables x, and locks m. Traces are the lingua
+// franca of the testing half of this repo: the generator produces them,
+// the feasibility checker validates them, the HB oracle classifies them,
+// and the replayer drives the specification and every detector with them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vft/epoch.h"
+#include "vft/spec.h"
+
+namespace vft::trace {
+
+enum class OpKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kAcquire,
+  kRelease,
+  kFork,
+  kJoin,
+  // Volatile accesses (Section 7, "Additional Synchronization
+  // Primitives"): synchronization operations, not data accesses - a
+  // volatile write publishes the writer's clock into the variable, a
+  // volatile read acquires the accumulated writer clocks. They never race.
+  kVolRead,
+  kVolWrite,
+};
+
+const char* op_kind_name(OpKind k);
+
+struct Op {
+  OpKind kind;
+  Tid t;
+  /// Operand: VarId for rd/wr, LockId for acq/rel, Tid for fork/join,
+  /// volatile id for vrd/vwr.
+  std::uint64_t target;
+
+  friend bool operator==(const Op&, const Op&) = default;
+
+  /// "rd(0,x3)", "acq(1,m0)", "fork(0,1)", ...
+  std::string str() const;
+};
+
+using Trace = std::vector<Op>;
+
+// Convenience constructors, mirroring the paper's concrete syntax.
+inline Op rd(Tid t, VarId x) { return {OpKind::kRead, t, x}; }
+inline Op wr(Tid t, VarId x) { return {OpKind::kWrite, t, x}; }
+inline Op acq(Tid t, LockId m) { return {OpKind::kAcquire, t, m}; }
+inline Op rel(Tid t, LockId m) { return {OpKind::kRelease, t, m}; }
+inline Op fork(Tid t, Tid u) { return {OpKind::kFork, t, u}; }
+inline Op join(Tid t, Tid u) { return {OpKind::kJoin, t, u}; }
+inline Op vrd(Tid t, std::uint64_t v) { return {OpKind::kVolRead, t, v}; }
+inline Op vwr(Tid t, std::uint64_t v) { return {OpKind::kVolWrite, t, v}; }
+
+/// Renders "rd(0,x1); wr(1,x1)" etc.
+std::string to_string(const Trace& trace);
+
+/// Parses the to_string format (used by golden tests and examples).
+/// Returns false on malformed input.
+bool parse(const std::string& text, Trace* out);
+
+}  // namespace vft::trace

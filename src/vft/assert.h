@@ -1,0 +1,40 @@
+// Internal invariant checking for the VerifiedFT library.
+//
+// VFT_ASSERT guards internal invariants (epoch well-formedness, discipline
+// obligations). It is compiled in unless NDEBUG is set, and can be forced
+// back on in optimized builds with -DVFT_FORCE_ASSERTS (the test suite does
+// this so that RelWithDebInfo test runs still check invariants).
+//
+// VFT_CHECK guards public API misuse (e.g. exceeding the maximum thread id)
+// and is always on; the cost is a predictable branch off the fast path.
+//
+// Race detection itself is never expressed with these macros: races are
+// expected outcomes and flow through vft::RaceReport.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vft::detail {
+
+[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace vft::detail
+
+#define VFT_CHECK(expr)                                                \
+  ((expr) ? (void)0                                                    \
+          : ::vft::detail::assert_fail("VFT_CHECK", #expr, __FILE__,   \
+                                       __LINE__))
+
+#if !defined(NDEBUG) || defined(VFT_FORCE_ASSERTS)
+#define VFT_ASSERT(expr)                                               \
+  ((expr) ? (void)0                                                    \
+          : ::vft::detail::assert_fail("VFT_ASSERT", #expr, __FILE__,  \
+                                       __LINE__))
+#else
+#define VFT_ASSERT(expr) ((void)0)
+#endif

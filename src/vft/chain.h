@@ -1,0 +1,71 @@
+// Chain<D1, D2>: run two detectors over the same event stream, RoadRunner
+// tool-chaining style (RoadRunner composes tools in a pipeline; every
+// event flows through each). Each component keeps its own VarState, so the
+// pair observe identical events with independent analysis state - the
+// online form of the differential testing the trace harness does offline
+// (e.g. Chain<VftV2, FtCas> cross-checks the two on a live target; the
+// collectors record which one saw what).
+//
+// The composite verdict is the conjunction: an access is clean only if
+// both components said so.
+#pragma once
+
+#include "vft/detector_base.h"
+
+namespace vft {
+
+template <typename D1, typename D2>
+class Chain {
+ public:
+  static constexpr const char* kName = "Chain";
+
+  struct VarState {
+    typename D1::VarState first;
+    typename D2::VarState second;
+    std::uint64_t id = 0;
+  };
+
+  Chain(D1 first, D2 second)
+      : first_(std::move(first)), second_(std::move(second)) {}
+
+  /// Convenience: both components share collector and stats sinks.
+  explicit Chain(RaceCollector* races = nullptr, RuleStats* stats = nullptr)
+      : first_(races, stats), second_(races, stats) {}
+
+  bool read(ThreadState& st, VarState& sx) {
+    propagate_id(sx);
+    const bool a = first_.read(st, sx.first);
+    const bool b = second_.read(st, sx.second);
+    return a && b;
+  }
+
+  bool write(ThreadState& st, VarState& sx) {
+    propagate_id(sx);
+    const bool a = first_.write(st, sx.first);
+    const bool b = second_.write(st, sx.second);
+    return a && b;
+  }
+
+  // Sync handlers mutate the *shared* ThreadState/LockState; running both
+  // components would double-apply the clock algebra, so exactly one owns
+  // the synchronization bookkeeping (they all implement the identical
+  // Figure 3 handlers - see DetectorBase).
+  void acquire(ThreadState& st, LockState& sm) { first_.acquire(st, sm); }
+  void release(ThreadState& st, LockState& sm) { first_.release(st, sm); }
+  void fork(ThreadState& st, ThreadState& su) { first_.fork(st, su); }
+  void join(ThreadState& st, ThreadState& su) { first_.join(st, su); }
+
+  D1& first() { return first_; }
+  D2& second() { return second_; }
+
+ private:
+  void propagate_id(VarState& sx) {
+    sx.first.id = sx.id;
+    sx.second.id = sx.id;
+  }
+
+  D1 first_;
+  D2 second_;
+};
+
+}  // namespace vft

@@ -1,0 +1,79 @@
+// Umbrella header and compile-time plumbing for the detector family.
+//
+// A Detector is any type exposing:
+//   - nested VarState (default-constructible, with a public `id` field),
+//   - bool read(ThreadState&, VarState&), bool write(...),
+//   - void acquire/release(ThreadState&, LockState&),
+//   - void fork/join(ThreadState&, ThreadState&),
+//   - a constructor (RaceCollector*, RuleStats*),
+//   - static constexpr const char* kName.
+// Handlers return false iff they detected (and reported) a race.
+//
+// Kernels, benches, and the trace replayer are templates over this concept,
+// so the per-access dispatch is static - the C++ analogue of RoadRunner
+// inlining tool fast paths into the target (Section 7).
+#pragma once
+
+#include <concepts>
+
+#include "vft/detector_base.h"
+#include "vft/djit.h"
+#include "vft/ft_cas.h"
+#include "vft/ft_mutex.h"
+#include "vft/vft_v1.h"
+#include "vft/vft_v15.h"
+#include "vft/vft_v2.h"
+
+namespace vft {
+
+template <typename D>
+concept Detector = requires(D d, ThreadState& st, ThreadState& su,
+                            LockState& sm, typename D::VarState& sx) {
+  { d.read(st, sx) } -> std::same_as<bool>;
+  { d.write(st, sx) } -> std::same_as<bool>;
+  d.acquire(st, sm);
+  d.release(st, sm);
+  d.fork(st, su);
+  d.join(st, su);
+  { D::kName } -> std::convertible_to<const char*>;
+};
+
+static_assert(Detector<VftV1>);
+static_assert(Detector<VftV15>);
+static_assert(Detector<VftV2>);
+static_assert(Detector<FtMutex>);
+static_assert(Detector<FtCas>);
+static_assert(Detector<Djit>);
+
+/// Invoke fn once per detector type, passing a freshly constructed
+/// detector. fn receives (detector&) and must be a generic callable.
+/// Used by differential tests to cover the whole family.
+template <typename Fn>
+void for_each_detector(RaceCollector* races, RuleStats* stats, Fn&& fn) {
+  {
+    VftV1 d(races, stats);
+    fn(d);
+  }
+  {
+    VftV15 d(races, stats);
+    fn(d);
+  }
+  {
+    VftV2 d(races, stats);
+    fn(d);
+  }
+  {
+    FtMutex d(races, stats);
+    fn(d);
+  }
+  {
+    FtCas d(races, stats);
+    fn(d);
+  }
+  {
+    Djit d(races, stats);
+    fn(d);
+  }
+}
+
+}  // namespace vft

@@ -1,0 +1,104 @@
+// Pieces shared by every detector variant.
+//
+// The four synchronization handlers (Figure 3 lines 102-118) are identical
+// across all variants - they touch only ThreadState and LockState, whose
+// discipline never changes between v1 and v2:
+//
+//   acquire: runs *after* the target acquires m, so sm.V is protected by m.
+//   release: runs *before* the target releases m.
+//   fork:    runs in the forking thread *before* the target thread starts,
+//            while su is still thread-local to the forker.
+//   join:    runs *after* the target join completes, when su is read-only.
+//
+// Race recovery policy (Section 7 fail-over): the Figure 2 specification
+// halts at the first Error, but a production checker keeps going. After
+// reporting, handlers force-update the access history as if the racing
+// access had been well ordered (the same choice the RoadRunner FastTrack
+// implementations make), so one racy variable yields one report per
+// distinct unordered access rather than per subsequent operation.
+// Differential tests against the specification therefore compare behaviour
+// up to and including the first race.
+#pragma once
+
+#include "vft/report.h"
+#include "vft/shadow_state.h"
+#include "vft/stats.h"
+
+namespace vft {
+
+/// Mixin holding the report/stat sinks every detector carries.
+class DetectorBase {
+ public:
+  DetectorBase(RaceCollector* races, RuleStats* stats)
+      : races_(races), stats_(stats) {}
+
+  /// [Acquire]: St.V := St.V join Sm.V. The target lock m is held.
+  void acquire(ThreadState& st, LockState& sm) {
+    st.join(sm.V);
+    count(Rule::kAcquire);
+  }
+
+  /// [Release]: Sm.V := St.V; St.V := inc_t(St.V). The target lock m is held.
+  void release(ThreadState& st, LockState& sm) {
+    sm.V.copy(st.V);
+    st.inc();
+    count(Rule::kRelease);
+  }
+
+  /// [Fork]: Su.V := Su.V join St.V; St.V := inc_t(St.V). Runs before u starts.
+  void fork(ThreadState& st, ThreadState& su) {
+    su.join(st.V);
+    st.inc();
+    count(Rule::kFork);
+  }
+
+  /// [Join]: St.V := St.V join Su.V. Runs after u has terminated and been
+  /// joined; note VerifiedFT does *not* increment Su.V[u] here (Section 3).
+  void join(ThreadState& st, ThreadState& su) {
+    st.join(su.V);
+    count(Rule::kJoin);
+  }
+
+  RaceCollector* races() const { return races_; }
+  RuleStats* stats() const { return stats_; }
+
+ protected:
+  void count(Rule r) {
+    if (stats_ != nullptr) stats_->bump(r);
+  }
+
+  void report(RaceKind kind, std::uint64_t var, const ThreadState& st,
+              Epoch prior) {
+    switch (kind) {
+      case RaceKind::kWriteRead: count(Rule::kWriteReadRace); break;
+      case RaceKind::kWriteWrite: count(Rule::kWriteWriteRace); break;
+      case RaceKind::kReadWrite: count(Rule::kReadWriteRace); break;
+      case RaceKind::kSharedWrite: count(Rule::kSharedWriteRace); break;
+    }
+    if (races_ != nullptr) {
+      races_->report(RaceReport{kind, var, st.t, prior, st.epoch()});
+    }
+  }
+
+ private:
+  RaceCollector* races_;
+  RuleStats* stats_;
+};
+
+/// e happens-before V: e <= V(tid(e)) (Section 3). The paper's handlers
+/// spell this LEQ(e, st.get(TID(e))).
+inline bool epoch_leq_vc(Epoch e, const VectorClock& v) {
+  return leq(e, v.get(e.tid()));
+}
+
+/// The Section 7 "Local Optimizations" form: tests guaranteed to succeed
+/// via program order are short-circuited -
+///     st.t == TID(e) || LEQ(e, st.get(TID(e)))
+/// - if the recorded epoch belongs to the current thread, the prior access
+/// happens-before the current one by program order (thread clocks are
+/// monotone), so the vector-clock load is skipped entirely.
+inline bool ordered_before(Epoch e, const ThreadState& st) {
+  return e.tid() == st.t || leq(e, st.V.get(e.tid()));
+}
+
+}  // namespace vft

@@ -1,0 +1,82 @@
+// DJIT+-style baseline: a precise dynamic race detector that keeps *full
+// vector clocks* for both the read and write history of every variable -
+// the state of the art before FastTrack introduced epochs (referenced in
+// Section 9; also the shape of the verified implementation of Mansky et
+// al. discussed there). Everything runs under the VarState mutex.
+//
+// Purpose in this repo: calibrate what the epoch representation buys.
+// Every read and write costs O(#threads) work and a lock round-trip, so
+// this detector bounds v1 from below in the benches.
+#pragma once
+
+#include <mutex>
+
+#include "vft/detector_base.h"
+#include "vft/vector_clock.h"
+
+namespace vft {
+
+class Djit : public DetectorBase {
+ public:
+  static constexpr const char* kName = "DJIT+ (full VC)";
+
+  struct VarState {
+    std::mutex mu;
+    VectorClock Rvc;  // last read time per thread
+    VectorClock Wvc;  // last write time per thread
+    std::uint64_t id = 0;
+  };
+
+  explicit Djit(RaceCollector* races = nullptr, RuleStats* stats = nullptr)
+      : DetectorBase(races, stats) {}
+
+  bool read(ThreadState& st, VarState& sx) {
+    const Tid t = st.t;
+    const Epoch e = st.epoch();
+    std::scoped_lock lk(sx.mu);
+    bool ok = true;
+    if (!sx.Wvc.leq(st.V)) {  // some write is not ordered before this read
+      report(RaceKind::kWriteRead, sx.id, st, first_unordered(sx.Wvc, st.V));
+      // Fail-over: forget the conflicting write history so one racy pair
+      // yields one report, not one per subsequent access (the full-VC
+      // analogue of the epoch detectors' W := e repair).
+      sx.Wvc = VectorClock();
+      ok = false;
+    }
+    sx.Rvc.set(t, e);
+    if (ok) count(Rule::kReadShared);  // every read is a full-VC update
+    return ok;
+  }
+
+  bool write(ThreadState& st, VarState& sx) {
+    const Tid t = st.t;
+    const Epoch e = st.epoch();
+    std::scoped_lock lk(sx.mu);
+    bool ok = true;
+    if (!sx.Wvc.leq(st.V)) {
+      report(RaceKind::kWriteWrite, sx.id, st, first_unordered(sx.Wvc, st.V));
+      sx.Wvc = VectorClock();  // fail-over repair, as in read
+      ok = false;
+    }
+    if (ok && !sx.Rvc.leq(st.V)) {
+      report(RaceKind::kReadWrite, sx.id, st, first_unordered(sx.Rvc, st.V));
+      sx.Rvc = VectorClock();
+      ok = false;
+    }
+    sx.Wvc.set(t, e);
+    if (ok) count(Rule::kWriteShared);
+    return ok;
+  }
+
+ private:
+  static Epoch first_unordered(const VectorClock& hist,
+                               const VectorClock& threadVC) {
+    std::uint32_t n = std::max(hist.size(), threadVC.size());
+    for (Tid i = 0; i < n; ++i) {
+      if (!leq(hist.get(i), threadVC.get(i))) return hist.get(i);
+    }
+    return Epoch();
+  }
+};
+
+}  // namespace vft

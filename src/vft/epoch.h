@@ -1,0 +1,117 @@
+// Epochs: the scalar clock values at the heart of FastTrack/VerifiedFT.
+//
+// An epoch t@c pairs a thread id t with that thread's clock value c
+// (paper Section 3). Following Section 4 ("our actual implementation
+// bit-packs epochs in 32-bit integers"), an Epoch is one 32-bit word with
+// the thread id in the top kTidBits bits and the clock in the low
+// kClockBits bits. The reserved value SHARED (all ones) marks a VarState
+// whose read history has degraded to a full vector clock.
+//
+// The operations below implement the paper's LEQ / MAX / INC / TID
+// (Figure 3, lines 11-14). As in the paper they are only defined for
+// epochs of the same thread; this precondition is VFT_ASSERT-checked.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "vft/assert.h"
+
+namespace vft {
+
+/// Thread identifier. Dense, starting at 0, allocated by the runtime.
+using Tid = std::uint32_t;
+/// Scalar logical clock value.
+using Clock = std::uint32_t;
+
+/// A bit-packed epoch t@c, or the SHARED sentinel.
+class Epoch {
+ public:
+  static constexpr int kClockBits = 24;
+  static constexpr int kTidBits = 32 - kClockBits;
+  static constexpr Clock kMaxClock = (Clock{1} << kClockBits) - 2;
+  static constexpr Tid kMaxTid = (Tid{1} << kTidBits) - 2;
+
+  /// Default epoch is bottom: 0@0 (a minimal epoch; cf. paper's A@0).
+  constexpr Epoch() noexcept : bits_(0) {}
+
+  /// Builds t@c. Checked: tid and clock must fit the packing.
+  static constexpr Epoch make(Tid t, Clock c) {
+    VFT_ASSERT(t <= kMaxTid);
+    VFT_ASSERT(c <= kMaxClock);
+    return Epoch((static_cast<std::uint32_t>(t) << kClockBits) | c);
+  }
+
+  /// The SHARED sentinel stored in VarState.R when reads are unordered.
+  static constexpr Epoch shared() noexcept { return Epoch(~std::uint32_t{0}); }
+
+  /// Bottom epoch for thread t: t@0. Returned by VectorClock::get for
+  /// indices beyond the allocated array (Figure 3, line 36).
+  static constexpr Epoch bottom(Tid t) { return make(t, 0); }
+
+  constexpr bool is_shared() const noexcept { return bits_ == ~std::uint32_t{0}; }
+
+  /// TID(t@c) = t. Undefined (asserted) on SHARED.
+  constexpr Tid tid() const {
+    VFT_ASSERT(!is_shared());
+    return bits_ >> kClockBits;
+  }
+
+  /// The clock component c of t@c. Undefined (asserted) on SHARED.
+  constexpr Clock clock() const {
+    VFT_ASSERT(!is_shared());
+    return bits_ & ((std::uint32_t{1} << kClockBits) - 1);
+  }
+
+  /// LEQ(t@c1, t@c2) = c1 <= c2. Both operands must belong to the same
+  /// thread (paper: epoch operations are undefined across threads).
+  friend constexpr bool leq(Epoch a, Epoch b) {
+    VFT_ASSERT(!a.is_shared() && !b.is_shared());
+    VFT_ASSERT(a.tid() == b.tid());
+    return a.bits_ <= b.bits_;
+  }
+
+  /// MAX(t@c1, t@c2) = t@max(c1, c2).
+  friend constexpr Epoch max(Epoch a, Epoch b) {
+    VFT_ASSERT(!a.is_shared() && !b.is_shared());
+    VFT_ASSERT(a.tid() == b.tid());
+    return Epoch(a.bits_ >= b.bits_ ? a.bits_ : b.bits_);
+  }
+
+  /// INC(t@c) = t@(c+1). Checked against clock overflow: a target program
+  /// performing more than 2^24-2 release operations in one thread exceeds
+  /// the packing and must fail loudly rather than wrap.
+  constexpr Epoch inc() const {
+    VFT_ASSERT(!is_shared());
+    VFT_CHECK(clock() < kMaxClock);
+    return Epoch(bits_ + 1);
+  }
+
+  /// Raw packed representation; used by FT-CAS to pack (R, W) pairs into a
+  /// single 8-byte atomic, and by tests.
+  constexpr std::uint32_t bits() const noexcept { return bits_; }
+  static constexpr Epoch from_bits(std::uint32_t b) noexcept { return Epoch(b); }
+
+  friend constexpr bool operator==(Epoch a, Epoch b) noexcept = default;
+
+  /// "t@c" or "SHARED", for reports and debugging.
+  std::string str() const {
+    if (is_shared()) return "SHARED";
+    return std::to_string(tid()) + "@" + std::to_string(clock());
+  }
+
+ private:
+  constexpr explicit Epoch(std::uint32_t bits) noexcept : bits_(bits) {}
+
+  std::uint32_t bits_;
+};
+
+static_assert(sizeof(Epoch) == 4);
+
+// Re-declare the hidden friends at namespace scope so qualified calls
+// (vft::leq) and calls from same-named member functions resolve.
+constexpr bool leq(Epoch a, Epoch b);
+constexpr Epoch max(Epoch a, Epoch b);
+
+}  // namespace vft

@@ -1,0 +1,275 @@
+// FT-CAS: reconstruction of the CAS-based RoadRunner FastTrack variant
+// (Section 4): "embeds sx.W and sx.R in a single 8-byte long that is
+// always read and written atomically and uses a similar optimistic
+// mechanism based on atomic CAS operations. The lock sx is still used for
+// the vector clock."
+//
+// The packed (R, W) word makes the epoch-to-epoch transitions lock-free:
+// a handler snapshots the word, runs the race checks against the snapshot,
+// and commits with a compare-and-swap - CAS failure means interference, so
+// the checks rerun on the fresh snapshot. Transitions that touch the
+// vector clock ([Read Share], [Read Shared] slot updates, [Write Shared])
+// take the mutex, but must still publish R/W via CAS because the lock-free
+// paths of other threads do not respect the lock.
+//
+// Like FT-Mutex, the default rule set is the original FastTrack rules;
+// RuleSet::kVerifiedFT enables the revised rules for the E6 ablation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "vft/detector_base.h"
+#include "vft/spec.h"
+#include "vft/sync_vector_clock.h"
+
+namespace vft {
+
+class FtCas : public DetectorBase {
+ public:
+  static constexpr const char* kName = "FT-CAS";
+
+  struct VarState {
+    /// R in the high 32 bits, W in the low 32; always read/CASed whole.
+    std::atomic<std::uint64_t> rw{0};
+    std::mutex mu;  // protects V only
+    SyncVectorClock V;
+    std::uint64_t id = 0;
+
+    static std::uint64_t pack(Epoch r, Epoch w) {
+      return (static_cast<std::uint64_t>(r.bits()) << 32) | w.bits();
+    }
+    static Epoch unpack_r(std::uint64_t v) {
+      return Epoch::from_bits(static_cast<std::uint32_t>(v >> 32));
+    }
+    static Epoch unpack_w(std::uint64_t v) {
+      return Epoch::from_bits(static_cast<std::uint32_t>(v));
+    }
+  };
+
+  explicit FtCas(RaceCollector* races = nullptr, RuleStats* stats = nullptr,
+                 RuleSet rules = RuleSet::kOriginalFastTrack)
+      : DetectorBase(races, stats), rules_(rules) {}
+
+  bool read(ThreadState& st, VarState& sx) {
+    const Tid t = st.t;
+    const Epoch e = st.epoch();
+    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    for (;;) {
+      const Epoch r = VarState::unpack_r(cur);
+      const Epoch w = VarState::unpack_w(cur);
+      if (r == e) {  // [Read Same Epoch]
+        count(Rule::kReadSameEpoch);
+        return true;
+      }
+      if (r.is_shared()) {
+        if (rules_ == RuleSet::kVerifiedFT && sx.V.get(t) == e) {
+          count(Rule::kReadSharedSameEpoch);
+          return true;
+        }
+        if (rules_ == RuleSet::kOriginalFastTrack &&
+            ordered_before(w, st) && sx.V.get(t) == e) {
+          // Unlocked [Read Shared] whose V[t] update is a no-op; see the
+          // matching comment in FT-Mutex.
+          count(Rule::kReadShared);
+          return true;
+        }
+        return read_shared_locked(st, sx);  // V update needs the lock
+      }
+      if (!ordered_before(w, st)) {  // [Write-Read Race]
+        report(RaceKind::kWriteRead, sx.id, st, w);
+        // Fail-over: record the read as if ordered (CAS keeps others' view
+        // consistent), then stop treating this access as racy.
+        force_read(sx, st, e);
+        return false;
+      }
+      if (ordered_before(r, st)) {
+        // [Read Exclusive]: lock-free commit; CAS validates both R and W,
+        // so the checks above hold at the commit point.
+        if (sx.rw.compare_exchange_weak(cur, VarState::pack(e, w),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          count(Rule::kReadExclusive);
+          return true;
+        }
+        continue;  // interference: cur reloaded, re-run all checks
+      }
+      return read_share_locked(st, sx);  // inflate to a vector clock
+    }
+  }
+
+  bool write(ThreadState& st, VarState& sx) {
+    const Epoch e = st.epoch();
+    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    for (;;) {
+      const Epoch r = VarState::unpack_r(cur);
+      const Epoch w = VarState::unpack_w(cur);
+      if (w == e) {  // [Write Same Epoch]
+        count(Rule::kWriteSameEpoch);
+        return true;
+      }
+      if (!ordered_before(w, st)) {  // [Write-Write Race]
+        report(RaceKind::kWriteWrite, sx.id, st, w);
+        force_write(sx, e);
+        return false;
+      }
+      if (r.is_shared()) return write_shared_locked(st, sx);
+      if (!ordered_before(r, st)) {  // [Read-Write Race]
+        report(RaceKind::kReadWrite, sx.id, st, r);
+        force_write(sx, e);
+        return false;
+      }
+      // [Write Exclusive]: lock-free CAS commit.
+      if (sx.rw.compare_exchange_weak(cur, VarState::pack(r, e),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        count(Rule::kWriteExclusive);
+        return true;
+      }
+    }
+  }
+
+ private:
+  /// R := SHARED with the read history inflated to a vector clock. Holds
+  /// the mutex for V, publishes via CAS (lock-free readers don't lock).
+  bool read_share_locked(ThreadState& st, VarState& sx) {
+    const Tid t = st.t;
+    const Epoch e = st.epoch();
+    std::scoped_lock lk(sx.mu);
+    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    for (;;) {
+      const Epoch r = VarState::unpack_r(cur);
+      const Epoch w = VarState::unpack_w(cur);
+      bool ok = true;
+      if (!ordered_before(w, st)) {
+        report(RaceKind::kWriteRead, sx.id, st, w);
+        ok = false;
+      }
+      if (r.is_shared()) {
+        sx.V.set_locked(t, e);  // raced with another share: just our slot
+        if (ok) count(Rule::kReadShared);
+        return ok;
+      }
+      if (r == e) return true;  // another CAS of ours? defensive no-op
+      if (ordered_before(r, st)) {
+        // The previous read got ordered in the meantime: exclusive update.
+        if (sx.rw.compare_exchange_weak(cur, VarState::pack(e, w),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          if (ok) count(Rule::kReadExclusive);
+          return ok;
+        }
+        continue;
+      }
+      // Populate V before publishing SHARED (release CAS), so lock-free
+      // readers that observe SHARED see the slots.
+      sx.V.set_locked(r.tid(), r);
+      sx.V.set_locked(t, e);
+      if (sx.rw.compare_exchange_weak(cur, VarState::pack(Epoch::shared(), w),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        if (ok) count(Rule::kReadShare);
+        return ok;
+      }
+    }
+  }
+
+  /// [Read Shared] slot update (R already SHARED, which is final).
+  bool read_shared_locked(ThreadState& st, VarState& sx) {
+    const Tid t = st.t;
+    const Epoch e = st.epoch();
+    std::scoped_lock lk(sx.mu);
+    const std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    const Epoch w = VarState::unpack_w(cur);
+    VFT_ASSERT(VarState::unpack_r(cur).is_shared());
+    bool ok = true;
+    if (!ordered_before(w, st)) {
+      report(RaceKind::kWriteRead, sx.id, st, w);
+      ok = false;
+    }
+    sx.V.set_locked(t, e);
+    if (ok) count(Rule::kReadShared);
+    return ok;
+  }
+
+  bool write_shared_locked(ThreadState& st, VarState& sx) {
+    const Epoch e = st.epoch();
+    std::scoped_lock lk(sx.mu);
+    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    // R is SHARED and final; only W changes concurrently (via CAS).
+    VFT_ASSERT(VarState::unpack_r(cur).is_shared());
+    bool ok = true;
+    if (!ordered_before(VarState::unpack_w(cur), st)) {
+      report(RaceKind::kWriteWrite, sx.id, st, VarState::unpack_w(cur));
+      ok = false;
+    } else if (!sx.V.leq_locked(st.V)) {  // [Shared-Write Race]
+      report(RaceKind::kSharedWrite, sx.id, st, Epoch());
+      ok = false;
+    }
+    const Epoch new_r = rules_ == RuleSet::kOriginalFastTrack
+                            ? Epoch()            // forget reads (original)
+                            : Epoch::shared();   // keep SHARED (VerifiedFT)
+    for (;;) {
+      if (sx.rw.compare_exchange_weak(cur, VarState::pack(new_r, e),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        break;
+      }
+    }
+    if (ok) count(Rule::kWriteShared);
+    return ok;
+  }
+
+  /// Fail-over state repair after a reported race on a write.
+  void force_write(VarState& sx, Epoch e) {
+    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    while (!sx.rw.compare_exchange_weak(
+        cur, VarState::pack(VarState::unpack_r(cur), e),
+        std::memory_order_acq_rel, std::memory_order_acquire)) {
+    }
+  }
+
+  /// Fail-over state repair after a reported race on a read.
+  void force_read(VarState& sx, ThreadState& st, Epoch e) {
+    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    for (;;) {
+      const Epoch r = VarState::unpack_r(cur);
+      if (r.is_shared()) {
+        std::scoped_lock lk(sx.mu);
+        sx.V.set_locked(st.t, e);
+        return;
+      }
+      if (ordered_before(r, st)) {
+        if (sx.rw.compare_exchange_weak(
+                cur, VarState::pack(e, VarState::unpack_w(cur)),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          return;
+        }
+      } else {
+        // Inflate to SHARED without re-running the (already reported)
+        // write-read check.
+        std::scoped_lock lk(sx.mu);
+        cur = sx.rw.load(std::memory_order_acquire);
+        for (;;) {
+          const Epoch r2 = VarState::unpack_r(cur);
+          if (r2.is_shared()) {
+            sx.V.set_locked(st.t, e);
+            return;
+          }
+          sx.V.set_locked(r2.tid(), r2);
+          sx.V.set_locked(st.t, e);
+          if (sx.rw.compare_exchange_weak(
+                  cur, VarState::pack(Epoch::shared(), VarState::unpack_w(cur)),
+                  std::memory_order_acq_rel, std::memory_order_acquire)) {
+            return;
+          }
+        }
+      }
+    }
+  }
+
+  RuleSet rules_;
+};
+
+}  // namespace vft

@@ -1,0 +1,192 @@
+// FT-Mutex: reconstruction of the earlier RoadRunner FastTrack
+// implementation the paper compares against (Section 4, "Comparison to
+// Prior FastTrack Implementations").
+//
+// Discipline: all VarState fields are *write-protected* by the mutex -
+// writes require the lock, reads may happen anywhere. Handlers first run
+// optimistically: they read the fields unlocked, compute the intended
+// transition, then acquire the lock and validate that (R, W) are unchanged
+// before committing; interference triggers a bounded retry and finally a
+// fully locked (v1-style) execution. This is exactly the "optimistic
+// control mechanism that detects whether any value read from memory has
+// been modified prior to updating the analysis state" that made the
+// original so hard to maintain - reproduced here as a baseline, not as a
+// recommendation.
+//
+// By default this detector runs the *original FastTrack* rules, i.e. no
+// [Read Shared Same Epoch] fast rule and [Write Shared] resets R to the
+// bottom epoch. Constructing it with RuleSet::kVerifiedFT applies the
+// revised rules instead, which is the E6 ablation (Section 8 observes the
+// revised rules do not meaningfully change FT-Mutex/FT-CAS performance).
+#pragma once
+
+#include <mutex>
+
+#include "vft/detector_base.h"
+#include "vft/spec.h"
+#include "vft/sync_var_state.h"
+
+namespace vft {
+
+class FtMutex : public DetectorBase {
+ public:
+  static constexpr const char* kName = "FT-Mutex";
+  static constexpr int kMaxRetries = 3;
+
+  using VarState = SyncVarState;
+
+  explicit FtMutex(RaceCollector* races = nullptr, RuleStats* stats = nullptr,
+                   RuleSet rules = RuleSet::kOriginalFastTrack)
+      : DetectorBase(races, stats), rules_(rules) {}
+
+  bool read(ThreadState& st, VarState& sx) {
+    const Tid t = st.t;
+    const Epoch e = st.epoch();
+    for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+      const Epoch r = sx.r_nolock();
+      if (r == e) {  // [Read Same Epoch], lock-free
+        count(Rule::kReadSameEpoch);
+        return true;
+      }
+      if (r.is_shared()) {
+        if (rules_ == RuleSet::kVerifiedFT && sx.V.get(t) == e) {
+          count(Rule::kReadSharedSameEpoch);  // only with the revised rules
+          return true;
+        }
+        // Original rules: every read-shared access runs the [Read Shared]
+        // rule, but the implementation skips the lock when the V[t] := E_t
+        // update is a no-op (the unlocked read-shared fast path of the
+        // historical FT-Mutex; unlike the VerifiedFT rule it still loads W
+        // and runs the write-read check). A stale W here is benign: W only
+        // grows, and a concurrent unordered write is caught by that
+        // write's own [Shared-Write] check against V[t].
+        const Epoch w = sx.w_nolock();
+        if (ordered_before(w, st) && sx.V.get(t) == e) {
+          count(Rule::kReadShared);
+          return true;
+        }
+        break;  // first read this epoch (or race): commit under the lock
+      }
+      // Optimistic: compute the exclusive-mode transition unlocked...
+      const Epoch w = sx.w_nolock();
+      if (!ordered_before(w, st) || !ordered_before(r, st)) {
+        break;  // race or share transition: handle under the lock
+      }
+      // ...then validate and commit under the lock.
+      std::scoped_lock lk(sx.mu);
+      if (sx.r_locked() == r && sx.w_locked() == w) {
+        sx.set_r_locked(e);  // [Read Exclusive]
+        count(Rule::kReadExclusive);
+        return true;
+      }
+      // Interference: another thread committed between our read and the
+      // lock. Drop the lock and retry the optimistic path.
+    }
+    return read_locked(st, sx);
+  }
+
+  bool write(ThreadState& st, VarState& sx) {
+    const Epoch e = st.epoch();
+    for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+      const Epoch w = sx.w_nolock();
+      if (w == e) {  // [Write Same Epoch], lock-free
+        count(Rule::kWriteSameEpoch);
+        return true;
+      }
+      const Epoch r = sx.r_nolock();
+      if (r.is_shared() || !ordered_before(w, st) || !ordered_before(r, st)) {
+        break;  // shared mode or race: handle under the lock
+      }
+      std::scoped_lock lk(sx.mu);
+      if (sx.r_locked() == r && sx.w_locked() == w) {
+        sx.set_w_locked(e);  // [Write Exclusive]
+        count(Rule::kWriteExclusive);
+        return true;
+      }
+    }
+    return write_locked(st, sx);
+  }
+
+ private:
+  /// Fully locked fallback: v1 semantics with this detector's rule set.
+  bool read_locked(ThreadState& st, VarState& sx) {
+    const Tid t = st.t;
+    const Epoch e = st.epoch();
+    std::scoped_lock lk(sx.mu);
+    const Epoch r = sx.r_locked();
+    if (r == e) {
+      count(Rule::kReadSameEpoch);
+      return true;
+    }
+    if (r.is_shared() && sx.V.get(t) == e) {
+      // With the original rules this is still a [Read Shared] state update
+      // (same stored value), but it must pass through the write check.
+      if (rules_ == RuleSet::kVerifiedFT) {
+        count(Rule::kReadSharedSameEpoch);
+        return true;
+      }
+    }
+    bool ok = true;
+    const Epoch w = sx.w_locked();
+    if (!ordered_before(w, st)) {
+      report(RaceKind::kWriteRead, sx.id, st, w);
+      ok = false;
+    }
+    if (!r.is_shared()) {
+      if (ordered_before(r, st)) {
+        sx.set_r_locked(e);
+        if (ok) count(Rule::kReadExclusive);
+      } else {
+        sx.V.set_locked(r.tid(), r);
+        sx.V.set_locked(t, e);
+        sx.set_r_locked(Epoch::shared());
+        if (ok) count(Rule::kReadShare);
+      }
+    } else {
+      sx.V.set_locked(t, e);
+      if (ok) count(Rule::kReadShared);
+    }
+    return ok;
+  }
+
+  bool write_locked(ThreadState& st, VarState& sx) {
+    const Epoch e = st.epoch();
+    std::scoped_lock lk(sx.mu);
+    const Epoch w = sx.w_locked();
+    if (w == e) {
+      count(Rule::kWriteSameEpoch);
+      return true;
+    }
+    bool ok = true;
+    if (!ordered_before(w, st)) {
+      report(RaceKind::kWriteWrite, sx.id, st, w);
+      ok = false;
+    }
+    const Epoch r = sx.r_locked();
+    if (!r.is_shared()) {
+      if (!ordered_before(r, st)) {
+        report(RaceKind::kReadWrite, sx.id, st, r);
+        ok = false;
+      }
+      sx.set_w_locked(e);
+      if (ok) count(Rule::kWriteExclusive);
+    } else {
+      if (!sx.V.leq_locked(st.V)) {
+        report(RaceKind::kSharedWrite, sx.id, st, Epoch());
+        ok = false;
+      }
+      sx.set_w_locked(e);
+      if (rules_ == RuleSet::kOriginalFastTrack) {
+        // Original [Write Shared]: forget the read history, dropping back
+        // to exclusive-epoch mode (the "thrashing" behaviour E5 measures).
+        sx.set_r_locked(Epoch());
+      }
+      if (ok) count(Rule::kWriteShared);
+    }
+    return ok;
+  }
+
+  RuleSet rules_;
+};
+
+}  // namespace vft

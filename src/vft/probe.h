@@ -1,0 +1,65 @@
+// Uniform read-only access to each detector's VarState representation
+// (epoch detectors only). Used by the Checked<> invariant decorator and by
+// the differential tests; kept out of the detectors themselves so the
+// production types stay exactly shaped like the paper's.
+#pragma once
+
+#include "vft/djit.h"
+#include "vft/ft_cas.h"
+#include "vft/sync_var_state.h"
+#include "vft/vft_v1.h"
+
+namespace vft {
+
+inline Epoch probe_r(VftV1::VarState& v) { return v.R; }
+inline Epoch probe_w(VftV1::VarState& v) { return v.W; }
+inline Epoch probe_vslot(VftV1::VarState& v, Tid t) { return v.V.get(t); }
+
+inline Epoch probe_r(SyncVarState& v) {
+  return v.R.load(std::memory_order_acquire);
+}
+inline Epoch probe_w(SyncVarState& v) {
+  return v.W.load(std::memory_order_acquire);
+}
+inline Epoch probe_vslot(SyncVarState& v, Tid t) { return v.V.get(t); }
+
+inline Epoch probe_r(FtCas::VarState& v) {
+  return FtCas::VarState::unpack_r(v.rw.load(std::memory_order_acquire));
+}
+inline Epoch probe_w(FtCas::VarState& v) {
+  return FtCas::VarState::unpack_w(v.rw.load(std::memory_order_acquire));
+}
+inline Epoch probe_vslot(FtCas::VarState& v, Tid t) { return v.V.get(t); }
+
+// State injection (used by the dynamic-granularity shadow when it splits a
+// granule: the fresh element states inherit the granule's epoch history so
+// no pre-split access is forgotten). Caller must ensure no concurrent
+// handler is running on the target state. SHARED read histories cannot be
+// injected generically; dynamic granularity splits *before* a second
+// thread's access, so the granule is still in epoch mode at split time.
+
+inline void inject(VftV1::VarState& v, Epoch r, Epoch w) {
+  VFT_ASSERT(!r.is_shared());
+  v.R = r;
+  v.W = w;
+}
+inline void inject(SyncVarState& v, Epoch r, Epoch w) {
+  VFT_ASSERT(!r.is_shared());
+  v.R.store(r, std::memory_order_release);
+  v.W.store(w, std::memory_order_release);
+}
+inline void inject(FtCas::VarState& v, Epoch r, Epoch w) {
+  VFT_ASSERT(!r.is_shared());
+  v.rw.store(FtCas::VarState::pack(r, w), std::memory_order_release);
+}
+
+/// True for VarState types the probes understand (excludes DJIT+, which
+/// has no epoch representation).
+template <typename VS>
+concept ProbeableVarState = requires(VS& v, Epoch e) {
+  { probe_r(v) } -> std::same_as<Epoch>;
+  { probe_w(v) } -> std::same_as<Epoch>;
+  inject(v, e, e);
+};
+
+}  // namespace vft

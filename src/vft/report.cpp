@@ -1,0 +1,32 @@
+#include "vft/report.h"
+
+namespace vft {
+
+const char* race_kind_name(RaceKind k) {
+  switch (k) {
+    case RaceKind::kWriteRead: return "write-read race";
+    case RaceKind::kWriteWrite: return "write-write race";
+    case RaceKind::kReadWrite: return "read-write race";
+    case RaceKind::kSharedWrite: return "shared-write race";
+  }
+  return "unknown race";
+}
+
+std::string RaceCollector::describe(const RaceReport& r) const {
+  std::scoped_lock lk(mu_);
+  const auto it = names_.find(r.var);
+  const std::string var_label =
+      it != names_.end() ? it->second : "var " + std::to_string(r.var);
+  return std::string(race_kind_name(r.kind)) + " on " + var_label +
+         ": thread " + std::to_string(r.current_tid) + " at " +
+         r.current.str() + " conflicts with prior access at " +
+         r.prior.str();
+}
+
+std::string RaceReport::str() const {
+  return std::string(race_kind_name(kind)) + " on var " + std::to_string(var) +
+         ": thread " + std::to_string(current_tid) + " at " + current.str() +
+         " conflicts with prior access at " + prior.str();
+}
+
+}  // namespace vft

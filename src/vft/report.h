@@ -1,0 +1,133 @@
+// Race reports and their collector.
+//
+// The Figure 2 specification halts at the first Error; the production
+// detectors instead follow the Section 7 fail-over semantics: a detected
+// race is recorded as a structured report and checking continues, with the
+// analysis state force-updated as if the racing access had been ordered
+// (so one buggy variable does not flood the log with one report per
+// subsequent access).
+//
+// The collector is thread-safe: handlers run inline in target threads, so
+// concurrent reports are expected. Reporting is off the fast path - only
+// racy programs pay for the lock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "vft/epoch.h"
+
+namespace vft {
+
+/// Which analysis rule detected the race (Figure 2 error rules).
+enum class RaceKind : std::uint8_t {
+  kWriteRead,    // [Write-Read Race]: read races with the last write
+  kWriteWrite,   // [Write-Write Race]: write races with the last write
+  kReadWrite,    // [Read-Write Race]: write races with the last (epoch) read
+  kSharedWrite,  // [Shared-Write Race]: write races with a read-shared read
+};
+
+const char* race_kind_name(RaceKind k);
+
+struct RaceReport {
+  RaceKind kind;
+  /// Variable identifier (trace var id, or shadow address in the runtime).
+  std::uint64_t var;
+  /// Thread performing the racing (current) access.
+  Tid current_tid;
+  /// Epoch of the prior conflicting access; SHARED-mode read races report
+  /// the first unordered component found.
+  Epoch prior;
+  /// The current thread's epoch at the racing access.
+  Epoch current;
+
+  std::string str() const;
+};
+
+class RaceCollector {
+ public:
+  /// Record one race. Thread-safe. Reports beyond the per-variable or
+  /// total limits are counted as suppressed rather than stored (the
+  /// RoadRunner -maxWarn behaviour: a hot racy field should not drown the
+  /// log, but the suppression must be visible).
+  void report(const RaceReport& r) {
+    std::scoped_lock lk(mu_);
+    if (reports_.size() >= total_limit_ ||
+        per_var_counts_[r.var] >= per_var_limit_) {
+      ++suppressed_;
+      return;
+    }
+    ++per_var_counts_[r.var];
+    reports_.push_back(r);
+  }
+
+  /// At most k stored reports per distinct variable (default: unlimited).
+  void set_per_var_limit(std::size_t k) {
+    std::scoped_lock lk(mu_);
+    per_var_limit_ = k;
+  }
+
+  /// At most n stored reports in total (default: unlimited).
+  void set_total_limit(std::size_t n) {
+    std::scoped_lock lk(mu_);
+    total_limit_ = n;
+  }
+
+  /// Reports dropped by the limits.
+  std::size_t suppressed() const {
+    std::scoped_lock lk(mu_);
+    return suppressed_;
+  }
+
+  /// Attach a human-readable name to a variable id; describe() uses it.
+  void name_var(std::uint64_t var, std::string name) {
+    std::scoped_lock lk(mu_);
+    names_[var] = std::move(name);
+  }
+
+  /// Like RaceReport::str() but with the registered variable name.
+  std::string describe(const RaceReport& r) const;
+
+  bool empty() const {
+    std::scoped_lock lk(mu_);
+    return reports_.empty() && suppressed_ == 0;
+  }
+
+  std::size_t count() const {
+    std::scoped_lock lk(mu_);
+    return reports_.size();
+  }
+
+  std::optional<RaceReport> first() const {
+    std::scoped_lock lk(mu_);
+    if (reports_.empty()) return std::nullopt;
+    return reports_.front();
+  }
+
+  std::vector<RaceReport> all() const {
+    std::scoped_lock lk(mu_);
+    return reports_;
+  }
+
+  void clear() {
+    std::scoped_lock lk(mu_);
+    reports_.clear();
+    per_var_counts_.clear();
+    suppressed_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RaceReport> reports_;
+  std::unordered_map<std::uint64_t, std::size_t> per_var_counts_;
+  std::unordered_map<std::uint64_t, std::string> names_;
+  std::size_t per_var_limit_ = static_cast<std::size_t>(-1);
+  std::size_t total_limit_ = static_cast<std::size_t>(-1);
+  std::size_t suppressed_ = 0;
+};
+
+}  // namespace vft

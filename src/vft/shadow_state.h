@@ -1,0 +1,72 @@
+// Shadow state shared by every detector variant: ThreadState and LockState
+// (Figure 3 lines 1-4). VarState layouts differ per variant (each detector
+// header defines its own), but thread and lock state are common:
+//
+//   ThreadState.t  read-only after construction.
+//   ThreadState.V  thread-local to the owner (Section 4 discipline): only
+//                  the owning thread mutates it, other threads read it only
+//                  across fork/join happens-before edges.
+//   LockState.V    protected by the target lock m itself: handlers touch it
+//                  only while the target thread holds m.
+//
+// ThreadState caches the owner's current epoch E = V[t] (the "Local
+// Optimizations" of Section 7): every handler begins by reading it, so we
+// keep it out of the vector clock array.
+#pragma once
+
+#include <cstdint>
+
+#include "vft/epoch.h"
+#include "vft/vector_clock.h"
+
+namespace vft {
+
+struct ThreadState {
+  /// The owning thread's id; read-only.
+  const Tid t;
+  /// The owner's vector clock; thread-local per the discipline.
+  VectorClock V;
+
+  /// Construct the initial state inc_t(bottom): V[t] = t@1 (Section 3, S0).
+  explicit ThreadState(Tid tid) : t(tid) {
+    V.set(t, Epoch::make(t, 1));
+    e_ = V.get(t);
+  }
+
+  /// Construct a state that *continues* a retired thread's clock: used when
+  /// the runtime reuses a thread id slot. V := predecessor.V, then inc_t.
+  /// This orders every operation of the predecessor before every operation
+  /// of the successor - sound (adds no false alarms) but may hide races
+  /// between a dead thread and its slot successor, the standard tid-reuse
+  /// tradeoff (RoadRunner and TSan make the same one).
+  ThreadState(Tid tid, const VectorClock& predecessor) : t(tid) {
+    V.copy(predecessor);
+    V.inc(t);
+    e_ = V.get(t);
+  }
+
+  /// The cached current epoch E_t = V[t].
+  Epoch epoch() const { return e_; }
+
+  /// V := V join other. Used by the acquire and join handlers.
+  void join(const VectorClock& other) {
+    V.join(other);
+    e_ = V.get(t);
+  }
+
+  /// V := inc_t(V). Used by the release and fork handlers.
+  void inc() {
+    V.inc(t);
+    e_ = V.get(t);
+  }
+
+ private:
+  Epoch e_;
+};
+
+struct LockState {
+  /// Time of the last release of the lock; initially bottom.
+  VectorClock V;
+};
+
+}  // namespace vft

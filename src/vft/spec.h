@@ -1,0 +1,104 @@
+// The VerifiedFT analysis specification (Figure 2) as a *sequential*
+// reference implementation: a deterministic state transition system
+// S =a=> S' | Error over thread/lock/variable ids.
+//
+// This is the functional-correctness oracle: the concurrent detectors are
+// differentially tested against it (each handler must transform the state
+// exactly as the matching rule does), and it is itself validated against
+// the happens-before oracle to check Theorem 3.1 (precise: Error iff the
+// trace has a race).
+//
+// RuleSet selects between the VerifiedFT rules and the *original*
+// FastTrack rules; the three differences (Section 3, "Comparison to the
+// FastTrack Specification") are:
+//   1. FastTrack has no [Read Shared Same Epoch] rule,
+//   2. FastTrack's [Write Shared] resets Sx.R to the bottom epoch
+//      (forgetting reads preceding the write),
+//   3. FastTrack's [Join] additionally increments Su.V[u].
+// Keeping both rule sets lets the ablation benches (DESIGN.md E5/E6)
+// measure exactly what the specification changes buy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "vft/epoch.h"
+#include "vft/stats.h"
+#include "vft/vector_clock.h"
+
+namespace vft {
+
+using VarId = std::uint64_t;
+using LockId = std::uint64_t;
+using VolId = std::uint64_t;
+
+enum class RuleSet {
+  kVerifiedFT,
+  kOriginalFastTrack,
+};
+
+class Spec {
+ public:
+  /// Per-variable analysis state: Sx = { V, R, W }. R uses the SHARED
+  /// sentinel epoch to encode the (Epoch | Shared) sum of Section 3.
+  struct VarState {
+    VectorClock V;
+    Epoch R;  // bottom initially; SHARED once reads are unordered
+    Epoch W;  // bottom initially
+  };
+
+  struct StepResult {
+    Rule rule;     // which Figure 2 rule fired
+    bool error;    // true iff the rule was one of the four race rules
+  };
+
+  explicit Spec(RuleSet rules = RuleSet::kVerifiedFT) : rules_(rules) {}
+
+  // Transition functions, one per operation of the Section 2 trace
+  // language. Once a step returns error the machine is halted: further
+  // steps are a VFT_CHECK failure (Figure 2: "the analysis stops").
+  StepResult on_read(Tid t, VarId x);
+  StepResult on_write(Tid t, VarId x);
+  StepResult on_acquire(Tid t, LockId m);
+  StepResult on_release(Tid t, LockId m);
+  StepResult on_fork(Tid t, Tid u);
+  StepResult on_join(Tid t, Tid u);
+  // Volatile accesses (Section 7): a read acquires the variable's
+  // accumulated writer clock; a write publishes (joins) the writer's clock
+  // and starts a new epoch. Volatile accesses never race.
+  StepResult on_vol_read(Tid t, VolId v);
+  StepResult on_vol_write(Tid t, VolId v);
+
+  bool halted() const { return halted_; }
+  RuleSet rules() const { return rules_; }
+
+  // State accessors for golden-state tests (e.g. the Figure 1 walkthrough).
+  // Reading a component materializes its initial value per S0.
+  const VectorClock& thread_vc(Tid t) { return thread_state(t); }
+  const VectorClock& lock_vc(LockId m) { return lock_state(m); }
+  const VectorClock& vol_vc(VolId v) { return vol_state(v); }
+  const VarState& var(VarId x) { return var_state(x); }
+  Epoch thread_epoch(Tid t) { return thread_state(t).get(t); }
+
+ private:
+  VectorClock& thread_state(Tid t);
+  VectorClock& lock_state(LockId m);
+  VectorClock& vol_state(VolId v);
+  VarState& var_state(VarId x);
+
+  StepResult ok(Rule r) { return {r, false}; }
+  StepResult error(Rule r) {
+    halted_ = true;
+    return {r, true};
+  }
+
+  RuleSet rules_;
+  bool halted_ = false;
+  std::unordered_map<Tid, VectorClock> threads_;
+  std::unordered_map<LockId, VectorClock> locks_;
+  std::unordered_map<VolId, VectorClock> volatiles_;
+  std::unordered_map<VarId, VarState> vars_;
+};
+
+}  // namespace vft

@@ -1,0 +1,50 @@
+// VarState layout shared by VerifiedFT-v1.5 and VerifiedFT-v2: the
+// Section 5 synchronization discipline made concrete in C++.
+//
+//   W  write-protected by mu: stores require the lock, loads may be
+//      lock-free ([Write Same Epoch] fast path). Java declares the field
+//      volatile; C++ requires std::atomic to make the unsynchronized load
+//      defined behaviour.
+//   R  initially write-protected by mu; immutable once SHARED. The
+//      lock-free load of SHARED is a right-mover (no subsequent writes).
+//   V  SyncVectorClock implementing the per-slot rules (see its header).
+//
+// The named accessors mirror the CIVL Layer-0 functions of Section 6
+// (VarStateGetWNoLock / VarStateGetW / VarStateSetW, and likewise for R),
+// so each call site documents which mover annotation it relies on.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "vft/epoch.h"
+#include "vft/sync_vector_clock.h"
+
+namespace vft {
+
+struct SyncVarState {
+  std::mutex mu;
+  std::atomic<Epoch> R{};  // bottom initially
+  std::atomic<Epoch> W{};  // bottom initially
+  SyncVectorClock V;
+  std::uint64_t id = 0;
+
+  // --- CIVL Layer-0 style accessors (Section 6) ---
+
+  /// atomic (N): unsynchronized read, used only by the lock-free pure
+  /// blocks of Figure 4.
+  Epoch r_nolock() const { return R.load(std::memory_order_acquire); }
+  Epoch w_nolock() const { return W.load(std::memory_order_acquire); }
+
+  /// both-mover (B): reads with mu held; no concurrent writer can exist.
+  Epoch r_locked() const { return R.load(std::memory_order_relaxed); }
+  Epoch w_locked() const { return W.load(std::memory_order_relaxed); }
+
+  /// atomic (N): writes with mu held; concurrent lock-free readers exist.
+  void set_r_locked(Epoch e) { R.store(e, std::memory_order_release); }
+  void set_w_locked(Epoch e) { W.store(e, std::memory_order_release); }
+};
+
+static_assert(std::atomic<Epoch>::is_always_lock_free);
+
+}  // namespace vft

@@ -1,0 +1,122 @@
+// SyncVectorClock: the vector clock inside a v2 VarState, supporting the
+// Section 5 synchronization discipline:
+//
+//   sx.V     protected by the VarState lock while sx.R != SHARED;
+//            write-protected (lock for writes, lock-free reads) once SHARED.
+//   sx.V[t]  readable lock-free by thread t itself once SHARED (the
+//            [Read Shared Same Epoch] fast path); writable only by thread t
+//            and only with the lock held.
+//
+// The Java implementation leans on two JVM features we must supply
+// ourselves in C++:
+//
+//   1. `volatile` array references -> here the array pointer and the slots
+//      are std::atomic with acquire/release ordering, so the lock-free
+//      readers of Section 5 are expressed without undefined behaviour.
+//   2. garbage collection -> when ensureCapacity replaces the array, a
+//      lock-free reader may still hold the superseded one. We retire old
+//      arrays to a list owned by this clock and free them on destruction
+//      (DESIGN.md, substitution table). Superseded arrays are immutable
+//      from the moment they are replaced, so stale readers observe exactly
+//      the values that were current when they loaded the pointer - the
+//      property the Java code gets from GC.
+//
+// Publication protocol for growth (all under the external VarState lock):
+// fill the new array, publish the pointer with release, then publish the
+// new length with release. A reader loads the length first (acquire) and
+// the pointer second (acquire); seeing the new length therefore implies
+// seeing the new (or a newer) pointer, so indices < len are always in
+// bounds. A reader that sees an old length with a new pointer merely reads
+// a prefix, which is harmless: get() returns bottom for missing slots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vft/epoch.h"
+#include "vft/vector_clock.h"
+
+namespace vft {
+
+class SyncVectorClock {
+ public:
+  SyncVectorClock() : len_(0), slots_(nullptr) {}
+
+  ~SyncVectorClock() {
+    delete[] slots_.load(std::memory_order_relaxed);
+  }
+
+  SyncVectorClock(const SyncVectorClock&) = delete;
+  SyncVectorClock& operator=(const SyncVectorClock&) = delete;
+
+  /// Lock-free read of slot t (acquire). Safe for thread t's own slot per
+  /// the discipline; also used under the lock for arbitrary slots.
+  Epoch get(Tid t) const {
+    std::uint32_t n = len_.load(std::memory_order_acquire);
+    if (t >= n) return Epoch::bottom(t);
+    const std::atomic<Epoch>* s = slots_.load(std::memory_order_acquire);
+    return s[t].load(std::memory_order_acquire);
+  }
+
+  /// Store e at slot t. Caller must hold the owning VarState's lock.
+  void set_locked(Tid t, Epoch e) {
+    VFT_ASSERT(!e.is_shared() && e.tid() == t);
+    ensure_capacity_locked(t + 1);
+    slots_.load(std::memory_order_relaxed)[t].store(e, std::memory_order_release);
+  }
+
+  std::uint32_t size() const { return len_.load(std::memory_order_acquire); }
+
+  /// this <= other, point-wise. Caller must hold the owning lock (the slow
+  /// [Write Shared] check of Figure 4 line 169 runs locked).
+  bool leq_locked(const VectorClock& other) const {
+    std::uint32_t n = std::max(size(), other.size());
+    for (Tid i = 0; i < n; ++i) {
+      if (!vft::leq(get(i), other.get(i))) return false;
+    }
+    return true;
+  }
+
+  /// Snapshot into a plain clock (for reports and tests). Caller holds lock.
+  VectorClock snapshot_locked() const {
+    VectorClock out;
+    for (Tid i = 0; i < size(); ++i) out.set(i, get(i));
+    return out;
+  }
+
+  std::string str() const { return snapshot_locked().str(); }
+
+ private:
+  void ensure_capacity_locked(std::uint32_t n) {
+    std::uint32_t old_n = len_.load(std::memory_order_relaxed);
+    if (n <= old_n) return;
+    // Grow geometrically but never materialize slots past the tid space
+    // (filler epochs must be well-formed bottom(t) values).
+    std::uint32_t new_n = std::max(n, old_n == 0 ? 4u : old_n * 2);
+    new_n = std::min(new_n, static_cast<std::uint32_t>(Epoch::kMaxTid) + 1);
+    new_n = std::max(new_n, n);
+    auto* fresh = new std::atomic<Epoch>[new_n];
+    const std::atomic<Epoch>* old = slots_.load(std::memory_order_relaxed);
+    for (Tid i = 0; i < new_n; ++i) {
+      Epoch e = i < old_n ? old[i].load(std::memory_order_relaxed)
+                          : Epoch::bottom(i);
+      fresh[i].store(e, std::memory_order_relaxed);
+    }
+    slots_.store(fresh, std::memory_order_release);
+    len_.store(new_n, std::memory_order_release);
+    if (old != nullptr) {
+      retired_.emplace_back(const_cast<std::atomic<Epoch>*>(old));
+    }
+  }
+
+  std::atomic<std::uint32_t> len_;
+  std::atomic<std::atomic<Epoch>*> slots_;
+  // Superseded arrays, kept alive for stale lock-free readers; mutated only
+  // under the owning VarState's lock, freed with this clock.
+  std::vector<std::unique_ptr<std::atomic<Epoch>[]>> retired_;
+};
+
+}  // namespace vft

@@ -1,0 +1,15 @@
+#include "vft/vector_clock.h"
+
+namespace vft {
+
+std::string VectorClock::str() const {
+  std::string out = "<";
+  for (Tid i = 0; i < size(); ++i) {
+    if (i != 0) out += ", ";
+    out += get(i).str();
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace vft

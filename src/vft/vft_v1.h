@@ -1,0 +1,122 @@
+// VerifiedFT-v1 (Figure 3): the basic concurrent implementation.
+//
+// Every read/write handler body executes under the VarState's mutex, so
+// all VarState fields are plain (lock-protected) data and the plain
+// VectorClock suffices. Serializability is the textbook reduction pattern
+// R (acquire) . B* (race-free accesses) . L (release).
+//
+// This variant is correct but slow (the paper measures ~15x overhead):
+// every access pays a lock round-trip, and concurrent reads of read-shared
+// data serialize on sx's mutex. It is the baseline against which v1.5/v2's
+// fast-path unlocking is measured (DESIGN.md experiments E1/E4).
+#pragma once
+
+#include <mutex>
+
+#include "vft/detector_base.h"
+#include "vft/vector_clock.h"
+
+namespace vft {
+
+class VftV1 : public DetectorBase {
+ public:
+  static constexpr const char* kName = "VerifiedFT-v1";
+
+  struct VarState {
+    std::mutex mu;
+    Epoch R;  // bottom initially; SHARED once reads are unordered
+    Epoch W;  // bottom initially
+    VectorClock V;
+    std::uint64_t id = 0;  // variable identity for race reports
+  };
+
+  explicit VftV1(RaceCollector* races = nullptr, RuleStats* stats = nullptr)
+      : DetectorBase(races, stats) {}
+
+  /// Read handler (Figure 3 lines 60-82). Returns false iff a race was
+  /// detected (and reported; checking continues per Section 7).
+  bool read(ThreadState& st, VarState& sx) {
+    const Tid t = st.t;
+    const Epoch e = st.epoch();
+    std::scoped_lock lk(sx.mu);
+    const Epoch r = sx.R;
+    if (r == e) {  // [Read Same Epoch]
+      count(Rule::kReadSameEpoch);
+      return true;
+    }
+    if (r.is_shared() && sx.V.get(t) == e) {  // [Read Shared Same Epoch]
+      count(Rule::kReadSharedSameEpoch);
+      return true;
+    }
+    bool ok = true;
+    const Epoch w = sx.W;
+    if (!ordered_before(w, st)) {  // [Write-Read Race]
+      report(RaceKind::kWriteRead, sx.id, st, w);
+      ok = false;  // fail-over: fall through and record the read anyway
+    }
+    if (!r.is_shared()) {
+      if (ordered_before(r, st)) {
+        sx.R = e;  // [Read Exclusive]
+        if (ok) count(Rule::kReadExclusive);
+      } else {
+        sx.V.set(r.tid(), r);  // [Read Share]
+        sx.V.set(t, e);
+        sx.R = Epoch::shared();
+        if (ok) count(Rule::kReadShare);
+      }
+    } else {
+      sx.V.set(t, e);  // [Read Shared]
+      if (ok) count(Rule::kReadShared);
+    }
+    return ok;
+  }
+
+  /// Write handler (Figure 3 lines 84-100).
+  bool write(ThreadState& st, VarState& sx) {
+    const Tid t = st.t;
+    (void)t;
+    const Epoch e = st.epoch();
+    std::scoped_lock lk(sx.mu);
+    const Epoch w = sx.W;
+    if (w == e) {  // [Write Same Epoch]
+      count(Rule::kWriteSameEpoch);
+      return true;
+    }
+    bool ok = true;
+    if (!ordered_before(w, st)) {  // [Write-Write Race]
+      report(RaceKind::kWriteWrite, sx.id, st, w);
+      ok = false;
+    }
+    const Epoch r = sx.R;
+    if (!r.is_shared()) {
+      if (!ordered_before(r, st)) {  // [Read-Write Race]
+        report(RaceKind::kReadWrite, sx.id, st, r);
+        ok = false;
+      }
+      sx.W = e;  // [Write Exclusive]
+      if (ok) count(Rule::kWriteExclusive);
+    } else {
+      if (!sx.V.leq(st.V)) {  // [Shared-Write Race] (slow VC comparison)
+        report(RaceKind::kSharedWrite, sx.id, st, first_unordered(sx.V, st.V));
+        ok = false;
+      }
+      sx.W = e;  // [Write Shared]; VerifiedFT keeps R = SHARED (Section 3)
+      if (ok) count(Rule::kWriteShared);
+    }
+    return ok;
+  }
+
+ protected:
+  /// For shared-write race reports: the first read epoch not ordered
+  /// before the writer's clock.
+  static Epoch first_unordered(const VectorClock& reads,
+                               const VectorClock& threadVC) {
+    std::uint32_t n = std::max(reads.size(), threadVC.size());
+    for (Tid i = 0; i < n; ++i) {
+      if (!leq(reads.get(i), threadVC.get(i))) return reads.get(i);
+    }
+    return Epoch();
+  }
+};
+
+}  // namespace vft

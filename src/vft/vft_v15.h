@@ -1,0 +1,101 @@
+// VerifiedFT-v1.5: the intermediate variant of Section 8, built to show
+// why unlocking [Read Shared Same Epoch] matters. It makes only
+// [Read Same Epoch] and [Write Same Epoch] lock-free; repeated reads of
+// read-shared data still serialize on the VarState mutex, which is why
+// read-shared-heavy workloads (sparse, sunflow analogues) stay slow here
+// and only recover with v2 (Table 1: 10.8x vs 8.12x geomean).
+#pragma once
+
+#include <mutex>
+
+#include "vft/detector_base.h"
+#include "vft/sync_var_state.h"
+
+namespace vft {
+
+class VftV15 : public DetectorBase {
+ public:
+  static constexpr const char* kName = "VerifiedFT-v1.5";
+
+  using VarState = SyncVarState;
+
+  explicit VftV15(RaceCollector* races = nullptr, RuleStats* stats = nullptr)
+      : DetectorBase(races, stats) {}
+
+  bool read(ThreadState& st, VarState& sx) {
+    const Tid t = st.t;
+    const Epoch e = st.epoch();
+    // -- pure block: only [Read Same Epoch] is lock-free in v1.5 --
+    {
+      const Epoch r = sx.r_nolock();
+      if (r == e) {
+        count(Rule::kReadSameEpoch);
+        return true;
+      }
+    }
+    std::scoped_lock lk(sx.mu);
+    const Epoch r = sx.r_locked();
+    if (r.is_shared() && sx.V.get(t) == e) {  // [Read Shared Same Epoch], locked
+      count(Rule::kReadSharedSameEpoch);
+      return true;
+    }
+    bool ok = true;
+    const Epoch w = sx.w_locked();
+    if (!ordered_before(w, st)) {  // [Write-Read Race]
+      report(RaceKind::kWriteRead, sx.id, st, w);
+      ok = false;
+    }
+    if (!r.is_shared()) {
+      if (ordered_before(r, st)) {
+        sx.set_r_locked(e);  // [Read Exclusive]
+        if (ok) count(Rule::kReadExclusive);
+      } else {
+        sx.V.set_locked(r.tid(), r);  // [Read Share]
+        sx.V.set_locked(t, e);
+        sx.set_r_locked(Epoch::shared());
+        if (ok) count(Rule::kReadShare);
+      }
+    } else {
+      sx.V.set_locked(t, e);  // [Read Shared]
+      if (ok) count(Rule::kReadShared);
+    }
+    return ok;
+  }
+
+  bool write(ThreadState& st, VarState& sx) {
+    const Epoch e = st.epoch();
+    {
+      const Epoch w = sx.w_nolock();
+      if (w == e) {  // [Write Same Epoch], lock-free
+        count(Rule::kWriteSameEpoch);
+        return true;
+      }
+    }
+    std::scoped_lock lk(sx.mu);
+    bool ok = true;
+    const Epoch w = sx.w_locked();
+    if (!ordered_before(w, st)) {  // [Write-Write Race]
+      report(RaceKind::kWriteWrite, sx.id, st, w);
+      ok = false;
+    }
+    const Epoch r = sx.r_locked();
+    if (!r.is_shared()) {
+      if (!ordered_before(r, st)) {  // [Read-Write Race]
+        report(RaceKind::kReadWrite, sx.id, st, r);
+        ok = false;
+      }
+      sx.set_w_locked(e);  // [Write Exclusive]
+      if (ok) count(Rule::kWriteExclusive);
+    } else {
+      if (!sx.V.leq_locked(st.V)) {  // [Shared-Write Race]
+        report(RaceKind::kSharedWrite, sx.id, st, Epoch());
+        ok = false;
+      }
+      sx.set_w_locked(e);  // [Write Shared]
+      if (ok) count(Rule::kWriteShared);
+    }
+    return ok;
+  }
+};
+
+}  // namespace vft

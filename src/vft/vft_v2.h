@@ -1,0 +1,126 @@
+// VerifiedFT-v2 (Figure 4): the optimized idealized implementation.
+//
+// The three most common rules run lock-free "pure blocks":
+//   [Read Same Epoch], [Read Shared Same Epoch] in read (lines 130-135),
+//   [Write Same Epoch] in write (lines 157-160).
+// Everything else acquires the VarState mutex and proceeds as in v1. The
+// pure blocks never modify state, so per the Section 5 reduction argument
+// a normally-terminating pure block is a both-mover and each handler stays
+// serializable; the mechanical version of that argument is this repo's
+// small-scope serializability test (tests/serializability_test.cpp).
+#pragma once
+
+#include <mutex>
+
+#include "vft/detector_base.h"
+#include "vft/sync_var_state.h"
+
+namespace vft {
+
+class VftV2 : public DetectorBase {
+ public:
+  static constexpr const char* kName = "VerifiedFT-v2";
+
+  using VarState = SyncVarState;
+
+  explicit VftV2(RaceCollector* races = nullptr, RuleStats* stats = nullptr)
+      : DetectorBase(races, stats) {}
+
+  /// Read handler (Figure 4 lines 127-152).
+  bool read(ThreadState& st, VarState& sx) {
+    const Tid t = st.t;
+    const Epoch e = st.epoch();
+    // -- pure block: lock-free fast paths --
+    {
+      const Epoch r = sx.r_nolock();  // N (or R when it yields SHARED)
+      if (r == e) {  // [Read Same Epoch]
+        count(Rule::kReadSameEpoch);
+        return true;
+      }
+      if (r.is_shared() && sx.V.get(t) == e) {  // [Read Shared Same Epoch]
+        // R: reading SHARED has no subsequent writes; the V[t] slot is
+        // readable by thread t without the lock per the discipline.
+        count(Rule::kReadSharedSameEpoch);
+        return true;
+      }
+    }
+    // -- slow path, as v1 --
+    std::scoped_lock lk(sx.mu);
+    bool ok = true;
+    const Epoch w = sx.w_locked();
+    if (!ordered_before(w, st)) {  // [Write-Read Race]
+      report(RaceKind::kWriteRead, sx.id, st, w);
+      ok = false;
+    }
+    const Epoch r = sx.r_locked();
+    if (!r.is_shared()) {
+      if (ordered_before(r, st)) {
+        sx.set_r_locked(e);  // [Read Exclusive] (N: concurrent readers)
+        if (ok) count(Rule::kReadExclusive);
+      } else {
+        // [Read Share]: populate V *before* publishing SHARED; lock-free
+        // readers only touch V after observing SHARED (acquire), which
+        // synchronizes with this release store.
+        sx.V.set_locked(r.tid(), r);
+        sx.V.set_locked(t, e);
+        sx.set_r_locked(Epoch::shared());
+        if (ok) count(Rule::kReadShare);
+      }
+    } else {
+      sx.V.set_locked(t, e);  // [Read Shared]
+      if (ok) count(Rule::kReadShared);
+    }
+    return ok;
+  }
+
+  /// Write handler (Figure 4 lines 154-173).
+  bool write(ThreadState& st, VarState& sx) {
+    const Epoch e = st.epoch();
+    // -- pure block: lock-free [Write Same Epoch] --
+    {
+      const Epoch w = sx.w_nolock();  // N
+      if (w == e) {
+        count(Rule::kWriteSameEpoch);
+        return true;
+      }
+    }
+    std::scoped_lock lk(sx.mu);
+    // Re-read W under the lock in case it changed (Section 5). W = e is
+    // impossible here (only this thread writes epoch e), so fall through.
+    bool ok = true;
+    const Epoch w = sx.w_locked();
+    if (!ordered_before(w, st)) {  // [Write-Write Race]
+      report(RaceKind::kWriteWrite, sx.id, st, w);
+      ok = false;
+    }
+    const Epoch r = sx.r_locked();
+    if (!r.is_shared()) {
+      if (!ordered_before(r, st)) {  // [Read-Write Race]
+        report(RaceKind::kReadWrite, sx.id, st, r);
+        ok = false;
+      }
+      sx.set_w_locked(e);  // [Write Exclusive]
+      if (ok) count(Rule::kWriteExclusive);
+    } else {
+      if (!sx.V.leq_locked(st.V)) {  // [Shared-Write Race]
+        report(RaceKind::kSharedWrite, sx.id, st, first_unordered(sx, st.V));
+        ok = false;
+      }
+      sx.set_w_locked(e);  // [Write Shared]; R stays SHARED (Section 3)
+      if (ok) count(Rule::kWriteShared);
+    }
+    return ok;
+  }
+
+ private:
+  static Epoch first_unordered(const SyncVarState& sx,
+                               const VectorClock& threadVC) {
+    std::uint32_t n = std::max(sx.V.size(), threadVC.size());
+    for (Tid i = 0; i < n; ++i) {
+      if (!leq(sx.V.get(i), threadVC.get(i))) return sx.V.get(i);
+    }
+    return Epoch();
+  }
+};
+
+}  // namespace vft

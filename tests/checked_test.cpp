@@ -1,0 +1,98 @@
+// Checked<> invariant decorator: transparent on correct detectors across
+// big random replay sweeps (racy and race-free), and actually able to
+// catch invariant violations (validated against a deliberately broken
+// detector).
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+#include "trace/replay.h"
+#include "vft/checked.h"
+#include "vft/detector.h"
+
+namespace vft {
+namespace {
+
+static_assert(Detector<Checked<VftV1>>);
+static_assert(Detector<Checked<VftV2>>);
+static_assert(Detector<Checked<FtCas>>);
+
+template <typename D>
+void sweep(bool absorbing, RuleSet rules_for_ref) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    for (const double disciplined : {1.0, 0.5}) {
+      trace::GeneratorConfig cfg;
+      cfg.initial_threads = 3;
+      cfg.max_threads = 2;
+      cfg.vars = 6;
+      cfg.ops = 150;
+      cfg.disciplined_fraction = disciplined;
+      cfg.seed = seed;
+      const trace::Trace t = trace::generate(cfg);
+
+      RaceCollector rc;
+      Checked<D> checked(D(&rc), absorbing);
+      const trace::ReplayResult run = trace::replay(t, checked);
+
+      // The decorator must be observationally transparent.
+      RaceCollector rc_plain;
+      D plain(&rc_plain);
+      const trace::ReplayResult ref = trace::replay(t, plain);
+      ASSERT_EQ(run.first_race, ref.first_race)
+          << D::kName << " seed " << seed;
+      ASSERT_EQ(rc.count(), rc_plain.count());
+      (void)rules_for_ref;
+    }
+  }
+}
+
+TEST(Checked, TransparentOverVftV1) { sweep<VftV1>(true, RuleSet::kVerifiedFT); }
+TEST(Checked, TransparentOverVftV15) { sweep<VftV15>(true, RuleSet::kVerifiedFT); }
+TEST(Checked, TransparentOverVftV2) { sweep<VftV2>(true, RuleSet::kVerifiedFT); }
+TEST(Checked, TransparentOverFtMutexOriginalRules) {
+  // Original rules reset R on [Write Shared]: absorption off.
+  sweep<FtMutex>(false, RuleSet::kOriginalFastTrack);
+}
+TEST(Checked, TransparentOverFtCasOriginalRules) {
+  sweep<FtCas>(false, RuleSet::kOriginalFastTrack);
+}
+
+// A deliberately broken detector: its write handler forgets to check the
+// read history before an exclusive write AND stomps W with a stale epoch.
+// Checked must abort on the W invariant.
+class BrokenDetector : public VftV1 {
+ public:
+  using VftV1::VftV1;
+
+  bool write(ThreadState& st, VftV1::VarState& sx) {
+    std::scoped_lock lk(sx.mu);
+    sx.W = st.epoch().inc();  // bogus: an epoch from the future
+    return true;
+  }
+};
+
+TEST(Checked, CatchesBrokenWriteInvariant) {
+  RaceCollector rc;
+  Checked<BrokenDetector> checked{BrokenDetector(&rc)};
+  ThreadState t0(0);
+  BrokenDetector::VarState x;
+  // The stored W is neither the previous W (bottom) nor E_t: caught.
+  EXPECT_DEATH(checked.write(t0, x), "VFT_CHECK");
+}
+
+// The absorption check must fire if SHARED mode is (incorrectly) dropped
+// while absorbing mode is on - using FT-Mutex's original rules, whose
+// [Write Shared] reset violates absorption by design.
+TEST(Checked, AbsorptionViolationCaughtOnOriginalRules) {
+  RaceCollector rc;
+  Checked<FtMutex> checked{FtMutex(&rc), /*shared_is_absorbing=*/true};
+  ThreadState a(0), b(1), c(2);
+  FtMutex::VarState x;
+  ASSERT_TRUE(checked.read(a, x));
+  ASSERT_TRUE(checked.read(b, x));  // -> SHARED
+  c.join(a.V);
+  c.join(b.V);
+  EXPECT_DEATH(checked.write(c, x), "VFT_CHECK");  // reset drops SHARED
+}
+
+}  // namespace
+}  // namespace vft

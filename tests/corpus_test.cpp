@@ -1,0 +1,101 @@
+// Golden trace corpus: curated traces under tests/corpus/, named
+// <name>.racy.trace or <name>.free.trace. Every file must parse, be
+// feasible, and get the verdict its name promises - from the HB oracle
+// (both implementations), the specification, and all six detectors, in
+// sequential and concurrent replay.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "trace/feasibility.h"
+#include "trace/hb_oracle.h"
+#include "trace/replay.h"
+#include "vft/detector.h"
+
+#ifndef VFT_CORPUS_DIR
+#error "VFT_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace vft {
+namespace {
+
+struct CorpusEntry {
+  std::string name;
+  trace::Trace t;
+  bool racy;
+};
+
+std::vector<CorpusEntry> load_corpus() {
+  std::vector<CorpusEntry> entries;
+  for (const auto& file :
+       std::filesystem::directory_iterator(VFT_CORPUS_DIR)) {
+    const std::string name = file.path().filename().string();
+    if (file.path().extension() != ".trace") continue;
+    std::ifstream in(file.path());
+    std::ostringstream text;
+    std::string line;
+    while (std::getline(in, line)) text << line << "; ";
+    CorpusEntry e;
+    e.name = name;
+    e.racy = name.find(".racy.") != std::string::npos;
+    const bool parsed = trace::parse(text.str(), &e.t);
+    EXPECT_TRUE(parsed) << name;
+    if (parsed) entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+TEST(Corpus, HasBothVerdictKinds) {
+  const auto corpus = load_corpus();
+  std::size_t racy = 0, free = 0;
+  for (const auto& e : corpus) (e.racy ? racy : free)++;
+  EXPECT_GE(racy, 4u);
+  EXPECT_GE(free, 4u);
+}
+
+TEST(Corpus, AllFeasible) {
+  for (const auto& e : load_corpus()) {
+    const auto err = trace::check_feasible(e.t);
+    EXPECT_FALSE(err.has_value())
+        << e.name << ": " << (err ? err->message : "");
+  }
+}
+
+TEST(Corpus, OraclesAgreeWithVerdicts) {
+  for (const auto& e : load_corpus()) {
+    EXPECT_EQ(!trace::analyze(e.t).race_free(), e.racy) << e.name;
+    EXPECT_EQ(!trace::analyze_closure(e.t).race_free(), e.racy) << e.name;
+  }
+}
+
+TEST(Corpus, SpecAgreesWithVerdicts) {
+  for (const auto& e : load_corpus()) {
+    for (const RuleSet rules :
+         {RuleSet::kVerifiedFT, RuleSet::kOriginalFastTrack}) {
+      Spec spec(rules);
+      EXPECT_EQ(trace::replay_spec(e.t, spec).error_index.has_value(), e.racy)
+          << e.name;
+    }
+  }
+}
+
+TEST(Corpus, EveryDetectorAgreesSequentialAndConcurrent) {
+  for (const auto& e : load_corpus()) {
+    for_each_detector(nullptr, nullptr, [&](auto& d) {
+      using D = std::decay_t<decltype(d)>;
+      const trace::ReplayResult seq = trace::replay(e.t, d);
+      EXPECT_EQ(seq.first_race.has_value(), e.racy)
+          << D::kName << " (sequential) on " << e.name;
+      D fresh;
+      const trace::ReplayResult conc = trace::concurrent_replay(e.t, fresh);
+      EXPECT_EQ(conc.first_race, seq.first_race)
+          << D::kName << " (concurrent) on " << e.name;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace vft

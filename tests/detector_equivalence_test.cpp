@@ -1,0 +1,144 @@
+// Differential functional-correctness tests: replaying the same feasible
+// trace through a detector and through the Figure 2 specification must
+// agree - on whether a race exists, on *which operation* first trips it,
+// and (on race-free traces) on the final per-variable analysis state.
+//
+// This is the sequential half of the Section 6 correctness argument: given
+// serializability (tested separately), handlers executed at their trace
+// positions must transform the state exactly as the rules do.
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+#include "trace/hb_oracle.h"
+#include "trace/replay.h"
+#include "vft/detector.h"
+
+namespace vft {
+namespace {
+
+using trace::GeneratorConfig;
+using trace::Trace;
+
+// Final-state extraction per detector family (epoch detectors only).
+void expect_var_matches_spec(VftV1::VarState& v, const Spec::VarState& s) {
+  EXPECT_EQ(v.R, s.R);
+  EXPECT_EQ(v.W, s.W);
+  if (s.R.is_shared()) {
+    EXPECT_TRUE(v.V == s.V);
+  }
+}
+void expect_var_matches_spec(SyncVarState& v, const Spec::VarState& s) {
+  EXPECT_EQ(v.R.load(), s.R);
+  EXPECT_EQ(v.W.load(), s.W);
+  if (s.R.is_shared()) {
+    EXPECT_TRUE(v.V.snapshot_locked() == s.V);
+  }
+}
+void expect_var_matches_spec(FtCas::VarState& v, const Spec::VarState& s) {
+  EXPECT_EQ(FtCas::VarState::unpack_r(v.rw.load()), s.R);
+  EXPECT_EQ(FtCas::VarState::unpack_w(v.rw.load()), s.W);
+  if (s.R.is_shared()) {
+    EXPECT_TRUE(v.V.snapshot_locked() == s.V);
+  }
+}
+// DJIT+ keeps no epoch state; only behavioural agreement is checked.
+void expect_var_matches_spec(Djit::VarState&, const Spec::VarState&) {}
+
+template <typename D>
+void run_equivalence(D&& d, RaceCollector& races, RuleSet rules,
+                     bool check_state) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    for (const double disciplined : {1.0, 0.85, 0.5}) {
+      races.clear();
+      GeneratorConfig cfg;
+      cfg.initial_threads = 3;
+      cfg.max_threads = 3;
+      cfg.vars = 6;
+      cfg.ops = 180;
+      cfg.disciplined_fraction = disciplined;
+      cfg.seed = seed * 31 + static_cast<std::uint64_t>(disciplined * 10);
+      const Trace t = trace::generate(cfg);
+
+      Spec spec(rules);
+      const trace::SpecReplayResult sr = trace::replay_spec(t, spec);
+
+      trace::ShadowStore<std::decay_t<D>> store;
+      trace::ReplayResult dr;
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!trace::apply(d, store, t[i])) {
+          if (!dr.first_race) dr.first_race = i;
+          dr.racy_ops++;
+        }
+        // Compare prefixes only up to the spec's halt (Section 7: the
+        // implementation continues, the spec stops).
+        if (sr.error_index && i == *sr.error_index) break;
+      }
+
+      ASSERT_EQ(dr.first_race, sr.error_index)
+          << D::kName << " seed " << seed << " disc " << disciplined << "\n"
+          << trace::to_string(t);
+      if (!sr.error_index) {
+        EXPECT_TRUE(races.empty());
+        if (check_state) {
+          // Final analysis state of every touched variable matches S.
+          for (const trace::Op& op : t) {
+            if (op.kind == trace::OpKind::kRead ||
+                op.kind == trace::OpKind::kWrite) {
+              expect_var_matches_spec(store.var(op.target),
+                                      spec.var(op.target));
+            }
+          }
+        }
+      } else {
+        EXPECT_GE(races.count(), 1u);
+      }
+    }
+  }
+}
+
+TEST(Equivalence, VftV1MatchesSpec) {
+  RaceCollector rc;
+  run_equivalence(VftV1(&rc), rc, RuleSet::kVerifiedFT, true);
+}
+
+TEST(Equivalence, VftV15MatchesSpec) {
+  RaceCollector rc;
+  run_equivalence(VftV15(&rc), rc, RuleSet::kVerifiedFT, true);
+}
+
+TEST(Equivalence, VftV2MatchesSpec) {
+  RaceCollector rc;
+  run_equivalence(VftV2(&rc), rc, RuleSet::kVerifiedFT, true);
+}
+
+TEST(Equivalence, FtMutexMatchesOriginalSpec) {
+  RaceCollector rc;
+  run_equivalence(FtMutex(&rc), rc, RuleSet::kOriginalFastTrack, true);
+}
+
+TEST(Equivalence, FtMutexWithRevisedRulesMatchesVerifiedFTSpec) {
+  RaceCollector rc;
+  run_equivalence(FtMutex(&rc, nullptr, RuleSet::kVerifiedFT), rc,
+                  RuleSet::kVerifiedFT, true);
+}
+
+TEST(Equivalence, FtCasMatchesOriginalSpec) {
+  RaceCollector rc;
+  run_equivalence(FtCas(&rc), rc, RuleSet::kOriginalFastTrack, true);
+}
+
+TEST(Equivalence, FtCasWithRevisedRulesMatchesVerifiedFTSpec) {
+  RaceCollector rc;
+  run_equivalence(FtCas(&rc, nullptr, RuleSet::kVerifiedFT), rc,
+                  RuleSet::kVerifiedFT, true);
+}
+
+// DJIT+ has no epoch state to compare, but must still be precise: same
+// first-race position as the specification.
+TEST(Equivalence, DjitFindsSameFirstRace) {
+  RaceCollector rc;
+  run_equivalence(Djit(&rc), rc, RuleSet::kVerifiedFT, false);
+}
+
+}  // namespace
+}  // namespace vft

@@ -1,0 +1,89 @@
+// Unit tests for the bit-packed epoch representation (paper Section 3
+// epoch algebra; Figure 3 lines 9-14).
+#include "vft/epoch.h"
+
+#include <gtest/gtest.h>
+
+namespace vft {
+namespace {
+
+TEST(Epoch, DefaultIsBottom) {
+  const Epoch e;
+  EXPECT_FALSE(e.is_shared());
+  EXPECT_EQ(e.tid(), 0u);
+  EXPECT_EQ(e.clock(), 0u);
+}
+
+TEST(Epoch, MakeRoundTripsTidAndClock) {
+  const Epoch e = Epoch::make(13, 4711);
+  EXPECT_EQ(e.tid(), 13u);
+  EXPECT_EQ(e.clock(), 4711u);
+  EXPECT_FALSE(e.is_shared());
+}
+
+TEST(Epoch, ExtremesFitThePacking) {
+  const Epoch e = Epoch::make(Epoch::kMaxTid, Epoch::kMaxClock);
+  EXPECT_EQ(e.tid(), Epoch::kMaxTid);
+  EXPECT_EQ(e.clock(), Epoch::kMaxClock);
+}
+
+TEST(Epoch, SharedIsDistinctFromEveryRealEpoch) {
+  const Epoch s = Epoch::shared();
+  EXPECT_TRUE(s.is_shared());
+  // SHARED is all-ones; a real epoch can never equal it because the max
+  // representable tid/clock are one below the field maxima.
+  EXPECT_NE(s, Epoch::make(Epoch::kMaxTid, Epoch::kMaxClock));
+  EXPECT_NE(s, Epoch());
+}
+
+TEST(Epoch, BottomPerThread) {
+  const Epoch b = Epoch::bottom(7);
+  EXPECT_EQ(b.tid(), 7u);
+  EXPECT_EQ(b.clock(), 0u);
+}
+
+TEST(Epoch, LeqComparesClocksWithinAThread) {
+  EXPECT_TRUE(leq(Epoch::make(3, 5), Epoch::make(3, 5)));
+  EXPECT_TRUE(leq(Epoch::make(3, 5), Epoch::make(3, 6)));
+  EXPECT_FALSE(leq(Epoch::make(3, 6), Epoch::make(3, 5)));
+  EXPECT_TRUE(leq(Epoch::bottom(3), Epoch::make(3, 0)));
+}
+
+TEST(Epoch, MaxTakesTheLargerClock) {
+  EXPECT_EQ(max(Epoch::make(2, 9), Epoch::make(2, 4)), Epoch::make(2, 9));
+  EXPECT_EQ(max(Epoch::make(2, 4), Epoch::make(2, 9)), Epoch::make(2, 9));
+  EXPECT_EQ(max(Epoch::make(2, 4), Epoch::make(2, 4)), Epoch::make(2, 4));
+}
+
+TEST(Epoch, IncAdvancesClockOnly) {
+  const Epoch e = Epoch::make(9, 41).inc();
+  EXPECT_EQ(e.tid(), 9u);
+  EXPECT_EQ(e.clock(), 42u);
+}
+
+TEST(Epoch, IncOverflowAborts) {
+  const Epoch e = Epoch::make(1, Epoch::kMaxClock);
+  EXPECT_DEATH((void)e.inc(), "VFT_CHECK");
+}
+
+TEST(Epoch, BitsRoundTrip) {
+  const Epoch e = Epoch::make(200, 12345);
+  EXPECT_EQ(Epoch::from_bits(e.bits()), e);
+}
+
+TEST(Epoch, StrFormatsTidAtClock) {
+  EXPECT_EQ(Epoch::make(4, 17).str(), "4@17");
+  EXPECT_EQ(Epoch::shared().str(), "SHARED");
+}
+
+TEST(Epoch, OrderingIsTotalPerThread) {
+  // Property sweep: leq agrees with clock comparison for many pairs.
+  for (Clock a = 0; a < 50; a += 7) {
+    for (Clock b = 0; b < 50; b += 5) {
+      EXPECT_EQ(leq(Epoch::make(6, a), Epoch::make(6, b)), a <= b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vft

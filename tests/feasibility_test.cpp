@@ -1,0 +1,86 @@
+// Feasibility checker: each Section 2 constraint, accepted and violated.
+#include "trace/feasibility.h"
+
+#include <gtest/gtest.h>
+
+namespace vft::trace {
+namespace {
+
+TEST(Feasibility, EmptyTraceIsFeasible) {
+  EXPECT_TRUE(is_feasible({}));
+}
+
+TEST(Feasibility, SimpleLockDisciplineIsFeasible) {
+  EXPECT_TRUE(is_feasible({acq(0, 0), wr(0, 1), rel(0, 0),
+                           acq(1, 0), rd(1, 1), rel(1, 0)}));
+}
+
+TEST(Feasibility, DoubleAcquireRejected) {
+  const auto err = check_feasible({acq(0, 0), acq(1, 0)});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->index, 1u);
+}
+
+TEST(Feasibility, SelfDoubleAcquireRejected) {
+  // Locks are not reentrant in the trace language (constraint 1).
+  EXPECT_FALSE(is_feasible({acq(0, 0), acq(0, 0)}));
+}
+
+TEST(Feasibility, ReleaseWithoutAcquireRejected) {
+  EXPECT_FALSE(is_feasible({rel(0, 0)}));
+}
+
+TEST(Feasibility, ReleaseByNonHolderRejected) {
+  EXPECT_FALSE(is_feasible({acq(0, 0), rel(1, 0)}));
+}
+
+TEST(Feasibility, ReacquireAfterReleaseOk) {
+  EXPECT_TRUE(is_feasible({acq(0, 0), rel(0, 0), acq(0, 0), rel(0, 0)}));
+}
+
+TEST(Feasibility, ForkTwiceRejected) {
+  EXPECT_FALSE(is_feasible({fork(0, 1), rd(1, 0), join(0, 1), fork(0, 1)}));
+  EXPECT_FALSE(is_feasible({fork(0, 1), fork(2, 1)}));
+}
+
+TEST(Feasibility, SelfForkAndSelfJoinRejected) {
+  EXPECT_FALSE(is_feasible({fork(0, 0)}));
+  EXPECT_FALSE(is_feasible({fork(0, 1), rd(1, 0), join(1, 1)}));
+}
+
+TEST(Feasibility, OpBeforeForkRejected) {
+  EXPECT_FALSE(is_feasible({rd(1, 0), fork(0, 1)}));
+}
+
+TEST(Feasibility, OpAfterJoinRejected) {
+  EXPECT_FALSE(is_feasible({fork(0, 1), rd(1, 0), join(0, 1), wr(1, 0)}));
+}
+
+TEST(Feasibility, JoinRequiresChildOp) {
+  // Constraint (5): >= 1 op of the child between fork and join.
+  EXPECT_FALSE(is_feasible({fork(0, 1), join(0, 1)}));
+  EXPECT_TRUE(is_feasible({fork(0, 1), rd(1, 0), join(0, 1)}));
+}
+
+TEST(Feasibility, JoinOnNeverForkedRejected) {
+  EXPECT_FALSE(is_feasible({rd(1, 0), join(0, 1)}));
+}
+
+TEST(Feasibility, InitialThreadsNeedNoFork) {
+  // Threads may exist from the start of the trace (like A and B in Fig 1).
+  EXPECT_TRUE(is_feasible({rd(0, 0), rd(1, 0), wr(2, 1)}));
+}
+
+TEST(Feasibility, ErrorCarriesIndexAndMessage) {
+  const auto err = check_feasible({acq(0, 0), rd(0, 1), rel(1, 0)});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->index, 2u);
+  EXPECT_NE(err->message.find("release"), std::string::npos);
+}
+
+TEST(Feasibility, TidBoundEnforced) {
+  EXPECT_FALSE(is_feasible({rd(1000, 0)}));
+}
+
+}  // namespace
+}  // namespace vft::trace

@@ -1,0 +1,132 @@
+// Behavioural tests specific to the reconstructed historical FastTrack
+// implementations (FT-Mutex, FT-CAS): original-rule state transitions,
+// optimistic-retry robustness, and the packed-word invariants of FT-CAS.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "vft/detector.h"
+
+namespace vft {
+namespace {
+
+TEST(FtMutexOriginal, WriteSharedResetsReadHistory) {
+  RaceCollector rc;
+  FtMutex d(&rc);  // original rules by default
+  ThreadState a(0), b(1), c(2);
+  FtMutex::VarState x;
+  ASSERT_TRUE(d.read(a, x));
+  ASSERT_TRUE(d.read(b, x));  // -> SHARED
+  c.join(a.V);
+  c.join(b.V);
+  ASSERT_TRUE(d.write(c, x));
+  // Original [Write Shared]: R drops back to the bottom epoch.
+  EXPECT_EQ(x.R.load(), Epoch());
+  EXPECT_TRUE(rc.empty());
+}
+
+TEST(FtMutexOriginal, ThrashingPatternRepeatedlyReinflates) {
+  // The Section 3 motivation for VerifiedFT's rule change: alternating
+  // shared reads and ordered writes force R to oscillate between SHARED
+  // and epoch mode under the original rules.
+  RaceCollector rc;
+  FtMutex d(&rc);
+  ThreadState a(0), b(1), c(2);
+  FtMutex::VarState x;
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(d.read(a, x));
+    ASSERT_TRUE(d.read(b, x));
+    EXPECT_TRUE(x.R.load().is_shared()) << "round " << round;
+    c.join(a.V);
+    c.join(b.V);
+    ASSERT_TRUE(d.write(c, x));
+    EXPECT_FALSE(x.R.load().is_shared()) << "round " << round;
+    a.join(c.V);
+    b.join(c.V);
+    a.inc();
+    b.inc();
+    c.inc();
+  }
+  EXPECT_TRUE(rc.empty());
+}
+
+TEST(FtCasOriginal, WriteSharedResetsReadHistory) {
+  RaceCollector rc;
+  FtCas d(&rc);
+  ThreadState a(0), b(1), c(2);
+  FtCas::VarState x;
+  ASSERT_TRUE(d.read(a, x));
+  ASSERT_TRUE(d.read(b, x));
+  c.join(a.V);
+  c.join(b.V);
+  ASSERT_TRUE(d.write(c, x));
+  EXPECT_EQ(FtCas::VarState::unpack_r(x.rw.load()), Epoch());
+  EXPECT_EQ(FtCas::VarState::unpack_w(x.rw.load()), c.epoch());
+}
+
+TEST(FtCas, PackUnpackRoundTrips) {
+  const Epoch r = Epoch::make(3, 77);
+  const Epoch w = Epoch::make(9, 1234);
+  const std::uint64_t packed = FtCas::VarState::pack(r, w);
+  EXPECT_EQ(FtCas::VarState::unpack_r(packed), r);
+  EXPECT_EQ(FtCas::VarState::unpack_w(packed), w);
+  const std::uint64_t shared_pack = FtCas::VarState::pack(Epoch::shared(), w);
+  EXPECT_TRUE(FtCas::VarState::unpack_r(shared_pack).is_shared());
+  EXPECT_EQ(FtCas::VarState::unpack_w(shared_pack), w);
+}
+
+TEST(FtCas, PackedWordIsLockFree) {
+  FtCas::VarState x;
+  EXPECT_TRUE(x.rw.is_lock_free());
+}
+
+Epoch get_r(FtMutex::VarState& v) { return v.R.load(); }
+Epoch get_r(FtCas::VarState& v) {
+  return FtCas::VarState::unpack_r(v.rw.load());
+}
+
+// Optimistic paths under real interference: many threads read one
+// variable concurrently through FT-Mutex/FT-CAS; the runs must be
+// race-report-free and end in SHARED mode with every reader recorded.
+template <typename D>
+void hammer_readers(D&& d, RaceCollector& rc) {
+  typename std::decay_t<D>::VarState x;
+  constexpr int kReaders = 6;
+  std::vector<std::unique_ptr<ThreadState>> states;
+  std::vector<std::thread> threads;
+  states.reserve(kReaders);
+  for (Tid t = 0; t < kReaders; ++t) {
+    states.push_back(std::make_unique<ThreadState>(t));
+  }
+  for (Tid t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 3000; ++i) EXPECT_TRUE(d.read(*states[t], x));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(rc.empty());
+  for (Tid t = 0; t < kReaders; ++t) {
+    // Every reader's last epoch is recorded (either as the exclusive
+    // epoch, if somehow still exclusive, or in the shared clock).
+    const Epoch e = states[t]->epoch();
+    const Epoch r = get_r(x);
+    if (r.is_shared()) {
+      EXPECT_EQ(x.V.get(t), e) << "reader " << t;
+    } else {
+      EXPECT_EQ(r, e);
+    }
+  }
+}
+
+TEST(FtMutex, ConcurrentReadersConvergeToShared) {
+  RaceCollector rc;
+  hammer_readers(FtMutex(&rc), rc);
+}
+
+TEST(FtCas, ConcurrentReadersConvergeToShared) {
+  RaceCollector rc;
+  hammer_readers(FtCas(&rc), rc);
+}
+
+}  // namespace
+}  // namespace vft

@@ -1,0 +1,463 @@
+// Small-scope serializability checking for the FT-CAS handlers - the
+// implementation the paper describes as using "optimistic concurrency
+// based on atomic CAS operations" with "subtle ordering issues". CIVL was
+// never applied to FT-CAS (only to VerifiedFT-v2); this enumeration checks
+// the same obligation for our reconstruction, including the race fail-over
+// paths (force_read / force_write) and the locked share-inflation loop.
+//
+// Model: the packed 8-byte (R, W) word is one atomic cell (loads see both
+// fields consistently; CAS compares and swaps both), V has one slot per
+// thread, plus the VC mutex. Each handler follows ft_cas.h step for step,
+// one shared-memory access (or CAS attempt) per step; local recomputation
+// after a CAS failure is folded into the CAS step, exactly as
+// compare_exchange returns the fresh value.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "vft/epoch.h"
+#include "vft/vector_clock.h"
+
+namespace vft {
+namespace {
+
+struct MState {
+  Epoch R, W;  // the packed word's two halves (always accessed together)
+  std::array<Epoch, 2> V{Epoch::bottom(0), Epoch::bottom(1)};
+  int lock = -1;
+
+  friend bool operator==(const MState&, const MState&) = default;
+  friend auto operator<=>(const MState& a, const MState& b) {
+    return std::tuple(a.R.bits(), a.W.bits(), a.V[0].bits(), a.V[1].bits(),
+                      a.lock) <=> std::tuple(b.R.bits(), b.W.bits(),
+                                             b.V[0].bits(), b.V[1].bits(),
+                                             b.lock);
+  }
+};
+
+enum Path : int {
+  kPending = -1,
+  kReadSame = 0,
+  kReadSharedSame,
+  kReadExcl,
+  kReadShare,
+  kReadShared,
+  kWriteSame,
+  kWriteExcl,
+  kWriteShared,
+};
+constexpr int kRaceBit = 16;
+
+struct Exec {
+  bool is_write;
+  int self;
+  Epoch e;
+  VectorClock stv;
+  int pc = 0;
+  Epoch lr, lw;  // snapshot of the packed word
+  bool raced = false;
+  int ret = kPending;
+
+  bool done() const { return ret != kPending; }
+
+  bool ordered(Epoch x) const { return leq(x, stv.get(x.tid())); }
+
+  bool can_step(const MState& s) const {
+    // Lock-acquisition pcs block while the lock is held.
+    const bool is_acquire = pc == 10 || pc == 25 || pc == 30 || pc == 50;
+    return !(is_acquire && s.lock != -1);
+  }
+
+  void load(const MState& s) {
+    lr = s.R;
+    lw = s.W;
+  }
+
+  /// Try CAS on the packed word: expected (lr, lw) -> (nr, nw). On failure
+  /// refreshes (lr, lw), exactly like compare_exchange.
+  bool cas(MState& s, Epoch nr, Epoch nw) {
+    if (s.R == lr && s.W == lw) {
+      s.R = nr;
+      s.W = nw;
+      return true;
+    }
+    load(s);
+    return false;
+  }
+
+  void release(MState& s, Path p) {
+    VFT_CHECK(s.lock == self);
+    s.lock = -1;
+    ret = p | (raced ? kRaceBit : 0);
+  }
+
+  void step(MState& s) { is_write ? step_write(s) : step_read(s); }
+
+  // --- the read handler (ft_cas.h read + its locked/forced helpers) ---
+
+  /// The lock-free dispatch over a fresh (lr, lw) snapshot.
+  void read_branch() {
+    if (lr == e) {
+      ret = kReadSame | (raced ? kRaceBit : 0);
+    } else if (lr.is_shared()) {
+      pc = 1;  // try the V[self] fast path
+    } else if (!ordered(lw)) {
+      raced = true;
+      pc = 20;  // force_read
+    } else if (ordered(lr)) {
+      pc = 3;  // lock-free [Read Exclusive] CAS
+    } else {
+      pc = 30;  // read_share_locked
+    }
+  }
+
+  /// Dispatch inside read_share_locked's retry loop (lock held).
+  void share_locked_branch() {
+    if (!ordered(lw)) raced = true;
+    if (lr.is_shared()) {
+      pc = 12;  // just our slot
+    } else if (lr == e) {
+      pc = 13;  // defensive no-op exit (unreachable from feasible states)
+    } else if (ordered(lr)) {
+      pc = 32;  // exclusive CAS under the lock
+    } else {
+      pc = 34;  // inflate
+    }
+  }
+
+  /// Dispatch inside force_read (race already recorded).
+  void force_read_branch() {
+    if (lr.is_shared()) {
+      pc = 25;  // lock, set our slot
+    } else if (ordered(lr)) {
+      pc = 24;  // CAS R := e
+    } else {
+      pc = 25;  // lock, inflate without re-reporting
+    }
+  }
+
+  void step_read(MState& s) {
+    switch (pc) {
+      case 0:  // initial atomic load of the packed word
+        load(s);
+        read_branch();
+        return;
+      case 1:  // lock-free V[self] probe ([Read Shared Same Epoch])
+        if (s.V[self] == e) {
+          ret = kReadSharedSame;
+        } else {
+          pc = 10;  // read_shared_locked
+        }
+        return;
+      case 3:  // [Read Exclusive] CAS
+        if (cas(s, e, lw)) {
+          ret = kReadExcl | (raced ? kRaceBit : 0);
+        } else {
+          read_branch();  // fresh snapshot: full re-dispatch
+        }
+        return;
+      // --- read_shared_locked ---
+      case 10:
+        VFT_CHECK(s.lock == -1);
+        s.lock = self;
+        pc = 11;
+        return;
+      case 11:
+        load(s);  // locked re-read; R is SHARED and final
+        VFT_CHECK(lr.is_shared());
+        if (!ordered(lw)) raced = true;
+        pc = 12;
+        return;
+      case 12:
+        s.V[self] = e;
+        pc = 13;
+        return;
+      case 13:
+        release(s, kReadShared);
+        return;
+      // --- read_share_locked ---
+      case 30:
+        VFT_CHECK(s.lock == -1);
+        s.lock = self;
+        pc = 31;
+        return;
+      case 31:
+        load(s);
+        share_locked_branch();
+        return;
+      case 32:  // exclusive CAS under the lock
+        if (cas(s, e, lw)) {
+          pc = 33;
+        } else {
+          share_locked_branch();
+        }
+        return;
+      case 33:
+        release(s, kReadExcl);
+        return;
+      case 34:  // inflate 1/3: record the previous reader
+        s.V[lr.tid()] = lr;
+        pc = 35;
+        return;
+      case 35:  // inflate 2/3: record ourselves
+        s.V[self] = e;
+        pc = 36;
+        return;
+      case 36:  // inflate 3/3: publish SHARED via CAS
+        if (cas(s, Epoch::shared(), lw)) {
+          pc = 37;
+        } else {
+          share_locked_branch();
+        }
+        return;
+      case 37:
+        release(s, kReadShare);
+        return;
+      // --- force_read (raced already set) ---
+      case 20:
+        load(s);
+        force_read_branch();
+        return;
+      case 24:  // CAS R := e (history ordered in the meantime)
+        if (cas(s, e, lw)) {
+          ret = kReadExcl | kRaceBit;
+        } else {
+          force_read_branch();
+        }
+        return;
+      case 25:
+        VFT_CHECK(s.lock == -1);
+        s.lock = self;
+        pc = 26;
+        return;
+      case 26:
+        load(s);
+        pc = lr.is_shared() ? 27 : 28;
+        return;
+      case 27:  // already shared: our slot, done
+        s.V[self] = e;
+        pc = 29;
+        return;
+      case 28:  // inflate without re-reporting
+        s.V[lr.tid()] = lr;
+        s.V[self] = e;  // (both under the lock; see ft_cas.h force_read)
+        if (cas(s, Epoch::shared(), lw)) {
+          pc = 29;
+        } else {
+          pc = 26;  // reload and retry
+        }
+        return;
+      case 29:
+        release(s, kReadShared);
+        return;
+      default:
+        VFT_CHECK(false);
+    }
+  }
+
+  // --- the write handler ---
+
+  void write_branch() {
+    if (lw == e) {
+      ret = kWriteSame | (raced ? kRaceBit : 0);
+    } else if (!ordered(lw)) {
+      raced = true;
+      pc = 40;  // force_write
+    } else if (lr.is_shared()) {
+      pc = 50;  // write_shared_locked
+    } else if (!ordered(lr)) {
+      raced = true;
+      pc = 40;
+    } else {
+      pc = 5;  // lock-free [Write Exclusive] CAS
+    }
+  }
+
+  void step_write(MState& s) {
+    switch (pc) {
+      case 0:
+        load(s);
+        write_branch();
+        return;
+      case 5:
+        if (cas(s, lr, e)) {
+          ret = kWriteExcl | (raced ? kRaceBit : 0);
+        } else {
+          write_branch();
+        }
+        return;
+      // --- force_write: CAS W := e keeping whatever R is ---
+      case 40:
+        load(s);
+        pc = 41;
+        return;
+      case 41:
+        if (cas(s, lr, e)) {
+          ret = kWriteExcl | kRaceBit;
+        } else {
+          pc = 41;  // lr/lw refreshed by cas(); try again
+        }
+        return;
+      // --- write_shared_locked ---
+      case 50:
+        VFT_CHECK(s.lock == -1);
+        s.lock = self;
+        pc = 51;
+        return;
+      case 51:
+        load(s);
+        VFT_CHECK(lr.is_shared());  // SHARED is final
+        if (!ordered(lw)) {
+          raced = true;
+          pc = 53;
+        } else {
+          pc = 52;
+        }
+        return;
+      case 52:  // full VC check under the lock
+        for (int i = 0; i < 2; ++i) {
+          if (!leq(s.V[i], stv.get(static_cast<Tid>(i)))) raced = true;
+        }
+        pc = 53;
+        return;
+      case 53:  // publish (SHARED, e) via CAS retry
+        if (cas(s, Epoch::shared(), e)) {
+          pc = 54;
+        } else {
+          pc = 53;
+        }
+        return;
+      case 54:
+        release(s, kWriteShared);
+        return;
+      default:
+        VFT_CHECK(false);
+    }
+  }
+};
+
+using Outcome = std::tuple<MState, int, int>;
+
+void explore(const MState& s, const Exec& a, const Exec& b,
+             std::set<Outcome>& out) {
+  if (a.done() && b.done()) {
+    out.emplace(s, a.ret, b.ret);
+    return;
+  }
+  bool progressed = false;
+  if (!a.done() && a.can_step(s)) {
+    MState s2 = s;
+    Exec a2 = a;
+    a2.step(s2);
+    explore(s2, a2, b, out);
+    progressed = true;
+  }
+  if (!b.done() && b.can_step(s)) {
+    MState s2 = s;
+    Exec b2 = b;
+    b2.step(s2);
+    explore(s2, a, b2, out);
+    progressed = true;
+  }
+  ASSERT_TRUE(progressed) << "deadlock in the FT-CAS model";
+}
+
+Outcome run_serial(MState s, Exec first, Exec second, bool a_first) {
+  while (!first.done()) first.step(s);
+  while (!second.done()) second.step(s);
+  return a_first ? Outcome{s, first.ret, second.ret}
+                 : Outcome{s, second.ret, first.ret};
+}
+
+// The headline finding of this test, mirroring the paper's motivation for
+// the clean-slate redesign: FT-CAS is *behaviourally* correct but NOT
+// strictly handler-serializable. Every interleaved execution ends in a
+// final analysis state some serial order produces, and it reports a race
+// exactly when a serial order would - but the *attribution* can differ:
+// an interleaving may report the race from the reader's handler where the
+// serial order reports it from the writer's (the racing pair is the same;
+// the reporting site is not). VerifiedFT-v2 passes the strict check
+// (serializability_test.cpp); FT-CAS only passes this weaker one. That is
+// precisely the kind of "benign (but subtle) data race conditions" the
+// paper says made the historical implementations so hard to verify.
+TEST(SerializabilityFtCas, StateSerializableAndRaceVerdictConsistent) {
+  const Epoch e0 = Epoch::make(0, 2);
+  const Epoch e1 = Epoch::make(1, 2);
+  const std::vector<Epoch> r_choices = {Epoch::bottom(0), Epoch::make(0, 1),
+                                        e0, Epoch::make(1, 1), e1,
+                                        Epoch::shared()};
+  const std::vector<Epoch> w_choices = {Epoch::bottom(0), Epoch::make(0, 1),
+                                        e0, Epoch::make(1, 1), e1};
+
+  auto race_in = [](const Outcome& o) {
+    return ((std::get<1>(o) | std::get<2>(o)) & kRaceBit) != 0;
+  };
+  auto state_of = [](const Outcome& o) { return std::get<0>(o); };
+
+  std::size_t scenarios = 0, interleavings = 0;
+  std::size_t strict_violations = 0;  // attribution differences (expected)
+  for (const bool a_write : {false, true}) {
+    for (const bool b_write : {false, true}) {
+      for (const Epoch r0 : r_choices) {
+        for (const Epoch w0 : w_choices) {
+          for (const Clock v0 : {0u, 1u, 2u}) {
+            for (const Clock v1 : {0u, 1u, 2u}) {
+              for (const Clock k01 : {0u, 1u}) {
+                for (const Clock k10 : {0u, 1u}) {
+                  MState init;
+                  init.R = r0;
+                  init.W = w0;
+                  init.V = {Epoch::make(0, v0), Epoch::make(1, v1)};
+
+                  Exec a{a_write, 0, e0, {}, 0, {}, {}, false, kPending};
+                  a.stv.set(0, e0);
+                  a.stv.set(1, Epoch::make(1, k01));
+                  Exec b{b_write, 1, e1, {}, 0, {}, {}, false, kPending};
+                  b.stv.set(0, Epoch::make(0, k10));
+                  b.stv.set(1, e1);
+
+                  std::set<Outcome> outcomes;
+                  explore(init, a, b, outcomes);
+                  const Outcome ab = run_serial(init, a, b, true);
+                  const Outcome ba = run_serial(init, b, a, false);
+                  for (const Outcome& o : outcomes) {
+                    // Weak (behavioural) serializability: final state from
+                    // some serial order...
+                    ASSERT_TRUE(state_of(o) == state_of(ab) ||
+                                state_of(o) == state_of(ba))
+                        << "FT-CAS final-state violation: a_write=" << a_write
+                        << " b_write=" << b_write << " R=" << init.R.str()
+                        << " W=" << init.W.str() << " k01=" << k01
+                        << " k10=" << k10;
+                    // ...and a race verdict some serial order produces.
+                    ASSERT_TRUE(race_in(o) == race_in(ab) ||
+                                race_in(o) == race_in(ba))
+                        << "FT-CAS race-verdict violation: a_write=" << a_write
+                        << " b_write=" << b_write << " R=" << init.R.str()
+                        << " W=" << init.W.str();
+                    // Strict handler atomicity: known not to hold.
+                    if (!(o == ab || o == ba)) ++strict_violations;
+                  }
+                  ++scenarios;
+                  interleavings += outcomes.size();
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(scenarios, 4u * 6 * 5 * 3 * 3 * 2 * 2);
+  EXPECT_GT(interleavings, scenarios);
+  // Documented finding (see EXPERIMENTS.md E8): strict atomicity fails for
+  // FT-CAS. If this ever becomes 0 the reconstruction stopped exhibiting
+  // the historical behaviour - investigate before celebrating.
+  EXPECT_GT(strict_violations, 0u);
+}
+
+}  // namespace
+}  // namespace vft

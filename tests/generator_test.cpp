@@ -1,0 +1,110 @@
+// Trace generator: every generated trace is feasible (checked by the
+// independent checker), deterministic in the seed, respects configuration,
+// and fully disciplined configurations are race-free per the HB oracle.
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/feasibility.h"
+#include "trace/hb_oracle.h"
+
+namespace vft::trace {
+namespace {
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorConfig cfg;
+  cfg.seed = 99;
+  EXPECT_EQ(generate(cfg), generate(cfg));
+  cfg.seed = 100;
+  const Trace other = generate(cfg);
+  GeneratorConfig cfg99;
+  cfg99.seed = 99;
+  EXPECT_NE(generate(cfg99), other);
+}
+
+TEST(Generator, ProducesRequestedLength) {
+  GeneratorConfig cfg;
+  cfg.ops = 500;
+  EXPECT_EQ(generate(cfg).size(), 500u);
+}
+
+struct GenParam {
+  std::uint32_t initial;
+  std::uint32_t forked;
+  double disciplined;
+  double sync;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(GeneratorSweep, AllTracesFeasible) {
+  const GenParam p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    GeneratorConfig cfg;
+    cfg.initial_threads = p.initial;
+    cfg.max_threads = p.forked;
+    cfg.disciplined_fraction = p.disciplined;
+    cfg.sync_fraction = p.sync;
+    cfg.ops = 150;
+    cfg.seed = seed;
+    const Trace t = generate(cfg);
+    const auto err = check_feasible(t);
+    ASSERT_FALSE(err.has_value())
+        << "seed " << seed << " op " << err->index << ": " << err->message
+        << "\n" << to_string(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorSweep,
+    ::testing::Values(GenParam{1, 0, 1.0, 0.2}, GenParam{2, 2, 1.0, 0.3},
+                      GenParam{4, 4, 0.5, 0.5}, GenParam{3, 1, 0.0, 0.1},
+                      GenParam{2, 6, 0.8, 0.9}, GenParam{8, 0, 0.7, 0.05}));
+
+TEST(Generator, FullyDisciplinedTracesAreRaceFree) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    GeneratorConfig cfg;
+    cfg.disciplined_fraction = 1.0;
+    cfg.initial_threads = 4;
+    cfg.max_threads = 3;
+    cfg.ops = 200;
+    cfg.seed = seed;
+    const Trace t = generate(cfg);
+    EXPECT_TRUE(analyze(t).race_free()) << to_string(t);
+  }
+}
+
+TEST(Generator, UndisciplinedTracesUsuallyRace) {
+  std::size_t racy = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    GeneratorConfig cfg;
+    cfg.disciplined_fraction = 0.0;
+    cfg.initial_threads = 4;
+    cfg.vars = 2;
+    cfg.ops = 100;
+    cfg.seed = seed;
+    if (!analyze(generate(cfg)).race_free()) ++racy;
+  }
+  EXPECT_GT(racy, 25u);  // almost all should race
+}
+
+TEST(Generator, ForksActuallyHappen) {
+  GeneratorConfig cfg;
+  cfg.initial_threads = 1;
+  cfg.max_threads = 4;
+  cfg.sync_fraction = 0.5;
+  cfg.fork_join_fraction = 0.8;
+  cfg.ops = 300;
+  cfg.seed = 5;
+  const Trace t = generate(cfg);
+  std::size_t forks = 0, joins = 0;
+  for (const Op& op : t) {
+    forks += op.kind == OpKind::kFork ? 1 : 0;
+    joins += op.kind == OpKind::kJoin ? 1 : 0;
+  }
+  EXPECT_GT(forks, 0u);
+  EXPECT_GT(joins, 0u);
+}
+
+}  // namespace
+}  // namespace vft::trace

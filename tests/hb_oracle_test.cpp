@@ -1,0 +1,128 @@
+// Happens-before oracle: hand-built racy and race-free traces, plus a
+// cross-check property test between the two independent implementations
+// (vector-clock timestamping vs explicit transitive closure).
+#include "trace/hb_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/feasibility.h"
+#include "trace/generator.h"
+
+namespace vft::trace {
+namespace {
+
+void expect_both(const Trace& t, bool race_free) {
+  ASSERT_TRUE(is_feasible(t)) << to_string(t);
+  EXPECT_EQ(analyze(t).race_free(), race_free) << to_string(t);
+  EXPECT_EQ(analyze_closure(t).race_free(), race_free) << to_string(t);
+}
+
+TEST(HbOracle, EmptyAndSingleAccessAreRaceFree) {
+  expect_both({}, true);
+  expect_both({wr(0, 0)}, true);
+}
+
+TEST(HbOracle, UnsynchronizedWritesRace) {
+  expect_both({wr(0, 0), wr(1, 0)}, false);
+}
+
+TEST(HbOracle, UnsynchronizedWriteReadRaces) {
+  expect_both({wr(0, 0), rd(1, 0)}, false);
+  expect_both({rd(0, 0), wr(1, 0)}, false);
+}
+
+TEST(HbOracle, ConcurrentReadsDoNotRace) {
+  expect_both({rd(0, 0), rd(1, 0), rd(2, 0)}, true);
+}
+
+TEST(HbOracle, LockOrdersCriticalSections) {
+  expect_both({acq(0, 0), wr(0, 5), rel(0, 0), acq(1, 0), wr(1, 5), rel(1, 0)},
+              true);
+}
+
+TEST(HbOracle, LockOnDifferentLocksDoesNotOrder) {
+  expect_both({acq(0, 0), wr(0, 5), rel(0, 0), acq(1, 1), wr(1, 5), rel(1, 1)},
+              false);
+}
+
+TEST(HbOracle, LockChainOrdersTransitively) {
+  // A -> (m) -> B -> (k) -> C: A's write ordered before C's via two locks.
+  expect_both({acq(0, 0), wr(0, 9), rel(0, 0),      // A
+               acq(1, 0), rel(1, 0), acq(1, 1), rel(1, 1),  // B bridges
+               acq(2, 1), wr(2, 9), rel(2, 1)},     // C
+              true);
+}
+
+TEST(HbOracle, ForkOrdersParentWritesBeforeChild) {
+  expect_both({wr(0, 3), fork(0, 1), rd(1, 3)}, true);
+}
+
+TEST(HbOracle, ParentAccessAfterForkRacesWithChild) {
+  expect_both({fork(0, 1), wr(1, 3), rd(0, 3)}, false);
+}
+
+TEST(HbOracle, JoinOrdersChildWritesBeforeJoiner) {
+  expect_both({fork(0, 1), wr(1, 3), join(0, 1), rd(0, 3)}, true);
+}
+
+TEST(HbOracle, GrandchildOrderedThroughForkChain) {
+  expect_both({wr(0, 4), fork(0, 1), fork(1, 2), rd(2, 4)}, true);
+}
+
+TEST(HbOracle, FirstRacePairIsEarliest) {
+  const Trace t = {wr(0, 1), rd(0, 1), wr(1, 1), wr(1, 2), rd(2, 2)};
+  const auto res = analyze(t);
+  ASSERT_FALSE(res.race_free());
+  EXPECT_EQ(res.first_race->first, 0u);   // wr(0,1)
+  EXPECT_EQ(res.first_race->second, 2u);  // wr(1,1)
+  const auto res2 = analyze_closure(t);
+  ASSERT_FALSE(res2.race_free());
+  EXPECT_EQ(res2.first_race->second, 2u);
+}
+
+TEST(HbOracle, ReleaseItselfHappensBeforeAcquire) {
+  // The write in the first critical section is ordered even when it is the
+  // release's final action before handing off.
+  expect_both({acq(0, 0), rel(0, 0), acq(1, 0), rel(1, 0)}, true);
+}
+
+// Property: the two oracle implementations agree on feasible random traces
+// across generator configurations, racy and race-free alike.
+struct OracleAgreeParam {
+  double disciplined;
+  std::uint32_t threads;
+  std::uint32_t vars;
+};
+
+class OracleAgreement : public ::testing::TestWithParam<OracleAgreeParam> {};
+
+TEST_P(OracleAgreement, VcAndClosureAgree) {
+  const OracleAgreeParam p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    GeneratorConfig cfg;
+    cfg.initial_threads = p.threads;
+    cfg.max_threads = 2;
+    cfg.vars = p.vars;
+    cfg.ops = 120;
+    cfg.disciplined_fraction = p.disciplined;
+    cfg.seed = seed;
+    const Trace t = generate(cfg);
+    ASSERT_TRUE(is_feasible(t));
+    const HbResult a = analyze(t);
+    const HbResult b = analyze_closure(t);
+    ASSERT_EQ(a.race_free(), b.race_free()) << to_string(t);
+    if (!a.race_free()) {
+      // Both find the same earliest racing access.
+      EXPECT_EQ(a.first_race->second, b.first_race->second) << to_string(t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OracleAgreement,
+    ::testing::Values(OracleAgreeParam{1.0, 2, 6}, OracleAgreeParam{0.8, 3, 6},
+                      OracleAgreeParam{0.5, 4, 4}, OracleAgreeParam{0.0, 2, 3},
+                      OracleAgreeParam{0.9, 4, 10}));
+
+}  // namespace
+}  // namespace vft::trace

@@ -1,0 +1,92 @@
+// Kernel suite integration tests: every kernel must validate its own
+// output and stay race-report-free under every detector, and the
+// deterministic kernels must produce bit-identical checksums regardless of
+// which tool observes them (instrumentation must not perturb the target).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "kernels/all.h"
+
+namespace vft::kernels {
+namespace {
+
+// Kernels whose checksum is independent of thread scheduling.
+bool deterministic(const std::string& name) {
+  return name != "montecarlo" && name != "avrora" && name != "h2" &&
+         name != "tomcat";  // pmd totals are order-independent
+}
+
+template <typename D>
+void run_suite(std::map<std::string, double>* checksums) {
+  for (const auto& e : kernel_table<D>()) {
+    KernelConfig cfg;
+    cfg.threads = 3;
+    cfg.scale = 1;
+    auto [result, races] = run_kernel<D>(e.fn, cfg);
+    EXPECT_TRUE(result.valid) << D::kName << "/" << e.name;
+    EXPECT_EQ(races, 0u) << D::kName << "/" << e.name;
+    if (checksums != nullptr && deterministic(e.name)) {
+      auto [it, inserted] = checksums->emplace(e.name, result.checksum);
+      if (!inserted) {
+        EXPECT_EQ(it->second, result.checksum)
+            << D::kName << "/" << e.name << ": instrumentation changed the "
+            << "target's result";
+      }
+    }
+  }
+}
+
+TEST(Kernels, AllValidAndQuietUnderEveryTool) {
+  std::map<std::string, double> checksums;
+  run_suite<rt::NullTool>(&checksums);
+  run_suite<VftV1>(&checksums);
+  run_suite<VftV15>(&checksums);
+  run_suite<VftV2>(&checksums);
+  run_suite<FtMutex>(&checksums);
+  run_suite<FtCas>(&checksums);
+  run_suite<Djit>(&checksums);
+}
+
+TEST(Kernels, ThreadCountSweep) {
+  for (const std::uint32_t threads : {1u, 2u, 5u}) {
+    for (const auto& e : kernel_table<VftV2>()) {
+      KernelConfig cfg;
+      cfg.threads = threads;
+      cfg.scale = 1;
+      auto [result, races] = run_kernel<VftV2>(e.fn, cfg);
+      EXPECT_TRUE(result.valid) << e.name << " threads=" << threads;
+      EXPECT_EQ(races, 0u) << e.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Kernels, SeedChangesDeterministicChecksum) {
+  KernelConfig a, b;
+  a.threads = b.threads = 2;
+  a.seed = 1;
+  b.seed = 2;
+  const auto ra = run_kernel<rt::NullTool>(&crypt<rt::NullTool>, a);
+  const auto rb = run_kernel<rt::NullTool>(&crypt<rt::NullTool>, b);
+  EXPECT_NE(ra.first.checksum, rb.first.checksum);
+}
+
+TEST(Kernels, ValidateFlagSkipsNothingEssential) {
+  // validate=false must not change the computation, only skip checking.
+  KernelConfig with, without;
+  with.threads = without.threads = 2;
+  without.validate = false;
+  const auto rw = run_kernel<rt::NullTool>(&sor<rt::NullTool>, with);
+  const auto ro = run_kernel<rt::NullTool>(&sor<rt::NullTool>, without);
+  EXPECT_EQ(rw.first.checksum, ro.first.checksum);
+  EXPECT_TRUE(rw.first.valid);
+  EXPECT_TRUE(ro.first.valid);
+}
+
+TEST(Kernels, TableCoversNineteenWorkloads) {
+  EXPECT_EQ(kernel_table<rt::NullTool>().size(), 19u);
+}
+
+}  // namespace
+}  // namespace vft::kernels

@@ -1,0 +1,98 @@
+// Theorem 3.1 (precision): a feasible trace is race-free iff the analysis
+// accepts it (never transitions to Error). Validated differentially
+// against the independent happens-before oracle over a seeded sweep of
+// generator configurations - including the exact position of the first
+// race, which must be the first access that races with an earlier one.
+//
+// Both rule sets are precise (the three VerifiedFT changes are
+// precision-preserving), so the sweep runs the original FastTrack rules
+// too.
+#include <gtest/gtest.h>
+
+#include "trace/feasibility.h"
+#include "trace/generator.h"
+#include "trace/hb_oracle.h"
+#include "trace/replay.h"
+#include "vft/spec.h"
+
+namespace vft {
+namespace {
+
+using trace::GeneratorConfig;
+using trace::Trace;
+
+struct PrecisionParam {
+  RuleSet rules;
+  double disciplined;
+  std::uint32_t threads;
+  std::uint32_t forked;
+  std::uint32_t vars;
+};
+
+class Precision : public ::testing::TestWithParam<PrecisionParam> {};
+
+TEST_P(Precision, ErrorIffRaceAtSamePosition) {
+  const PrecisionParam p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    GeneratorConfig cfg;
+    cfg.initial_threads = p.threads;
+    cfg.max_threads = p.forked;
+    cfg.vars = p.vars;
+    cfg.ops = 200;
+    cfg.disciplined_fraction = p.disciplined;
+    cfg.seed = seed;
+    const Trace t = trace::generate(cfg);
+    ASSERT_TRUE(trace::is_feasible(t));
+
+    const trace::HbResult oracle = trace::analyze(t);
+    Spec spec(p.rules);
+    const trace::SpecReplayResult run = trace::replay_spec(t, spec);
+
+    ASSERT_EQ(oracle.race_free(), !run.error_index.has_value())
+        << "seed " << seed << ": " << trace::to_string(t);
+    if (!oracle.race_free()) {
+      // Precision is positional: the analysis must flag exactly the first
+      // racing access, neither earlier (false positive on a race-free
+      // prefix) nor later (missed race).
+      EXPECT_EQ(*run.error_index, oracle.first_race->second)
+          << "seed " << seed << ": " << trace::to_string(t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VerifiedFTRules, Precision,
+    ::testing::Values(PrecisionParam{RuleSet::kVerifiedFT, 1.0, 3, 2, 8},
+                      PrecisionParam{RuleSet::kVerifiedFT, 0.9, 4, 2, 6},
+                      PrecisionParam{RuleSet::kVerifiedFT, 0.7, 2, 4, 6},
+                      PrecisionParam{RuleSet::kVerifiedFT, 0.4, 4, 0, 4},
+                      PrecisionParam{RuleSet::kVerifiedFT, 0.0, 2, 2, 3}));
+
+INSTANTIATE_TEST_SUITE_P(
+    OriginalFTRules, Precision,
+    ::testing::Values(PrecisionParam{RuleSet::kOriginalFastTrack, 1.0, 3, 2, 8},
+                      PrecisionParam{RuleSet::kOriginalFastTrack, 0.8, 4, 2, 6},
+                      PrecisionParam{RuleSet::kOriginalFastTrack, 0.5, 3, 3, 5},
+                      PrecisionParam{RuleSet::kOriginalFastTrack, 0.0, 2, 2, 3}));
+
+// The two rule sets agree on where the first race is (they differ only in
+// bookkeeping ahead of races, not in what counts as one).
+TEST(Precision, RuleSetsAgreeOnFirstRace) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    GeneratorConfig cfg;
+    cfg.initial_threads = 4;
+    cfg.max_threads = 2;
+    cfg.disciplined_fraction = 0.6;
+    cfg.ops = 200;
+    cfg.seed = seed;
+    const Trace t = trace::generate(cfg);
+    Spec vft(RuleSet::kVerifiedFT);
+    Spec oft(RuleSet::kOriginalFastTrack);
+    EXPECT_EQ(trace::replay_spec(t, vft).error_index,
+              trace::replay_spec(t, oft).error_index)
+        << trace::to_string(t);
+  }
+}
+
+}  // namespace
+}  // namespace vft

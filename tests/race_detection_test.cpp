@@ -1,0 +1,148 @@
+// End-to-end detection tests: small multithreaded target programs with
+// planted races (one per race kind) and their repaired race-free twins,
+// run against every detector in the family through the real runtime.
+#include <gtest/gtest.h>
+
+#include "kernels/all.h"
+#include "runtime/instrument.h"
+
+namespace vft {
+namespace {
+
+template <typename D, typename Target>
+std::size_t races_in(Target target) {
+  RaceCollector rc;
+  rt::Runtime<D> R{D(&rc)};
+  typename rt::Runtime<D>::MainScope scope(R);
+  target(R);
+  return rc.count();
+}
+
+// The scenarios, parameterized over detector type via typed tests.
+template <typename D>
+class Detection : public ::testing::Test {};
+
+using AllDetectors = ::testing::Types<VftV1, VftV15, VftV2, FtMutex, FtCas, Djit>;
+TYPED_TEST_SUITE(Detection, AllDetectors);
+
+TYPED_TEST(Detection, UnsyncWritesRace) {
+  const std::size_t n = races_in<TypeParam>([](auto& R) {
+    rt::Var<int, TypeParam> v(R, 0);
+    rt::parallel_for_threads(R, 2, [&](std::uint32_t w) {
+      v.store(static_cast<int>(w));
+    });
+  });
+  EXPECT_GE(n, 1u);
+}
+
+TYPED_TEST(Detection, LockedWritesDoNotRace) {
+  const std::size_t n = races_in<TypeParam>([](auto& R) {
+    rt::Var<int, TypeParam> v(R, 0);
+    rt::Mutex<TypeParam> m(R);
+    rt::parallel_for_threads(R, 4, [&](std::uint32_t w) {
+      rt::Guard<TypeParam> g(m);
+      v.store(static_cast<int>(w));
+    });
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TYPED_TEST(Detection, WriteThenUnsyncReadRaces) {
+  const std::size_t n = races_in<TypeParam>([](auto& R) {
+    rt::Var<int, TypeParam> v(R, 0);
+    rt::Mutex<TypeParam> m(R);
+    rt::Thread<TypeParam> writer(R, [&] {
+      rt::Guard<TypeParam> g(m);
+      v.store(1);
+    });
+    rt::Thread<TypeParam> reader(R, [&] {
+      (void)v.load();  // no lock: races with the writer
+    });
+    writer.join();
+    reader.join();
+  });
+  EXPECT_GE(n, 1u);
+}
+
+TYPED_TEST(Detection, ReadThenUnsyncWriteRaces) {
+  const std::size_t n = races_in<TypeParam>([](auto& R) {
+    rt::Var<int, TypeParam> v(R, 0);
+    rt::Thread<TypeParam> reader(R, [&] { (void)v.load(); });
+    rt::Thread<TypeParam> writer(R, [&] { v.store(1); });
+    reader.join();
+    writer.join();
+  });
+  EXPECT_GE(n, 1u);
+}
+
+TYPED_TEST(Detection, SharedReadersThenUnsyncWriteRaces) {
+  const std::size_t n = races_in<TypeParam>([](auto& R) {
+    rt::Var<int, TypeParam> v(R, 0);
+    // Two readers force SHARED mode...
+    rt::parallel_for_threads(R, 2, [&](std::uint32_t) { (void)v.load(); });
+    // ...then a writer concurrent with a third reader epoch.
+    rt::Thread<TypeParam> reader(R, [&] { (void)v.load(); });
+    rt::Thread<TypeParam> writer(R, [&] { v.store(1); });
+    reader.join();
+    writer.join();
+  });
+  EXPECT_GE(n, 1u);
+}
+
+TYPED_TEST(Detection, ReadSharedRaceFreePatternStaysQuiet) {
+  const std::size_t n = races_in<TypeParam>([](auto& R) {
+    rt::Array<int, TypeParam> table(R, 16, 3);
+    rt::parallel_for_threads(R, 4, [&](std::uint32_t) {
+      int acc = 0;
+      for (int rep = 0; rep < 50; ++rep) {
+        for (std::size_t i = 0; i < table.size(); ++i) acc += table.load(i);
+      }
+      EXPECT_EQ(acc, 3 * 16 * 50);
+    });
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TYPED_TEST(Detection, FailOverReportsOnceNotPerAccess) {
+  // Fail-over semantics: exactly one report for one racing pair, and the
+  // racing thread's *subsequent* same-epoch accesses stay quiet because
+  // the state was repaired after the report.
+  const std::size_t n = races_in<TypeParam>([](auto& R) {
+    rt::Var<int, TypeParam> v(R, 0);
+    rt::Thread<TypeParam> t1(R, [&] { v.store(1); });
+    rt::Thread<TypeParam> t2(R, [&] {
+      v.store(2);                                // races with t1's write
+      for (int i = 0; i < 100; ++i) v.store(i);  // same epoch: no reports
+    });
+    t1.join();
+    t2.join();
+  });
+  // One report for the racing pair plus at most one more if t1's single
+  // store interleaved into t2's loop - never one per access.
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 2u);
+}
+
+// Kernel-level fault injection (crypt plants one unsynchronized pattern).
+TYPED_TEST(Detection, KernelFaultInjectionIsCaught) {
+  kernels::KernelConfig cfg;
+  cfg.threads = 2;
+  cfg.scale = 1;
+  cfg.inject_race = true;
+  auto [result, races] =
+      kernels::run_kernel<TypeParam>(&kernels::crypt<TypeParam>, cfg);
+  EXPECT_GE(races, 1u);
+}
+
+TYPED_TEST(Detection, KernelWithoutInjectionIsQuiet) {
+  kernels::KernelConfig cfg;
+  cfg.threads = 2;
+  cfg.scale = 1;
+  auto [result, races] =
+      kernels::run_kernel<TypeParam>(&kernels::crypt<TypeParam>, cfg);
+  EXPECT_TRUE(result.valid);
+  EXPECT_EQ(races, 0u);
+}
+
+}  // namespace
+}  // namespace vft

@@ -1,0 +1,113 @@
+// RaceCollector and report formatting.
+#include "vft/report.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace vft {
+namespace {
+
+RaceReport sample(RaceKind k, std::uint64_t var) {
+  return RaceReport{k, var, 2, Epoch::make(1, 5), Epoch::make(2, 3)};
+}
+
+TEST(RaceCollector, StartsEmpty) {
+  RaceCollector c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_FALSE(c.first().has_value());
+}
+
+TEST(RaceCollector, RecordsInOrder) {
+  RaceCollector c;
+  c.report(sample(RaceKind::kWriteWrite, 1));
+  c.report(sample(RaceKind::kReadWrite, 2));
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.first()->var, 1u);
+  EXPECT_EQ(c.all()[1].var, 2u);
+}
+
+TEST(RaceCollector, ClearResets) {
+  RaceCollector c;
+  c.report(sample(RaceKind::kWriteRead, 3));
+  c.clear();
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(RaceCollector, ConcurrentReportsAllLand) {
+  RaceCollector c;
+  constexpr int kThreads = 4, kEach = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < kEach; ++i) {
+        c.report(sample(RaceKind::kWriteWrite,
+                        static_cast<std::uint64_t>(t * kEach + i)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.count(), static_cast<std::size_t>(kThreads * kEach));
+}
+
+TEST(RaceReport, StrNamesKindThreadsAndEpochs) {
+  const std::string s = sample(RaceKind::kSharedWrite, 42).str();
+  EXPECT_NE(s.find("shared-write race"), std::string::npos);
+  EXPECT_NE(s.find("var 42"), std::string::npos);
+  EXPECT_NE(s.find("thread 2"), std::string::npos);
+  EXPECT_NE(s.find("1@5"), std::string::npos);
+  EXPECT_NE(s.find("2@3"), std::string::npos);
+}
+
+TEST(RaceCollector, PerVarLimitSuppressesButCounts) {
+  RaceCollector c;
+  c.set_per_var_limit(2);
+  for (int i = 0; i < 5; ++i) c.report(sample(RaceKind::kWriteWrite, 7));
+  c.report(sample(RaceKind::kWriteWrite, 8));  // different var: unaffected
+  EXPECT_EQ(c.count(), 3u);       // 2 for var 7, 1 for var 8
+  EXPECT_EQ(c.suppressed(), 3u);  // the other 3 for var 7
+  EXPECT_FALSE(c.empty());        // suppression still means "racy run"
+}
+
+TEST(RaceCollector, TotalLimitCapsStorage) {
+  RaceCollector c;
+  c.set_total_limit(3);
+  for (std::uint64_t v = 0; v < 10; ++v) {
+    c.report(sample(RaceKind::kReadWrite, v));
+  }
+  EXPECT_EQ(c.count(), 3u);
+  EXPECT_EQ(c.suppressed(), 7u);
+}
+
+TEST(RaceCollector, ClearResetsLimitsCountsAndSuppression) {
+  RaceCollector c;
+  c.set_per_var_limit(1);
+  c.report(sample(RaceKind::kWriteRead, 1));
+  c.report(sample(RaceKind::kWriteRead, 1));
+  c.clear();
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.suppressed(), 0u);
+  c.report(sample(RaceKind::kWriteRead, 1));  // budget is fresh again
+  EXPECT_EQ(c.count(), 1u);
+}
+
+TEST(RaceCollector, DescribeUsesRegisteredNames) {
+  RaceCollector c;
+  c.name_var(42, "Account.balance");
+  const std::string with_name = c.describe(sample(RaceKind::kWriteWrite, 42));
+  EXPECT_NE(with_name.find("Account.balance"), std::string::npos);
+  const std::string without = c.describe(sample(RaceKind::kWriteWrite, 43));
+  EXPECT_NE(without.find("var 43"), std::string::npos);
+}
+
+TEST(RaceKindNames, AllDistinct) {
+  EXPECT_STRNE(race_kind_name(RaceKind::kWriteRead),
+               race_kind_name(RaceKind::kWriteWrite));
+  EXPECT_STRNE(race_kind_name(RaceKind::kReadWrite),
+               race_kind_name(RaceKind::kSharedWrite));
+}
+
+}  // namespace
+}  // namespace vft

@@ -1,0 +1,189 @@
+// Systematic rule-interaction matrix for the Figure 2 specification: for
+// every ordered pair of accesses (first kind x second kind x ordered?),
+// the rule fired by the second access is fully determined - this test
+// pins the whole transition table, parameterized.
+//
+// Also sweeps the three-access compositions that exercise the adaptive
+// representation (exclusive -> shared -> write and friends).
+#include <gtest/gtest.h>
+
+#include "vft/spec.h"
+
+namespace vft {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr LockId kM = 9;
+constexpr Tid A = 0, B = 1, C = 2;
+
+enum class Access { kRead, kWrite };
+
+struct PairCase {
+  Access first;
+  Access second;
+  bool same_thread;  // second access by the same thread (program order)
+  bool ordered;      // if different threads: lock-ordered?
+  Rule expect;       // rule fired by the second access
+  bool error;
+};
+
+class PairMatrix : public ::testing::TestWithParam<PairCase> {};
+
+TEST_P(PairMatrix, SecondAccessFiresExpectedRule) {
+  const PairCase p = GetParam();
+  Spec s;
+  auto access = [&](Tid t, Access a) {
+    return a == Access::kRead ? s.on_read(t, kX) : s.on_write(t, kX);
+  };
+  access(A, p.first);
+  Tid second = A;
+  if (!p.same_thread) {
+    second = B;
+    if (p.ordered) {
+      s.on_acquire(A, kM);
+      s.on_release(A, kM);
+      s.on_acquire(B, kM);
+    }
+  }
+  const Spec::StepResult r = access(second, p.second);
+  EXPECT_EQ(r.rule, p.expect);
+  EXPECT_EQ(r.error, p.error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SameThread, PairMatrix,
+    ::testing::Values(
+        // Program order: everything same-epoch (no sync between).
+        PairCase{Access::kRead, Access::kRead, true, true,
+                 Rule::kReadSameEpoch, false},
+        PairCase{Access::kRead, Access::kWrite, true, true,
+                 Rule::kWriteExclusive, false},
+        PairCase{Access::kWrite, Access::kRead, true, true,
+                 Rule::kReadExclusive, false},
+        PairCase{Access::kWrite, Access::kWrite, true, true,
+                 Rule::kWriteSameEpoch, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    CrossThreadOrdered, PairMatrix,
+    ::testing::Values(
+        PairCase{Access::kRead, Access::kRead, false, true,
+                 Rule::kReadExclusive, false},
+        PairCase{Access::kRead, Access::kWrite, false, true,
+                 Rule::kWriteExclusive, false},
+        PairCase{Access::kWrite, Access::kRead, false, true,
+                 Rule::kReadExclusive, false},
+        PairCase{Access::kWrite, Access::kWrite, false, true,
+                 Rule::kWriteExclusive, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    CrossThreadConcurrent, PairMatrix,
+    ::testing::Values(
+        // Concurrent read/read shares; everything else races.
+        PairCase{Access::kRead, Access::kRead, false, false, Rule::kReadShare,
+                 false},
+        PairCase{Access::kRead, Access::kWrite, false, false,
+                 Rule::kReadWriteRace, true},
+        PairCase{Access::kWrite, Access::kRead, false, false,
+                 Rule::kWriteReadRace, true},
+        PairCase{Access::kWrite, Access::kWrite, false, false,
+                 Rule::kWriteWriteRace, true}));
+
+// --- three-access compositions over the adaptive representation ---
+
+TEST(TripleComposition, SharedThenOrderedWriteIsWriteShared) {
+  Spec s;
+  s.on_read(A, kX);
+  s.on_read(B, kX);  // SHARED
+  // Order C after both readers via two lock handoffs.
+  s.on_acquire(A, kM);
+  s.on_release(A, kM);
+  s.on_acquire(B, kM);
+  s.on_release(B, kM);
+  s.on_acquire(C, kM);
+  const auto r = s.on_write(C, kX);
+  EXPECT_EQ(r.rule, Rule::kWriteShared);
+  EXPECT_FALSE(r.error);
+}
+
+TEST(TripleComposition, SharedThenPartiallyOrderedWriteRaces) {
+  Spec s;
+  s.on_read(A, kX);
+  s.on_read(B, kX);  // SHARED
+  s.on_acquire(A, kM);
+  s.on_release(A, kM);
+  s.on_acquire(C, kM);  // C ordered after A only
+  const auto r = s.on_write(C, kX);
+  EXPECT_EQ(r.rule, Rule::kSharedWriteRace);
+  EXPECT_TRUE(r.error);
+}
+
+TEST(TripleComposition, WriteSharedThenLaterReadStaysShared) {
+  Spec s;
+  s.on_read(A, kX);
+  s.on_read(B, kX);  // SHARED
+  s.on_acquire(A, kM);
+  s.on_release(A, kM);
+  s.on_acquire(B, kM);
+  s.on_release(B, kM);
+  s.on_acquire(C, kM);
+  s.on_write(C, kX);  // [Write Shared], R stays SHARED under VerifiedFT
+  s.on_release(C, kM);
+  s.on_acquire(A, kM);  // A ordered after C's write
+  const auto r = s.on_read(A, kX);
+  EXPECT_EQ(r.rule, Rule::kReadShared);  // still in shared mode
+  EXPECT_FALSE(r.error);
+}
+
+TEST(TripleComposition, ExclusiveReaderChainNeverInflates) {
+  // A chain of lock-ordered readers keeps the epoch representation.
+  Spec s;
+  Tid prev = A;
+  s.on_read(A, kX);
+  for (Tid t = 1; t <= 5; ++t) {
+    s.on_acquire(prev, kM);
+    s.on_release(prev, kM);
+    s.on_acquire(t, kM);
+    const auto r = s.on_read(t, kX);
+    EXPECT_EQ(r.rule, Rule::kReadExclusive) << "thread " << t;
+    EXPECT_FALSE(s.var(kX).R.is_shared());
+    prev = t;
+  }
+}
+
+TEST(TripleComposition, ManyConcurrentReadersAllRecorded) {
+  Spec s;
+  for (Tid t = 0; t < 6; ++t) s.on_read(t, kX);
+  EXPECT_TRUE(s.var(kX).R.is_shared());
+  for (Tid t = 0; t < 6; ++t) {
+    EXPECT_EQ(s.var(kX).V.get(t), Epoch::make(t, 1));
+  }
+  // A seventh thread ordered after *all* of them may write.
+  for (Tid t = 0; t < 6; ++t) {
+    s.on_acquire(t, kM);
+    s.on_release(t, kM);
+    s.on_acquire(6, kM);
+    s.on_release(6, kM);
+  }
+  s.on_acquire(6, kM);
+  EXPECT_FALSE(s.on_write(6, kX).error);
+}
+
+TEST(TripleComposition, ForkChainTransfersKnowledge) {
+  Spec s;
+  s.on_write(A, kX);
+  s.on_fork(A, B);
+  s.on_fork(B, C);  // grandchild
+  EXPECT_FALSE(s.on_write(C, kX).error);
+}
+
+TEST(TripleComposition, SiblingsAfterForkStillRace) {
+  Spec s;
+  s.on_fork(A, B);
+  s.on_fork(A, C);
+  s.on_write(B, kX);
+  const auto r = s.on_write(C, kX);  // siblings: unordered
+  EXPECT_TRUE(r.error);
+}
+
+}  // namespace
+}  // namespace vft

@@ -1,0 +1,276 @@
+// Tests for the Figure 2 specification: one test per analysis rule, the
+// complete Figure 1 worked example as a golden-state test, and the three
+// documented differences from the original FastTrack rules.
+#include "vft/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace vft {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr LockId kM = 0;
+constexpr Tid A = 0, B = 1, C = 2;
+
+TEST(Spec, InitialThreadEpochIsOne) {
+  Spec s;
+  EXPECT_EQ(s.thread_epoch(A), Epoch::make(A, 1));
+  EXPECT_EQ(s.thread_epoch(B), Epoch::make(B, 1));
+}
+
+TEST(Spec, ReadSameEpoch) {
+  Spec s;
+  EXPECT_EQ(s.on_read(A, kX).rule, Rule::kReadExclusive);
+  const auto r = s.on_read(A, kX);
+  EXPECT_EQ(r.rule, Rule::kReadSameEpoch);
+  EXPECT_FALSE(r.error);
+  EXPECT_EQ(s.var(kX).R, Epoch::make(A, 1));
+}
+
+TEST(Spec, ReadExclusiveAcrossEpochs) {
+  Spec s;
+  s.on_read(A, kX);
+  s.on_acquire(A, kM);
+  s.on_release(A, kM);  // A enters epoch 2
+  const auto r = s.on_read(A, kX);
+  EXPECT_EQ(r.rule, Rule::kReadExclusive);
+  EXPECT_EQ(s.var(kX).R, Epoch::make(A, 2));
+}
+
+TEST(Spec, ReadShareOnConcurrentReads) {
+  Spec s;
+  s.on_read(A, kX);
+  const auto r = s.on_read(B, kX);  // concurrent with A's read
+  EXPECT_EQ(r.rule, Rule::kReadShare);
+  EXPECT_TRUE(s.var(kX).R.is_shared());
+  EXPECT_EQ(s.var(kX).V.get(A), Epoch::make(A, 1));
+  EXPECT_EQ(s.var(kX).V.get(B), Epoch::make(B, 1));
+}
+
+TEST(Spec, ReadSharedUpdatesOwnSlot) {
+  Spec s;
+  s.on_read(A, kX);
+  s.on_read(B, kX);  // -> SHARED
+  const auto r = s.on_read(C, kX);
+  EXPECT_EQ(r.rule, Rule::kReadShared);
+  EXPECT_EQ(s.var(kX).V.get(C), Epoch::make(C, 1));
+}
+
+TEST(Spec, ReadSharedSameEpochSkipsWork) {
+  Spec s;
+  s.on_read(A, kX);
+  s.on_read(B, kX);  // -> SHARED
+  EXPECT_EQ(s.on_read(B, kX).rule, Rule::kReadSharedSameEpoch);
+  EXPECT_EQ(s.on_read(A, kX).rule, Rule::kReadSharedSameEpoch);
+}
+
+TEST(Spec, WriteSameEpoch) {
+  Spec s;
+  s.on_write(A, kX);
+  const auto r = s.on_write(A, kX);
+  EXPECT_EQ(r.rule, Rule::kWriteSameEpoch);
+  EXPECT_FALSE(r.error);
+}
+
+TEST(Spec, WriteExclusive) {
+  Spec s;
+  const auto r = s.on_write(A, kX);
+  EXPECT_EQ(r.rule, Rule::kWriteExclusive);
+  EXPECT_EQ(s.var(kX).W, Epoch::make(A, 1));
+}
+
+TEST(Spec, WriteSharedChecksFullClock) {
+  // Give A knowledge of B's read via a lock handoff, then write from A.
+  Spec s2;
+  s2.on_read(A, kX);
+  s2.on_read(B, kX);  // SHARED with A@1, B@1
+  s2.on_acquire(B, kM);
+  s2.on_release(B, kM);
+  s2.on_acquire(A, kM);  // A now knows B@1
+  const auto r = s2.on_write(A, kX);
+  EXPECT_EQ(r.rule, Rule::kWriteShared);
+  EXPECT_FALSE(r.error);
+  // VerifiedFT keeps R = SHARED after a shared write (Section 3).
+  EXPECT_TRUE(s2.var(kX).R.is_shared());
+}
+
+TEST(Spec, WriteReadRace) {
+  Spec s;
+  s.on_write(A, kX);
+  const auto r = s.on_read(B, kX);
+  EXPECT_TRUE(r.error);
+  EXPECT_EQ(r.rule, Rule::kWriteReadRace);
+  EXPECT_TRUE(s.halted());
+}
+
+TEST(Spec, WriteWriteRace) {
+  Spec s;
+  s.on_write(A, kX);
+  const auto r = s.on_write(B, kX);
+  EXPECT_TRUE(r.error);
+  EXPECT_EQ(r.rule, Rule::kWriteWriteRace);
+}
+
+TEST(Spec, ReadWriteRace) {
+  Spec s;
+  s.on_read(A, kX);
+  const auto r = s.on_write(B, kX);
+  EXPECT_TRUE(r.error);
+  EXPECT_EQ(r.rule, Rule::kReadWriteRace);
+}
+
+TEST(Spec, SharedWriteRace) {
+  Spec s;
+  s.on_read(A, kX);
+  s.on_read(B, kX);  // -> SHARED
+  const auto r = s.on_write(A, kX);  // A doesn't know B's read
+  EXPECT_TRUE(r.error);
+  EXPECT_EQ(r.rule, Rule::kSharedWriteRace);
+}
+
+TEST(Spec, LockHandoffOrdersAccesses) {
+  Spec s;
+  s.on_write(A, kX);
+  s.on_acquire(A, kM);
+  s.on_release(A, kM);
+  s.on_acquire(B, kM);
+  const auto r = s.on_write(B, kX);
+  EXPECT_FALSE(r.error);
+  EXPECT_EQ(r.rule, Rule::kWriteExclusive);
+}
+
+TEST(Spec, ForkOrdersParentBeforeChild) {
+  Spec s;
+  s.on_write(A, kX);
+  s.on_fork(A, B);
+  EXPECT_FALSE(s.on_write(B, kX).error);
+  // And the parent moved to a new epoch.
+  EXPECT_EQ(s.thread_epoch(A), Epoch::make(A, 2));
+}
+
+TEST(Spec, JoinOrdersChildBeforeJoiner) {
+  Spec s;
+  s.on_fork(A, B);
+  s.on_write(B, kX);
+  s.on_join(A, B);
+  EXPECT_FALSE(s.on_write(A, kX).error);
+}
+
+TEST(Spec, JoinDoesNotIncrementJoinedThreadInVerifiedFT) {
+  Spec s;
+  s.on_fork(A, B);
+  s.on_read(B, kX);
+  const Epoch b_before = s.thread_epoch(B);
+  s.on_join(A, B);
+  EXPECT_EQ(s.thread_epoch(B), b_before);  // VerifiedFT drops the update
+}
+
+TEST(Spec, HaltsAfterError) {
+  Spec s;
+  s.on_write(A, kX);
+  s.on_write(B, kX);
+  EXPECT_TRUE(s.halted());
+  EXPECT_DEATH(s.on_read(A, kX), "VFT_CHECK");
+}
+
+// --- Differences from the original FastTrack rules (Section 3) ---
+
+TEST(SpecOriginalFT, NoReadSharedSameEpochRule) {
+  Spec s(RuleSet::kOriginalFastTrack);
+  s.on_read(A, kX);
+  s.on_read(B, kX);  // -> SHARED
+  // A re-read in the same epoch runs the full [Read Shared] rule.
+  EXPECT_EQ(s.on_read(B, kX).rule, Rule::kReadShared);
+}
+
+TEST(SpecOriginalFT, WriteSharedResetsReadHistory) {
+  Spec s(RuleSet::kOriginalFastTrack);
+  s.on_read(A, kX);
+  s.on_read(B, kX);  // SHARED
+  s.on_acquire(B, kM);
+  s.on_release(B, kM);
+  s.on_acquire(A, kM);
+  const auto r = s.on_write(A, kX);
+  EXPECT_EQ(r.rule, Rule::kWriteShared);
+  EXPECT_FALSE(s.var(kX).R.is_shared());  // forgot the reads
+  EXPECT_EQ(s.var(kX).R, Epoch());
+}
+
+TEST(SpecOriginalFT, JoinIncrementsJoinedThread) {
+  Spec s(RuleSet::kOriginalFastTrack);
+  s.on_fork(A, B);
+  s.on_read(B, kX);
+  const Epoch b_before = s.thread_epoch(B);
+  s.on_join(A, B);
+  EXPECT_EQ(s.thread_epoch(B), b_before.inc());
+}
+
+// --- Figure 1: the paper's worked example, checked state-by-state ---
+
+// Compares <c_A, c_B> against a clock (absent slots read as bottom).
+::testing::AssertionResult vc_is(const VectorClock& vc, Clock ca, Clock cb) {
+  if (vc.get(A) != Epoch::make(A, ca) || vc.get(B) != Epoch::make(B, cb)) {
+    return ::testing::AssertionFailure()
+           << vc.str() << " != <" << ca << "," << cb << ">";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class Figure1 : public ::testing::Test {
+ protected:
+  // Drive the state to the figure's first row: SA.V=<4,0>, SB.V=<0,8>,
+  // Sm.V=bottom, Sx={V:bottom, R:A@1, W:A@1}, with A holding m.
+  void SetUp() override {
+    spec.on_write(A, kX);  // W = A@1
+    spec.on_read(A, kX);   // R = A@1
+    for (int i = 0; i < 3; ++i) {  // A's clock 1 -> 4
+      spec.on_acquire(A, 90);
+      spec.on_release(A, 90);
+    }
+    for (int i = 0; i < 7; ++i) {  // B's clock 1 -> 8
+      spec.on_acquire(B, 91);
+      spec.on_release(B, 91);
+    }
+    spec.on_acquire(A, kM);  // the acquire matching the figure's rel(m)
+    ASSERT_TRUE(vc_is(spec.thread_vc(A), 4, 0));
+    ASSERT_TRUE(vc_is(spec.thread_vc(B), 0, 8));
+    ASSERT_EQ(spec.var(kX).R, Epoch::make(A, 1));
+    ASSERT_EQ(spec.var(kX).W, Epoch::make(A, 1));
+  }
+
+  Spec spec;
+};
+
+TEST_F(Figure1, CompleteWalkthrough) {
+  // x = 0 (A writes): W becomes A@4.
+  EXPECT_EQ(spec.on_write(A, kX).rule, Rule::kWriteExclusive);
+  EXPECT_EQ(spec.var(kX).W, Epoch::make(A, 4));
+
+  // rel(A, m): Sm.V = <4,0>, SA.V -> <5,0>.
+  spec.on_release(A, kM);
+  EXPECT_TRUE(vc_is(spec.lock_vc(kM), 4, 0));
+  EXPECT_TRUE(vc_is(spec.thread_vc(A), 5, 0));
+
+  // acq(B, m): SB.V = <4,8>.
+  spec.on_acquire(B, kM);
+  EXPECT_TRUE(vc_is(spec.thread_vc(B), 4, 8));
+
+  // s = x (B reads): A@1 happens-before <4,8>, so R := B@8.
+  const auto r1 = spec.on_read(B, kX);
+  EXPECT_EQ(r1.rule, Rule::kReadExclusive);
+  EXPECT_EQ(spec.var(kX).R, Epoch::make(B, 8));
+
+  // t = x (A reads): B@8 is concurrent with <5,0> -> SHARED, V=<5,8>.
+  const auto r2 = spec.on_read(A, kX);
+  EXPECT_EQ(r2.rule, Rule::kReadShare);
+  EXPECT_TRUE(spec.var(kX).R.is_shared());
+  EXPECT_TRUE(vc_is(spec.var(kX).V, 5, 8));
+
+  // x = 1 (A writes): Sx.V=<5,8> is not <= SA.V=<5,0> -> Race!
+  const auto r3 = spec.on_write(A, kX);
+  EXPECT_TRUE(r3.error);
+  EXPECT_EQ(r3.rule, Rule::kSharedWriteRace);
+}
+
+}  // namespace
+}  // namespace vft

@@ -1,0 +1,125 @@
+// Volatile operations in the trace language: parsing, spec semantics
+// (acquire/release-like edges), oracle agreement, and detector replay.
+#include <gtest/gtest.h>
+
+#include "trace/feasibility.h"
+#include "trace/generator.h"
+#include "trace/hb_oracle.h"
+#include "trace/replay.h"
+#include "vft/detector.h"
+
+namespace vft::trace {
+namespace {
+
+TEST(VolatileTrace, ParsePrintRoundTrip) {
+  const Trace t = {vwr(0, 3), vrd(1, 3), rd(1, 0)};
+  EXPECT_EQ(to_string(t), "vwr(0,v3); vrd(1,v3); rd(1,x0)");
+  Trace parsed;
+  ASSERT_TRUE(parse(to_string(t), &parsed));
+  EXPECT_EQ(parsed, t);
+}
+
+TEST(VolatileTrace, PublicationOrdersAccesses) {
+  // The classic volatile-flag publication: data write, volatile write,
+  // volatile read, data read. Race-free.
+  const Trace t = {wr(0, 7), vwr(0, 1), vrd(1, 1), rd(1, 7)};
+  ASSERT_TRUE(is_feasible(t));
+  EXPECT_TRUE(analyze(t).race_free());
+  EXPECT_TRUE(analyze_closure(t).race_free());
+  Spec spec;
+  EXPECT_FALSE(replay_spec(t, spec).error_index.has_value());
+}
+
+TEST(VolatileTrace, ReadBeforeWriteGivesNoEdge) {
+  // The read precedes the write: no ordering flows, the data accesses race.
+  const Trace t = {vrd(1, 1), wr(0, 7), vwr(0, 1), rd(1, 7)};
+  EXPECT_FALSE(analyze(t).race_free());
+  EXPECT_FALSE(analyze_closure(t).race_free());
+  Spec spec;
+  EXPECT_TRUE(replay_spec(t, spec).error_index.has_value());
+}
+
+TEST(VolatileTrace, WritesDoNotOrderEachOther) {
+  // Two volatile writers, then a reader: the reader is ordered after BOTH
+  // writes, but the writers stay concurrent with each other - their
+  // *data* writes race.
+  const Trace t = {wr(0, 7), vwr(0, 1),   // writer A publishes
+                   wr(1, 7),              // races with A's data write
+                   vwr(1, 1), vrd(2, 1), rd(2, 7)};
+  const HbResult res = analyze(t);
+  ASSERT_FALSE(res.race_free());
+  EXPECT_EQ(res.first_race->first, 0u);
+  EXPECT_EQ(res.first_race->second, 2u);
+  // And the closure oracle agrees about the pair.
+  const HbResult res2 = analyze_closure(t);
+  ASSERT_FALSE(res2.race_free());
+  EXPECT_EQ(res2.first_race->second, 2u);
+}
+
+TEST(VolatileTrace, ReaderOrderedAfterAllEarlierWriters) {
+  const Trace t = {wr(0, 5), vwr(0, 1), wr(1, 6), vwr(1, 1),
+                   vrd(2, 1), rd(2, 5), rd(2, 6)};
+  EXPECT_TRUE(analyze(t).race_free());
+  EXPECT_TRUE(analyze_closure(t).race_free());
+  Spec spec;
+  EXPECT_FALSE(replay_spec(t, spec).error_index.has_value());
+}
+
+TEST(VolatileTrace, SpecVolWriteStartsNewEpoch) {
+  Spec spec;
+  const Epoch before = spec.thread_epoch(0);
+  spec.on_vol_write(0, 1);
+  EXPECT_EQ(spec.thread_epoch(0), before.inc());
+  // And the volatile's clock recorded the writer.
+  EXPECT_EQ(spec.vol_vc(1).get(0), before);
+}
+
+TEST(VolatileTrace, DetectorsAgreeOnVolatileTraces) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    GeneratorConfig cfg;
+    cfg.initial_threads = 3;
+    cfg.max_threads = 2;
+    cfg.vars = 5;
+    cfg.volatiles = 3;
+    cfg.volatile_fraction = 0.5;  // volatile-heavy sweep
+    cfg.sync_fraction = 0.35;
+    cfg.disciplined_fraction = 0.7;
+    cfg.ops = 160;
+    cfg.seed = seed;
+    const Trace t = generate(cfg);
+    ASSERT_TRUE(is_feasible(t));
+    std::size_t vol_ops = 0;
+    for (const Op& op : t) {
+      vol_ops += op.kind == OpKind::kVolRead || op.kind == OpKind::kVolWrite;
+    }
+    Spec spec;
+    const auto sr = replay_spec(t, spec);
+    const HbResult oracle = analyze(t);
+    ASSERT_EQ(oracle.race_free(), !sr.error_index.has_value())
+        << "seed " << seed << "\n" << to_string(t);
+    for_each_detector(nullptr, nullptr, [&](auto& d) {
+      using D = std::decay_t<decltype(d)>;
+      const ReplayResult run = replay(t, d);
+      EXPECT_EQ(run.first_race, sr.error_index)
+          << D::kName << " seed " << seed;
+    });
+  }
+}
+
+TEST(VolatileTrace, GeneratorEmitsVolatiles) {
+  GeneratorConfig cfg;
+  cfg.volatiles = 2;
+  cfg.volatile_fraction = 0.6;
+  cfg.sync_fraction = 0.5;
+  cfg.ops = 300;
+  cfg.seed = 3;
+  const Trace t = generate(cfg);
+  std::size_t vols = 0;
+  for (const Op& op : t) {
+    vols += op.kind == OpKind::kVolRead || op.kind == OpKind::kVolWrite;
+  }
+  EXPECT_GT(vols, 20u);
+}
+
+}  // namespace
+}  // namespace vft::trace

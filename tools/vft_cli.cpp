@@ -1,0 +1,238 @@
+// vft: command-line driver for the library.
+//
+//   vft analyze <trace | @file> [--tool v1|v1.5|v2|ft-mutex|ft-cas|djit]
+//       Parse and feasibility-check a Section 2 trace, replay it through
+//       the chosen detector and the specification, report the verdict and
+//       the happens-before oracle's cross-check.
+//
+//   vft generate --ops N [--threads T] [--forked F] [--vars V] [--locks L]
+//                [--disciplined P] [--seed S]
+//       Emit a random feasible trace (one op per line flows through
+//       `vft analyze @-` nicely).
+//
+//   vft bench <kernel> [--tool ...] [--threads T] [--scale S]
+//       Time one kernel of the Table 1 suite under one detector.
+//
+//   vft minimize <trace | @file>
+//       Shrink a racy trace to a locally minimal racy core (delta
+//       debugging for race triage).
+//
+//   vft rules
+//       Print the Figure 2 rule names with a one-line summary each.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "kernels/all.h"
+#include "trace/feasibility.h"
+#include "trace/generator.h"
+#include "trace/hb_oracle.h"
+#include "trace/minimize.h"
+#include "trace/replay.h"
+
+namespace {
+
+using namespace vft;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vft analyze <trace|@file> [--tool NAME]\n"
+               "       vft generate --ops N [--threads T] [--forked F]\n"
+               "                    [--vars V] [--locks L] [--disciplined P]"
+               " [--seed S]\n"
+               "       vft bench <kernel> [--tool NAME] [--threads T]"
+               " [--scale S]\n"
+               "       vft minimize <trace|@file>\n"
+               "       vft rules\n"
+               "tools: v1 v1.5 v2 ft-mutex ft-cas djit (default v2)\n");
+  return 2;
+}
+
+std::string arg_value(int argc, char** argv, const char* flag,
+                      const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+std::string load_trace_text(const std::string& spec) {
+  if (spec.empty() || spec[0] != '@') return spec;
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (spec != "@-") {
+    file.open(spec.substr(1));
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", spec.c_str() + 1);
+      std::exit(2);
+    }
+    in = &file;
+  }
+  std::ostringstream all;
+  std::string line;
+  while (std::getline(*in, line)) all << line << "; ";
+  return all.str();
+}
+
+template <typename D>
+int analyze_with(const trace::Trace& t, D detector, RaceCollector& rc) {
+  const trace::ReplayResult run = trace::replay(t, detector);
+  Spec spec;
+  const trace::SpecReplayResult sr = trace::replay_spec(t, spec);
+  const trace::HbResult oracle = trace::analyze(t);
+
+  if (run.first_race) {
+    std::printf("%s: race detected at op %zu (%s)\n", D::kName,
+                *run.first_race, t[*run.first_race].str().c_str());
+    for (const auto& r : rc.all()) {
+      std::printf("  %s\n", r.str().c_str());
+    }
+  } else {
+    std::printf("%s: race-free (%zu operations)\n", D::kName, t.size());
+  }
+  const bool spec_agrees = sr.error_index == run.first_race;
+  const bool oracle_agrees =
+      oracle.race_free() == !run.first_race.has_value();
+  std::printf("specification %s, happens-before oracle %s\n",
+              spec_agrees ? "agrees" : "DISAGREES",
+              oracle_agrees ? "agrees" : "DISAGREES");
+  return spec_agrees && oracle_agrees ? (run.first_race ? 1 : 0) : 3;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 1) return usage();
+  trace::Trace t;
+  if (!trace::parse(load_trace_text(argv[0]), &t)) {
+    std::fprintf(stderr, "parse error\n");
+    return 2;
+  }
+  if (const auto err = trace::check_feasible(t)) {
+    std::fprintf(stderr, "infeasible at op %zu: %s\n", err->index,
+                 err->message.c_str());
+    return 2;
+  }
+  const std::string tool = arg_value(argc, argv, "--tool", "v2");
+  RaceCollector rc;
+  if (tool == "v1") return analyze_with(t, VftV1(&rc), rc);
+  if (tool == "v1.5") return analyze_with(t, VftV15(&rc), rc);
+  if (tool == "v2") return analyze_with(t, VftV2(&rc), rc);
+  if (tool == "ft-mutex") return analyze_with(t, FtMutex(&rc), rc);
+  if (tool == "ft-cas") return analyze_with(t, FtCas(&rc), rc);
+  if (tool == "djit") return analyze_with(t, Djit(&rc), rc);
+  return usage();
+}
+
+int cmd_generate(int argc, char** argv) {
+  trace::GeneratorConfig cfg;
+  cfg.ops = static_cast<std::uint32_t>(
+      std::atoi(arg_value(argc, argv, "--ops", "100").c_str()));
+  cfg.initial_threads = static_cast<std::uint32_t>(
+      std::atoi(arg_value(argc, argv, "--threads", "3").c_str()));
+  cfg.max_threads = static_cast<std::uint32_t>(
+      std::atoi(arg_value(argc, argv, "--forked", "2").c_str()));
+  cfg.vars = static_cast<std::uint32_t>(
+      std::atoi(arg_value(argc, argv, "--vars", "8").c_str()));
+  cfg.locks = static_cast<std::uint32_t>(
+      std::atoi(arg_value(argc, argv, "--locks", "2").c_str()));
+  cfg.disciplined_fraction =
+      std::atof(arg_value(argc, argv, "--disciplined", "1.0").c_str());
+  cfg.seed = static_cast<std::uint64_t>(
+      std::atoll(arg_value(argc, argv, "--seed", "1").c_str()));
+  const trace::Trace t = trace::generate(cfg);
+  for (const trace::Op& op : t) std::printf("%s\n", op.str().c_str());
+  return 0;
+}
+
+template <typename D>
+int bench_with(const std::string& kernel, kernels::KernelConfig cfg) {
+  for (const auto& e : kernels::kernel_table<D>()) {
+    if (kernel != e.name) continue;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto [result, races] = kernels::run_kernel<D>(e.fn, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::printf("%s/%s: %.4fs valid=%d races=%zu checksum=%.6g\n", e.name,
+                D::kName, std::chrono::duration<double>(t1 - t0).count(),
+                result.valid ? 1 : 0, races, result.checksum);
+    return result.valid ? 0 : 1;
+  }
+  std::fprintf(stderr, "unknown kernel %s (see DESIGN.md 1.4)\n",
+               kernel.c_str());
+  return 2;
+}
+
+int cmd_bench(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string kernel = argv[0];
+  kernels::KernelConfig cfg;
+  cfg.threads = static_cast<std::uint32_t>(
+      std::atoi(arg_value(argc, argv, "--threads", "4").c_str()));
+  cfg.scale = static_cast<std::uint32_t>(
+      std::atoi(arg_value(argc, argv, "--scale", "2").c_str()));
+  const std::string tool = arg_value(argc, argv, "--tool", "v2");
+  if (tool == "none") return bench_with<rt::NullTool>(kernel, cfg);
+  if (tool == "v1") return bench_with<VftV1>(kernel, cfg);
+  if (tool == "v1.5") return bench_with<VftV15>(kernel, cfg);
+  if (tool == "v2") return bench_with<VftV2>(kernel, cfg);
+  if (tool == "ft-mutex") return bench_with<FtMutex>(kernel, cfg);
+  if (tool == "ft-cas") return bench_with<FtCas>(kernel, cfg);
+  if (tool == "djit") return bench_with<Djit>(kernel, cfg);
+  return usage();
+}
+
+int cmd_minimize(int argc, char** argv) {
+  if (argc < 1) return usage();
+  trace::Trace t;
+  if (!trace::parse(load_trace_text(argv[0]), &t)) {
+    std::fprintf(stderr, "parse error\n");
+    return 2;
+  }
+  if (const auto err = trace::check_feasible(t)) {
+    std::fprintf(stderr, "infeasible at op %zu: %s\n", err->index,
+                 err->message.c_str());
+    return 2;
+  }
+  if (trace::analyze(t).race_free()) {
+    std::printf("trace is race-free; nothing to minimize\n");
+    return 0;
+  }
+  const trace::MinimizeResult r = trace::minimize_racy_trace(t);
+  std::printf("minimized %zu ops -> %zu ops (%zu oracle calls)\n", t.size(),
+              r.trace.size(), r.oracle_calls);
+  for (const trace::Op& op : r.trace) std::printf("%s\n", op.str().c_str());
+  return 0;
+}
+
+int cmd_rules() {
+  std::printf(
+      "Figure 2 analysis rules (VerifiedFT):\n"
+      "  [Read Same Epoch]         re-read within the epoch: no-op (60%% of accesses)\n"
+      "  [Read Shared Same Epoch]  re-read of read-shared data within the epoch (12%%)\n"
+      "  [Read Exclusive]          ordered read: R := E_t\n"
+      "  [Read Share]              concurrent reads: inflate R to a vector clock\n"
+      "  [Read Shared]             read-shared bookkeeping: V(t) := E_t\n"
+      "  [Write Same Epoch]        re-write within the epoch: no-op (14%%)\n"
+      "  [Write Exclusive]         ordered write: W := E_t\n"
+      "  [Write Shared]            write over read-shared data (full VC check)\n"
+      "  [Write-Read Race]         read races with the last write\n"
+      "  [Write-Write Race]        write races with the last write\n"
+      "  [Read-Write Race]         write races with the last (epoch) read\n"
+      "  [Shared-Write Race]       write races with an unordered shared read\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "analyze") return cmd_analyze(argc - 2, argv + 2);
+  if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
+  if (cmd == "bench") return cmd_bench(argc - 2, argv + 2);
+  if (cmd == "minimize") return cmd_minimize(argc - 2, argv + 2);
+  if (cmd == "rules") return cmd_rules();
+  return usage();
+}
