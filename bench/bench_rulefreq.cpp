@@ -67,6 +67,16 @@ int main() {
   std::printf("\npaper (Section 5): rd-same 60%%, wr-same 14%%, rdsh-same "
               "12%% => 85%%+ fast-path coverage\n");
 
+  auto ag = [&agg](Rule r) {
+    return static_cast<unsigned long long>(agg[static_cast<std::size_t>(r)]);
+  };
+  std::printf("\nSync operations (incl. the Section 7 extras):\n"
+              "  acquire=%llu release=%llu fork=%llu join=%llu\n"
+              "  volatile-rd=%llu volatile-wr=%llu barrier=%llu\n",
+              ag(Rule::kAcquire), ag(Rule::kRelease), ag(Rule::kFork),
+              ag(Rule::kJoin), ag(Rule::kVolRead), ag(Rule::kVolWrite),
+              ag(Rule::kBarrier));
+
   std::printf("\nFull aggregate rule breakdown:\n");
   for (std::size_t r = 0; r < RuleStats::kN; ++r) {
     if (agg[r] == 0) continue;

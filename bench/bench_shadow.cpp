@@ -1,0 +1,119 @@
+// Shadow-backend microbenchmark: the per-access cost of mapping a raw
+// address to its VarState, mutex-sharded hash table (ShadowTable) vs
+// lock-free two-level page map (ShadowSpace), across thread counts.
+//
+// Two workloads over a words-sized double buffer:
+//   private  each worker sweeps its own slice, one write per 8 reads.
+//            After the first sweep every access hits a same-epoch fast
+//            path, so the detector contributes a few ns and the lookup
+//            dominates - the raw-pointer hot path a compiler pass hits.
+//   shared   every worker sweeps the whole buffer read-only: read-share
+//            inflation once, then the [Read Shared Same Epoch] fast path;
+//            all threads contend on the same shadow entries.
+//
+// A lookup-only section repeats the private workload under NullTool
+// (handlers compile to nothing), isolating pure of() cost.
+//
+// Environment: VFT_SHADOW_WORDS (default 32768), VFT_SHADOW_ITERS
+// (default 64), VFT_SHADOW_MAXTHREADS (default 8).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "kernels/kernel.h"
+
+namespace {
+
+using namespace vft;
+
+enum class Backend { kTable, kSpace };
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    return static_cast<std::size_t>(std::atoll(v));
+  }
+  return fallback;
+}
+
+/// Seconds for `iters` sweeps; also returns the access count via *ops.
+template <typename D>
+double measure(Backend which, bool shared_mode, std::uint32_t threads,
+               std::size_t words, std::size_t iters, std::uint64_t* ops) {
+  std::vector<double> buf(words, 0.0);
+  RaceCollector races;
+  rt::Runtime<D> R{D(&races)};
+  typename rt::Runtime<D>::MainScope scope(R);
+
+  auto timed = [&](auto& backend) {
+    const auto t0 = std::chrono::steady_clock::now();
+    rt::parallel_for_threads(R, threads, [&](std::uint32_t w) {
+      const kernels::Slice s = shared_mode
+                                   ? kernels::Slice{0, words}
+                                   : kernels::slice_of(words, w, threads);
+      for (std::size_t it = 0; it < iters; ++it) {
+        for (std::size_t i = s.begin; i < s.end; ++i) {
+          if (!shared_mode && (i & 7u) == 7u) {
+            rt::instrumented_write(R, backend, &buf[i]);
+          } else {
+            rt::instrumented_read(R, backend, &buf[i]);
+          }
+        }
+      }
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  const std::size_t per_thread =
+      shared_mode ? words : words / threads + (words % threads != 0);
+  *ops = static_cast<std::uint64_t>(threads) * iters * per_thread;
+  const double secs = which == Backend::kTable ? timed(R.shadow_table())
+                                               : timed(R.shadow_space());
+  if (!races.empty()) {
+    std::fprintf(stderr, "FATAL: benchmark workload reported races\n");
+    std::exit(1);
+  }
+  return secs;
+}
+
+template <typename D>
+void section(const char* title, bool shared_mode, std::size_t words,
+             std::size_t iters, std::uint32_t max_threads) {
+  std::printf("%s\n", title);
+  std::printf("%8s %12s %12s %9s\n", "threads", "table ns/op", "space ns/op",
+              "speedup");
+  for (std::uint32_t t = 1; t <= max_threads; t *= 2) {
+    std::uint64_t ops = 0;
+    const double ts = measure<D>(Backend::kTable, shared_mode, t, words,
+                                 iters, &ops);
+    const double ss = measure<D>(Backend::kSpace, shared_mode, t, words,
+                                 iters, &ops);
+    const double tn = 1e9 * ts / static_cast<double>(ops);
+    const double sn = 1e9 * ss / static_cast<double>(ops);
+    std::printf("%8u %12.2f %12.2f %8.2fx\n", t, tn, sn, tn / sn);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t words = env_or("VFT_SHADOW_WORDS", 32768);
+  const std::size_t iters = env_or("VFT_SHADOW_ITERS", 64);
+  const auto max_threads =
+      static_cast<std::uint32_t>(env_or("VFT_SHADOW_MAXTHREADS", 8));
+
+  std::printf("Shadow backend lookup cost: sharded-hash ShadowTable vs "
+              "two-level ShadowSpace\n");
+  std::printf("(%zu words, %zu sweeps; %s)\n\n", words, iters,
+              vft::rt::ShadowGeometry::describe().c_str());
+
+  section<vft::VftV2>("VerifiedFT-v2, private slices (write-heavy hot path)",
+                      false, words, iters, max_threads);
+  section<vft::VftV2>("VerifiedFT-v2, fully shared read-only",
+                      true, words, iters / 4 + 1, max_threads);
+  section<vft::rt::NullTool>("lookup only (NullTool handlers)",
+                             false, words, iters, max_threads);
+  return 0;
+}

@@ -2,10 +2,18 @@
 // under every detector in the family and print time, reports, and the
 // rule mix - the quickest way to feel the Table 1 tradeoffs.
 //
-//   $ ./detector_comparison            # sparse (read-shared-heavy)
-//   $ ./detector_comparison raytracer  # any kernel from the suite
+// The optional second argument selects the shadow backend for kernels
+// ported to the address-keyed API (sor, lufact), doubling as a smoke test
+// for the --shadow plumbing: per-run backend stats are printed so a
+// misrouted backend is visible immediately.
+//
+//   $ ./detector_comparison              # sparse (read-shared-heavy)
+//   $ ./detector_comparison raytracer    # any kernel from the suite
+//   $ ./detector_comparison sor space    # grid shadow from the ShadowSpace
+//   $ ./detector_comparison lufact table # ... or the sharded hash table
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "kernels/all.h"
@@ -16,7 +24,7 @@ using namespace vft;
 using namespace vft::kernels;
 
 template <typename D, typename... Args>
-void run_one(const char* kernel_name, Args&&... args) {
+void run_one(const char* kernel_name, ShadowBackend backend, Args&&... args) {
   const auto table = kernel_table<D>();
   for (const auto& e : table) {
     if (std::string(e.name) != kernel_name) continue;
@@ -27,6 +35,7 @@ void run_one(const char* kernel_name, Args&&... args) {
     KernelConfig cfg;
     cfg.threads = 4;
     cfg.scale = 4;
+    cfg.shadow = backend;
     const auto t0 = std::chrono::steady_clock::now();
     const KernelResult result = e.fn(R, cfg);
     const auto t1 = std::chrono::steady_clock::now();
@@ -42,13 +51,21 @@ void run_one(const char* kernel_name, Args&&... args) {
                 total ? 100.0 * static_cast<double>(fast) /
                             static_cast<double>(total)
                       : 0.0);
+    if (R.has_shadow_space()) {
+      std::printf("%-16s   shadow space: %s\n", "",
+                  rt::str(R.shadow_space().stats()).c_str());
+    }
+    if (R.has_shadow_table()) {
+      std::printf("%-16s   shadow table: entries=%zu\n", "",
+                  R.shadow_table().size());
+    }
     return;
   }
   std::fprintf(stderr, "unknown kernel %s\n", kernel_name);
   std::exit(2);
 }
 
-void run_base(const char* kernel_name) {
+void run_base(const char* kernel_name, ShadowBackend backend) {
   for (const auto& e : kernel_table<rt::NullTool>()) {
     if (std::string(e.name) != kernel_name) continue;
     RaceCollector races;
@@ -57,6 +74,7 @@ void run_base(const char* kernel_name) {
     KernelConfig cfg;
     cfg.threads = 4;
     cfg.scale = 4;
+    cfg.shadow = backend;
     const auto t0 = std::chrono::steady_clock::now();
     e.fn(R, cfg);
     const auto t1 = std::chrono::steady_clock::now();
@@ -70,15 +88,28 @@ void run_base(const char* kernel_name) {
 
 int main(int argc, char** argv) {
   const char* kernel = argc > 1 ? argv[1] : "sparse";
-  std::printf("kernel: %s (4 threads, scale 4)\n\n", kernel);
-  run_base(kernel);
-  run_one<VftV1>(kernel);
-  run_one<VftV15>(kernel);
-  run_one<VftV2>(kernel);
-  run_one<FtMutex>(kernel);
-  run_one<FtCas>(kernel);
-  run_one<Djit>(kernel);
+  ShadowBackend backend = ShadowBackend::kInline;
+  if (argc > 2) {
+    if (std::strcmp(argv[2], "table") == 0) {
+      backend = ShadowBackend::kTable;
+    } else if (std::strcmp(argv[2], "space") == 0) {
+      backend = ShadowBackend::kSpace;
+    } else if (std::strcmp(argv[2], "inline") != 0) {
+      std::fprintf(stderr, "unknown shadow backend %s (inline|table|space)\n",
+                   argv[2]);
+      return 2;
+    }
+  }
+  std::printf("kernel: %s (4 threads, scale 4, shadow backend: %s)\n\n",
+              kernel, shadow_backend_name(backend));
+  run_base(kernel, backend);
+  run_one<VftV1>(kernel, backend);
+  run_one<VftV15>(kernel, backend);
+  run_one<VftV2>(kernel, backend);
+  run_one<FtMutex>(kernel, backend);
+  run_one<FtCas>(kernel, backend);
+  run_one<Djit>(kernel, backend);
   std::printf("\nSee bench_table1 for the full suite with warm-up and "
-              "repetition.\n");
+              "repetition, bench_shadow for the backend lookup costs.\n");
   return 0;
 }

@@ -2,6 +2,12 @@
 // API: no rt::Var wrappers - plain structs plus VFT_AMBIENT_READ/WRITE
 // annotations at the access sites (exactly the calls a compiler pass would
 // insert), with ambient::Thread/Lock supplying the synchronization events.
+// Whole-struct stores use the sized on_range_write - one event per shadow
+// word, the memcpy-annotation shape.
+//
+// The ambient session is backed by the lock-free two-level ShadowSpace
+// (word-granular, like TSan); the final stats line shows the shadow pages
+// the run materialized.
 //
 //   $ ./raw_instrumentation
 //
@@ -43,8 +49,11 @@ int main() {
       const long price = 100 + who * 10 + i;
       book_mu.lock();
       const int slot = *VFT_AMBIENT_READ(&book.count);
-      *VFT_AMBIENT_WRITE(&book.orders[slot].price) = price;
-      *VFT_AMBIENT_WRITE(&book.orders[slot].qty) = i + 1;
+      // One sized event for the whole Order, then plain stores: the range
+      // variant walks both 8-byte words the struct occupies.
+      amb::on_range_write(&book.orders[slot], sizeof(Order));
+      book.orders[slot].price = price;
+      book.orders[slot].qty = i + 1;
       *VFT_AMBIENT_WRITE(&book.count) = slot + 1;
       book_mu.unlock();
 
@@ -69,6 +78,7 @@ int main() {
   std::printf("book entries: %d (expected 40)\n", book.count);
   std::printf("tallies: %ld / %ld, hot_total: %ld\n", tallies[0], tallies[1],
               std::atomic_ref<long>(hot_total).load());
+  std::printf("shadow: %s\n", vft::rt::str(amb::shadow().stats()).c_str());
   std::printf("race reports: %zu\n", amb::races().count());
   for (const auto& r : amb::races().all()) {
     std::printf("  %s\n", amb::races().describe(r).c_str());

@@ -9,4 +9,6 @@ cd "$(dirname "$0")/.."
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake --build build-tsan
-ctest --test-dir build-tsan --output-on-failure
+# Extra args pass straight to ctest (e.g. -R 'shadow|concurrent' for the
+# lock-free shadow paths only, -j N for parallel runs).
+ctest --test-dir build-tsan --output-on-failure "$@"

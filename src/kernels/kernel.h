@@ -26,10 +26,29 @@
 
 namespace vft::kernels {
 
+/// Where a kernel's dominant arrays keep their element shadow:
+///   kInline  a private VarState allocation inside rt::Array (the default,
+///            and what the Table 1 runs measure);
+///   kTable   carved from the runtime's sharded-hash ShadowTable;
+///   kSpace   carved from the runtime's lock-free two-level ShadowSpace,
+///            so raw-pointer and wrapper instrumentation agree.
+enum class ShadowBackend : std::uint8_t { kInline, kTable, kSpace };
+
+inline const char* shadow_backend_name(ShadowBackend b) {
+  switch (b) {
+    case ShadowBackend::kTable: return "table";
+    case ShadowBackend::kSpace: return "space";
+    default: return "inline";
+  }
+}
+
 struct KernelConfig {
   std::uint32_t threads = 4;
   std::uint32_t scale = 1;
   std::uint64_t seed = 42;
+  /// Shadow backend for kernels ported to the address-keyed API
+  /// (currently sor and lufact); others ignore it.
+  ShadowBackend shadow = ShadowBackend::kInline;
   /// When true, the kernel plants one unsynchronized access pattern so the
   /// detector under test should report at least one race (fault injection
   /// for the detection tests; benches never set this).
@@ -92,6 +111,21 @@ inline Slice slice_of(std::size_t n, std::uint32_t w, std::uint32_t p) {
   const std::size_t begin = static_cast<std::size_t>(w) * chunk + std::min<std::size_t>(w, rem);
   const std::size_t len = chunk + (w < rem ? 1 : 0);
   return Slice{begin, begin + len};
+}
+
+/// An rt::Array whose shadow placement follows cfg.shadow: inline, or
+/// carved from one of the runtime-owned address-keyed backends.
+template <typename T, Detector D>
+rt::Array<T, D> make_shadowed_array(rt::Runtime<D>& R, const KernelConfig& cfg,
+                                    std::size_t n, T initial = T{}) {
+  switch (cfg.shadow) {
+    case ShadowBackend::kTable:
+      return rt::Array<T, D>(R, R.shadow_table(), n, initial);
+    case ShadowBackend::kSpace:
+      return rt::Array<T, D>(R, R.shadow_space(), n, initial);
+    default:
+      return rt::Array<T, D>(R, n, initial);
+  }
 }
 
 }  // namespace vft::kernels

@@ -20,8 +20,13 @@ namespace vft::kernels {
 template <Detector D>
 KernelResult lufact(rt::Runtime<D>& R, const KernelConfig& cfg) {
   const std::size_t n = 64 * cfg.scale + 32;
-  rt::Array<double, D> m(R, n * n);       // the matrix, row-major
-  rt::Array<std::uint32_t, D> piv(R, n);  // pivot index per column
+  // Ported to the address-keyed shadow API (see kernel.h). The matrix is
+  // 8-byte doubles: one VarState per element under every backend. piv is
+  // 4-byte entries, so adjacent pivots share a shadow word under the
+  // word-granular ShadowSpace - harmless here, since piv has a single
+  // instrumented writer (worker 0) and is only raw-read afterwards.
+  rt::Array<double, D> m = make_shadowed_array<double>(R, cfg, n * n);
+  rt::Array<std::uint32_t, D> piv = make_shadowed_array<std::uint32_t>(R, cfg, n);
   rt::Barrier<D> barrier(R, cfg.threads);
 
   // Diagonally dominant random matrix (guarantees a well-conditioned LU).

@@ -23,7 +23,12 @@ KernelResult sor(rt::Runtime<D>& R, const KernelConfig& cfg) {
   const std::size_t iters = 4 * cfg.scale;
   const double omega = 1.25;
 
-  rt::Array<double, D> grid(R, g * g);
+  // Ported to the address-keyed shadow API: cfg.shadow selects where the
+  // grid's element shadow lives (inline, sharded table, or the two-level
+  // ShadowSpace). Elements are 8-byte doubles, so even the word-granular
+  // ShadowSpace keeps one VarState per cell and the access profile - and
+  // the race verdict - is identical across backends.
+  rt::Array<double, D> grid = make_shadowed_array<double>(R, cfg, g * g);
   rt::Barrier<D> barrier(R, cfg.threads);
 
   Rng rng(cfg.seed);

@@ -7,14 +7,15 @@
 // structures; the ambient::Thread/Lock wrappers supply the fork/join and
 // acquire/release events. One session per process (reset() for tests).
 //
-// The ambient detector is VerifiedFT-v2 - the configuration a production
-// deployment would pick.
+// The ambient detector is VerifiedFT-v2 and the ambient shadow backend is
+// the lock-free two-level ShadowSpace - the configuration a production
+// deployment would pick. Shadow is word-granular: accesses within the
+// same 8-byte word map to one VarState (see shadow_space.h).
 #pragma once
 
 #include <functional>
 
 #include "runtime/instrument.h"
-#include "runtime/shadow_table.h"
 #include "vft/vft_v2.h"
 
 namespace vft::rt::ambient {
@@ -29,23 +30,19 @@ class Session {
 
   RaceCollector& races() { return races_; }
   Runtime<VftV2>& runtime() { return *runtime_; }
-  ShadowTable<VftV2>& shadow() { return *shadow_; }
+  ShadowSpace<VftV2>& shadow() { return runtime_->shadow_space(); }
 
   /// Drops all analysis state (shadow, reports, thread registry). Only
   /// safe while no ambient threads are live; intended for tests.
   void reset() {
-    shadow_ = std::make_unique<ShadowTable<VftV2>>();
     runtime_ = std::make_unique<Runtime<VftV2>>(VftV2(&races_));
     races_.clear();
   }
 
  private:
-  Session()
-      : shadow_(std::make_unique<ShadowTable<VftV2>>()),
-        runtime_(std::make_unique<Runtime<VftV2>>(VftV2(&races_))) {}
+  Session() : runtime_(std::make_unique<Runtime<VftV2>>(VftV2(&races_))) {}
 
   RaceCollector races_;
-  std::unique_ptr<ShadowTable<VftV2>> shadow_;
   std::unique_ptr<Runtime<VftV2>> runtime_;
 };
 
@@ -54,7 +51,7 @@ class Session {
 namespace vft::rt::ambient {
 
 // Reference-forwarding accessors that survive reset().
-inline ShadowTable<VftV2>& shadow() { return Session::instance().shadow(); }
+inline ShadowSpace<VftV2>& shadow() { return Session::instance().shadow(); }
 inline Runtime<VftV2>& runtime() { return Session::instance().runtime(); }
 inline RaceCollector& races() { return Session::instance().races(); }
 
@@ -75,6 +72,16 @@ inline void on_read(const void* addr) {
 /// The event a compiler pass emits before a store to *addr.
 inline void on_write(const void* addr) {
   instrumented_write(runtime(), shadow(), addr);
+}
+
+/// The events a pass emits before a sized access (memcpy-style or a
+/// whole-struct read/write): one event per overlapped shadow word.
+inline void on_range_read(const void* addr, std::size_t size) {
+  instrumented_range_read(runtime(), shadow(), addr, size);
+}
+
+inline void on_range_write(const void* addr, std::size_t size) {
+  instrumented_range_write(runtime(), shadow(), addr, size);
 }
 
 /// Instrumented thread over the ambient session.

@@ -36,6 +36,17 @@ namespace vft::rt {
 template <typename D>
 inline constexpr bool kInstrumented = !std::is_same_v<D, NullTool>;
 
+/// Bump a RuleStats counter through a tool that exposes one (the
+/// DetectorBase family); a no-op for tools without a stats() accessor.
+/// Lets the wrappers count the Section 7 sync extras (volatile accesses,
+/// barrier arrivals) that bypass the detector's handler interface.
+template <typename Tool>
+inline void count_sync_rule(Tool& tool, Rule r) {
+  if constexpr (requires { tool.stats(); }) {
+    if (RuleStats* s = tool.stats()) s->bump(r);
+  }
+}
+
 /// One instrumented scalar variable with an inline shadow VarState.
 template <typename T, Detector D>
 class Var {
@@ -74,7 +85,10 @@ class Var {
 };
 
 /// Instrumented array: one shadow VarState per element (RoadRunner's
-/// fine-grained array shadow mode).
+/// fine-grained array shadow mode). Shadow lives either inline (private
+/// allocation, the default) or carved out of an address-keyed backend so
+/// that raw-pointer instrumentation of the same memory hits the same
+/// VarStates.
 template <typename T, Detector D>
 class Array {
  public:
@@ -89,17 +103,35 @@ class Array {
     }
   }
 
+  /// Carve the element shadow out of `backend` (a ShadowSpace or
+  /// ShadowTable), keyed by each element's address. Wrapper accesses and
+  /// instrumented_read/write on &data()[i] then agree on the VarState.
+  /// Note: under ShadowSpace's word granularity, elements smaller than the
+  /// shadow word share a VarState with their word neighbors.
+  template <typename B>
+    requires ShadowBackendFor<B, D>
+  Array(Runtime<D>& rt, B& backend, std::size_t n, T initial = T{})
+      : rt_(&rt),
+        n_(n),
+        data_(std::make_unique<std::atomic<T>[]>(n)),
+        shadow_ptrs_(std::make_unique<typename D::VarState*[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      data_[i].store(initial, std::memory_order_relaxed);
+      shadow_ptrs_[i] = &backend.of(&data_[i]);
+    }
+  }
+
   std::size_t size() const { return n_; }
 
   T load(std::size_t i) {
     VFT_ASSERT(i < n_);
-    rt_->tool().read(rt_->self(), shadow_[i]);
+    rt_->tool().read(rt_->self(), shadow(i));
     return data_[i].load(std::memory_order_relaxed);
   }
 
   void store(std::size_t i, T v) {
     VFT_ASSERT(i < n_);
-    rt_->tool().write(rt_->self(), shadow_[i]);
+    rt_->tool().write(rt_->self(), shadow(i));
     data_[i].store(v, std::memory_order_relaxed);
   }
 
@@ -115,18 +147,25 @@ class Array {
   void set_name(const std::string& name) {
     if (RaceCollector* rc = rt_->tool().races()) {
       for (std::size_t i = 0; i < n_; ++i) {
-        rc->name_var(shadow_[i].id, name + "[" + std::to_string(i) + "]");
+        rc->name_var(shadow(i).id, name + "[" + std::to_string(i) + "]");
       }
     }
   }
 
-  typename D::VarState& shadow(std::size_t i) { return shadow_[i]; }
+  typename D::VarState& shadow(std::size_t i) {
+    return shadow_ ? shadow_[i] : *shadow_ptrs_[i];
+  }
+
+  /// The element storage, for raw-pointer instrumentation of the same
+  /// memory (meaningful with the backend-carving constructor).
+  std::atomic<T>* data() { return data_.get(); }
 
  private:
   Runtime<D>* rt_;
   std::size_t n_;
   std::unique_ptr<std::atomic<T>[]> data_;
-  std::unique_ptr<typename D::VarState[]> shadow_;
+  std::unique_ptr<typename D::VarState[]> shadow_;        // inline mode
+  std::unique_ptr<typename D::VarState*[]> shadow_ptrs_;  // carved mode
 };
 
 /// Instrumented mutex: a real std::mutex plus the LockState shadow.
@@ -179,19 +218,32 @@ class Volatile {
       : rt_(&rt), data_(initial) {}
 
   T load() {
+    // Read the value first, then acquire the clock: a writer joins vc_
+    // *before* its release-store, so any stored value we observe has its
+    // writer's clock already merged into vc_ by the time we lock. The
+    // reverse order has a window (join, writer publishes, we load the new
+    // value without its clock) that manifests as false positives on reads
+    // the volatile was supposed to order.
+    const T v = data_.load(std::memory_order_acquire);
     if constexpr (kInstrumented<D>) {
-      std::scoped_lock lk(mu_);
-      rt_->self().join(vc_);
+      {
+        std::scoped_lock lk(mu_);
+        rt_->self().join(vc_);
+      }
+      count_sync_rule(rt_->tool(), Rule::kVolRead);
     }
-    return data_.load(std::memory_order_acquire);
+    return v;
   }
 
   void store(T v) {
     if constexpr (kInstrumented<D>) {
-      std::scoped_lock lk(mu_);
-      ThreadState& st = rt_->self();
-      vc_.join(st.V);
-      st.inc();
+      {
+        std::scoped_lock lk(mu_);
+        ThreadState& st = rt_->self();
+        vc_.join(st.V);
+        st.inc();
+      }
+      count_sync_rule(rt_->tool(), Rule::kVolWrite);
     }
     data_.store(v, std::memory_order_release);
   }
@@ -232,6 +284,7 @@ class Barrier {
       ThreadState& st = rt_->self();
       st.join(released_);
       st.inc();  // departures start a new epoch, like a release
+      count_sync_rule(rt_->tool(), Rule::kBarrier);
     }
   }
 

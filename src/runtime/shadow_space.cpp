@@ -1,0 +1,25 @@
+#include "runtime/shadow_space.h"
+
+#include <cstdio>
+
+namespace vft::rt {
+
+std::string ShadowGeometry::describe() {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "two-level shadow: %zu buckets x chained %zu-byte pages, "
+                "%zu slots/page @ %zu-byte granularity",
+                kBuckets, kPageSpan, kSlotsPerPage, kGranularity);
+  return buf;
+}
+
+std::string str(const ShadowSpaceStats& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "pages=%zu slots=%zu mem=%.2fMiB collisions=%zu", s.pages,
+                s.slots, static_cast<double>(s.bytes) / (1024.0 * 1024.0),
+                s.collisions);
+  return buf;
+}
+
+}  // namespace vft::rt

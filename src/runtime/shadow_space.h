@@ -1,0 +1,258 @@
+// Two-level shadow memory: the production-shaped mapping from target
+// addresses to VarState objects, replacing the mutex-sharded hash table
+// as the primary raw-pointer backend.
+//
+// Layout (the Valgrind-DRD primary/secondary map, adapted to 64-bit
+// address spaces the way ThreadSanitizer-style tools do):
+//
+//   address ──┬─ bits [kPageSpanLog2, 64)  ──> bucket in a fixed top-level
+//             │                                array of atomic page
+//             │                                pointers (hash-mixed so the
+//             │                                sparse 48-bit user space
+//             │                                spreads evenly)
+//             └─ bits [kGranularityLog2,
+//                      kPageSpanLog2)      ──> slot inside the page
+//
+// Each "shadow page" covers kPageSpan bytes of target memory at
+// word (8-byte) granularity: one VarState per word. Pages are allocated
+// on first touch and published with a CAS into the bucket's chain - no
+// lock anywhere on the lookup path. Distinct page bases that land in the
+// same bucket chain off each other (the chain is almost always length 1).
+//
+// Two properties the Section 4 runtime assumptions need:
+//
+//   Stability  pages are never freed or moved during a session, so a
+//              VarState& stays valid forever (the one-to-one persistent
+//              variable->VarState mapping). The flip side: if the target
+//              frees memory and the allocator reuses the address, the new
+//              object inherits the old shadow word (real tools hook free()
+//              to clear shadow; see docs/ALGORITHM.md §8).
+//   Agreement  every alias of an address maps to the same VarState, so
+//              wrapper-based (rt::Array carving) and raw-pointer
+//              instrumentation of the same memory see the same history.
+//
+// Granularity: accesses within the same 8-byte word share a VarState
+// (word-granular shadow, as in TSan's default). The fallback ShadowTable
+// keys exact addresses instead; use word-aligned data when comparing
+// backends.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "vft/detector.h"
+
+namespace vft::rt {
+
+template <Detector D>
+class Runtime;
+
+/// Geometry shared by every ShadowSpace instantiation (non-template so the
+/// formatting helpers can live in shadow_space.cpp).
+struct ShadowGeometry {
+  /// log2 bytes per shadow slot: 8-byte words, one VarState each.
+  static constexpr std::size_t kGranularityLog2 = 3;
+  static constexpr std::size_t kGranularity = 1u << kGranularityLog2;
+  /// log2 slots per page: 512 slots -> a page spans 4 KiB of target memory.
+  static constexpr std::size_t kSlotsPerPageLog2 = 9;
+  static constexpr std::size_t kSlotsPerPage = 1u << kSlotsPerPageLog2;
+  static constexpr std::size_t kPageSpanLog2 = kGranularityLog2 + kSlotsPerPageLog2;
+  static constexpr std::size_t kPageSpan = 1u << kPageSpanLog2;
+  /// log2 top-level buckets: 64K atomic pointers = 512 KiB per space.
+  static constexpr std::size_t kTopBitsLog2 = 16;
+  static constexpr std::size_t kBuckets = 1u << kTopBitsLog2;
+
+  /// Top-level index for a page base: multiply-shift mix of the page
+  /// number, so the handful of live 48-bit address-space regions (stack,
+  /// heap, globals) spread over the buckets instead of clustering.
+  static std::size_t bucket_of(std::uintptr_t page_base) {
+    std::uintptr_t x = page_base >> kPageSpanLog2;
+    x ^= x >> 29;
+    x *= 0x9E3779B97F4A7C15ull;
+    x ^= x >> 32;
+    return static_cast<std::size_t>(x) & (kBuckets - 1);
+  }
+
+  /// One-line description of the layout constants (for docs/tools).
+  static std::string describe();
+};
+
+/// Allocation counters of one ShadowSpace (snapshot; relaxed reads).
+struct ShadowSpaceStats {
+  std::size_t pages = 0;       ///< shadow pages allocated
+  std::size_t slots = 0;       ///< VarState slots those pages hold
+  std::size_t bytes = 0;       ///< footprint: top-level array + pages
+  std::size_t collisions = 0;  ///< bucket chains longer than one + CAS races
+};
+
+/// "pages=N slots=N mem=N.NMiB collisions=N" (shadow_space.cpp).
+std::string str(const ShadowSpaceStats& s);
+
+template <Detector D>
+class ShadowSpace {
+ public:
+  using Geometry = ShadowGeometry;
+
+  ShadowSpace()
+      : buckets_(std::make_unique<std::atomic<Page*>[]>(Geometry::kBuckets)) {}
+
+  ~ShadowSpace() {
+    for (std::size_t b = 0; b < Geometry::kBuckets; ++b) {
+      Page* p = buckets_[b].load(std::memory_order_relaxed);
+      while (p != nullptr) {
+        Page* next = p->next.load(std::memory_order_relaxed);
+        delete p;
+        p = next;
+      }
+    }
+  }
+
+  ShadowSpace(const ShadowSpace&) = delete;
+  ShadowSpace& operator=(const ShadowSpace&) = delete;
+
+  /// The VarState shadowing the word containing `addr` (page allocated on
+  /// first touch). Lock-free; the returned reference is stable forever.
+  typename D::VarState& of(const void* addr) {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    const std::uintptr_t base =
+        a & ~static_cast<std::uintptr_t>(Geometry::kPageSpan - 1);
+    std::atomic<Page*>& head = buckets_[Geometry::bucket_of(base)];
+    for (Page* p = head.load(std::memory_order_acquire); p != nullptr;
+         p = p->next.load(std::memory_order_acquire)) {
+      if (p->base == base) return p->slot(a);
+    }
+    return publish_page(head, base, a);
+  }
+
+  /// Pages allocated so far (racy snapshot).
+  std::size_t pages() const { return pages_.load(std::memory_order_relaxed); }
+
+  /// VarState slots materialized so far (pages * slots-per-page).
+  std::size_t size() const { return pages() * Geometry::kSlotsPerPage; }
+
+  ShadowSpaceStats stats() const {
+    ShadowSpaceStats s;
+    s.pages = pages();
+    s.slots = s.pages * Geometry::kSlotsPerPage;
+    s.bytes = Geometry::kBuckets * sizeof(std::atomic<Page*>) +
+              s.pages * sizeof(Page);
+    s.collisions = collisions_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  struct Page {
+    explicit Page(std::uintptr_t b) : base(b) {
+      for (std::size_t i = 0; i < Geometry::kSlotsPerPage; ++i) {
+        slots[i].id = base + (i << Geometry::kGranularityLog2);
+      }
+    }
+
+    typename D::VarState& slot(std::uintptr_t addr) {
+      return slots[(addr >> Geometry::kGranularityLog2) &
+                   (Geometry::kSlotsPerPage - 1)];
+    }
+
+    const std::uintptr_t base;
+    std::atomic<Page*> next{nullptr};
+    typename D::VarState slots[Geometry::kSlotsPerPage];
+  };
+
+  /// Miss path: allocate the page for `base` and CAS it onto the bucket
+  /// chain; on a lost race the winner's page is used and ours is dropped.
+  typename D::VarState& publish_page(std::atomic<Page*>& head,
+                                     std::uintptr_t base, std::uintptr_t a) {
+    auto fresh = std::make_unique<Page>(base);
+    Page* expected = head.load(std::memory_order_acquire);
+    for (;;) {
+      // Re-scan: a concurrent publisher may have added `base` meanwhile.
+      for (Page* p = expected; p != nullptr;
+           p = p->next.load(std::memory_order_acquire)) {
+        if (p->base == base) {
+          collisions_.fetch_add(1, std::memory_order_relaxed);
+          return p->slot(a);
+        }
+      }
+      fresh->next.store(expected, std::memory_order_relaxed);
+      if (head.compare_exchange_weak(expected, fresh.get(),
+                                     std::memory_order_release,
+                                     std::memory_order_acquire)) {
+        if (expected != nullptr) {
+          collisions_.fetch_add(1, std::memory_order_relaxed);
+        }
+        pages_.fetch_add(1, std::memory_order_relaxed);
+        return fresh.release()->slot(a);
+      }
+    }
+  }
+
+  std::unique_ptr<std::atomic<Page*>[]> buckets_;
+  std::atomic<std::size_t> pages_{0};
+  std::atomic<std::size_t> collisions_{0};
+};
+
+/// Anything mapping addresses to stable VarStates can back the raw-pointer
+/// entry points: ShadowSpace (primary) and ShadowTable (fallback).
+template <typename S, typename D>
+concept ShadowBackendFor = requires(S& s, const void* p) {
+  { s.of(p) } -> std::same_as<typename D::VarState&>;
+};
+
+// --- Raw-pointer instrumentation entry points -------------------------------
+//
+// The API a compiler pass or binary-instrumentation front end would call
+// (TSan's __tsan_readN/__tsan_writeN shape), generic over the backend so
+// tools can switch between ShadowSpace and ShadowTable with a flag.
+
+template <Detector D, typename S>
+  requires ShadowBackendFor<S, D>
+bool instrumented_read(Runtime<D>& rt, S& shadow, const void* addr) {
+  return rt.tool().read(rt.self(), shadow.of(addr));
+}
+
+template <Detector D, typename S>
+  requires ShadowBackendFor<S, D>
+bool instrumented_write(Runtime<D>& rt, S& shadow, const void* addr) {
+  return rt.tool().write(rt.self(), shadow.of(addr));
+}
+
+/// Access-size/range variant: one read event per shadow word overlapped by
+/// [addr, addr+size) - the __tsan_read8/memcpy-annotation shape. Returns
+/// false iff any word reported a race.
+template <Detector D, typename S>
+  requires ShadowBackendFor<S, D>
+bool instrumented_range_read(Runtime<D>& rt, S& shadow, const void* addr,
+                             std::size_t size) {
+  if (size == 0) return true;
+  ThreadState& self = rt.self();
+  auto& tool = rt.tool();
+  std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr) &
+                     ~static_cast<std::uintptr_t>(ShadowGeometry::kGranularity - 1);
+  const std::uintptr_t end = reinterpret_cast<std::uintptr_t>(addr) + size;
+  bool ok = true;
+  for (; a < end; a += ShadowGeometry::kGranularity) {
+    ok &= tool.read(self, shadow.of(reinterpret_cast<const void*>(a)));
+  }
+  return ok;
+}
+
+template <Detector D, typename S>
+  requires ShadowBackendFor<S, D>
+bool instrumented_range_write(Runtime<D>& rt, S& shadow, const void* addr,
+                              std::size_t size) {
+  if (size == 0) return true;
+  ThreadState& self = rt.self();
+  auto& tool = rt.tool();
+  std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr) &
+                     ~static_cast<std::uintptr_t>(ShadowGeometry::kGranularity - 1);
+  const std::uintptr_t end = reinterpret_cast<std::uintptr_t>(addr) + size;
+  bool ok = true;
+  for (; a < end; a += ShadowGeometry::kGranularity) {
+    ok &= tool.write(self, shadow.of(reinterpret_cast<const void*>(a)));
+  }
+  return ok;
+}
+
+}  // namespace vft::rt

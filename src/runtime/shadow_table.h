@@ -1,18 +1,21 @@
-// Address-keyed shadow memory: the TSan-style mapping from target memory
-// locations to VarState objects, for instrumenting raw pointers rather
-// than rt::Var/rt::Array wrappers (whose shadow is inline).
+// Sharded-hash shadow memory: the fallback backend behind the raw-pointer
+// entry points of shadow_space.h, kept for exact (byte-keyed) address
+// resolution and as the baseline bench_shadow measures the two-level
+// ShadowSpace against.
 //
 // Layout: a fixed power-of-two array of shards, each a mutex-protected
 // open hash map. The shard mutex is held only during lookup/insert, never
 // during the detector handler, so the detector's own locking discipline
-// (and its lock-free fast paths) is unaffected - the table adds a
-// fixed lookup cost per access, which is why the kernels use inline
-// shadow instead (and why real tools burn address bits for direct-mapped
-// shadow; see EXPERIMENTS.md notes).
+// (and its lock-free fast paths) is unaffected - but unlike ShadowSpace
+// the table adds a lock acquisition per access, which is why it is no
+// longer the default (see docs/ALGORITHM.md §8).
 //
 // VarState addresses are stable once created (node-based map + unique_ptr),
 // matching the runtime-system assumption of Section 4 that the mapping
 // from variables to VarState objects is one-to-one and persistent.
+//
+// Keying: exact addresses, not words - two distinct byte addresses always
+// get distinct VarStates, unlike ShadowSpace's word granularity.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +23,7 @@
 #include <mutex>
 #include <unordered_map>
 
-#include "runtime/tool.h"
+#include "runtime/shadow_space.h"
 
 namespace vft::rt {
 
@@ -36,13 +39,30 @@ class ShadowTable {
     const auto key = reinterpret_cast<std::uintptr_t>(addr);
     Shard& shard = shards_[shard_of(key)];
     std::scoped_lock lk(shard.mu);
-    auto it = shard.map.find(key);
-    if (it == shard.map.end()) {
-      auto state = std::make_unique<typename D::VarState>();
-      state->id = key;
-      it = shard.map.emplace(key, std::move(state)).first;
+    auto [it, inserted] = shard.map.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_unique<typename D::VarState>();
+      it->second->id = key;
     }
     return *it->second;
+  }
+
+  /// Pre-size every shard for ~`expected` total locations, so the hot
+  /// phase does not rehash under the shard locks.
+  void reserve(std::size_t expected) {
+    const std::size_t per_shard = (expected + kShards - 1) / kShards;
+    for (Shard& s : shards_) {
+      std::scoped_lock lk(s.mu);
+      s.map.reserve(per_shard);
+    }
+  }
+
+  /// Rehash threshold knob for the underlying maps (default 1.0).
+  void set_max_load_factor(float f) {
+    for (Shard& s : shards_) {
+      std::scoped_lock lk(s.mu);
+      s.map.max_load_factor(f);
+    }
   }
 
   /// Number of shadowed locations (racy snapshot; for tests/diagnostics).
@@ -72,17 +92,5 @@ class ShadowTable {
 
   Shard shards_[kShards];
 };
-
-/// Raw-pointer instrumentation entry points (the API a compiler pass would
-/// call; exercised by tests and the shadow-table example).
-template <Detector D>
-bool instrumented_read(Runtime<D>& rt, ShadowTable<D>& table, const void* addr) {
-  return rt.tool().read(rt.self(), table.of(addr));
-}
-
-template <Detector D>
-bool instrumented_write(Runtime<D>& rt, ShadowTable<D>& table, const void* addr) {
-  return rt.tool().write(rt.self(), table.of(addr));
-}
 
 }  // namespace vft::rt

@@ -7,9 +7,12 @@
 // (the C++ analogue of RoadRunner inlining fast-path handlers, Section 7).
 #pragma once
 
+#include <mutex>
 #include <utility>
 
 #include "runtime/registry.h"
+#include "runtime/shadow_space.h"
+#include "runtime/shadow_table.h"
 #include "vft/detector.h"
 
 namespace vft::rt {
@@ -52,6 +55,28 @@ class Runtime {
   D& tool() { return tool_; }
   Registry& registry() { return registry_; }
 
+  /// The session's raw-pointer shadow memory, created on first use (so
+  /// wrapper-only targets pay nothing). Tools and examples use this
+  /// instead of hand-threading a backend next to the runtime.
+  ShadowSpace<D>& shadow_space() {
+    std::call_once(space_once_,
+                   [this] { space_ = std::make_unique<ShadowSpace<D>>(); });
+    return *space_;
+  }
+
+  /// The fallback sharded-hash backend, also lazy (kept for exact
+  /// byte-granular keying and for backend A/B comparisons).
+  ShadowTable<D>& shadow_table() {
+    std::call_once(table_once_,
+                   [this] { table_ = std::make_unique<ShadowTable<D>>(); });
+    return *table_;
+  }
+
+  /// True iff shadow_space() has been materialized (stats reporting can
+  /// avoid forcing an allocation).
+  bool has_shadow_space() const { return space_ != nullptr; }
+  bool has_shadow_table() const { return table_ != nullptr; }
+
   /// The calling thread's state; the thread must be inside a ThreadScope
   /// (MainScope or a runtime-spawned Thread).
   ThreadState& self() {
@@ -73,6 +98,10 @@ class Runtime {
  private:
   D tool_;
   Registry registry_;
+  std::once_flag space_once_;
+  std::once_flag table_once_;
+  std::unique_ptr<ShadowSpace<D>> space_;
+  std::unique_ptr<ShadowTable<D>> table_;
 };
 
 }  // namespace vft::rt

@@ -35,6 +35,7 @@ enum class Rule : std::uint8_t {
   kJoin,
   kVolRead,
   kVolWrite,
+  kBarrier,
   kNumRules,
 };
 
@@ -58,6 +59,7 @@ inline const char* rule_name(Rule r) {
     case Rule::kJoin: return "[Join]";
     case Rule::kVolRead: return "[Volatile Read]";
     case Rule::kVolWrite: return "[Volatile Write]";
+    case Rule::kBarrier: return "[Barrier]";
     default: return "?";
   }
 }

@@ -1,0 +1,260 @@
+// The two-level ShadowSpace: geometry (word granularity, page
+// straddling), lock-free publication under thread hammering, the range
+// entry points, and - the load-bearing property - parity: wrapper-based
+// and raw-pointer instrumentation of the same memory, and the table and
+// space backends, produce identical race verdicts for every detector
+// variant.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/instrument.h"
+#include "runtime/shadow_table.h"
+
+namespace vft::rt {
+namespace {
+
+using Geometry = ShadowGeometry;
+
+TEST(ShadowSpace, WordGranularSlots) {
+  ShadowSpace<VftV2> space;
+  alignas(8) char bytes[24] = {};
+  // Same 8-byte word -> same VarState; different word -> different.
+  EXPECT_EQ(&space.of(&bytes[0]), &space.of(&bytes[7]));
+  EXPECT_NE(&space.of(&bytes[0]), &space.of(&bytes[8]));
+  EXPECT_NE(&space.of(&bytes[8]), &space.of(&bytes[16]));
+  // The id is the word base address (stable across aliases).
+  EXPECT_EQ(space.of(&bytes[7]).id, reinterpret_cast<std::uint64_t>(&bytes[0]));
+  EXPECT_EQ(space.pages(), 1u);
+}
+
+TEST(ShadowSpace, PageStraddlingAddressesGetDistinctPages) {
+  ShadowSpace<VftV2> space;
+  std::vector<double> big(3 * Geometry::kPageSpan / sizeof(double));
+  const auto base = reinterpret_cast<std::uintptr_t>(big.data());
+  // Words just left and right of every page boundary in the buffer.
+  std::vector<typename VftV2::VarState*> states;
+  for (std::uintptr_t a = (base + Geometry::kPageSpan) &
+                          ~static_cast<std::uintptr_t>(Geometry::kPageSpan - 1);
+       a + Geometry::kGranularity <
+       base + 3 * Geometry::kPageSpan / sizeof(double) * sizeof(double);
+       a += Geometry::kPageSpan) {
+    auto* left = &space.of(reinterpret_cast<void*>(a - Geometry::kGranularity));
+    auto* right = &space.of(reinterpret_cast<void*>(a));
+    EXPECT_NE(left, right);
+    states.push_back(left);
+    states.push_back(right);
+  }
+  EXPECT_GE(space.pages(), 2u);
+  // Lookups are idempotent: every state re-resolves to the same object.
+  for (auto* s : states) {
+    EXPECT_EQ(&space.of(reinterpret_cast<void*>(s->id)), s);
+  }
+}
+
+TEST(ShadowSpace, ConcurrentLookupsAgreeOnOverlappingAddresses) {
+  ShadowSpace<VftV2> space;
+  // A window spanning several pages; every thread resolves every word,
+  // including the page-straddling ones, racing on first-touch publication.
+  constexpr std::size_t kWords = 4 * Geometry::kSlotsPerPage + 17;
+  std::vector<std::uint64_t> data(kWords);
+  constexpr int kThreads = 8;
+  std::vector<std::vector<typename VftV2::VarState*>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[t].reserve(kWords);
+      for (std::size_t i = 0; i < kWords; ++i) {
+        seen[t].push_back(&space.of(&data[i]));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(seen[t], seen[0]);  // all threads resolved identical VarStates
+  }
+  // kWords words never straddle more than pages+1 pages.
+  EXPECT_GE(space.pages(), kWords / Geometry::kSlotsPerPage);
+  EXPECT_LE(space.pages(), kWords / Geometry::kSlotsPerPage + 2);
+}
+
+TEST(ShadowSpace, RangeVariantsWalkWords) {
+  RaceCollector rc;
+  RuleStats stats;
+  Runtime<VftV2> R{VftV2(&rc, &stats)};
+  Runtime<VftV2>::MainScope scope(R);
+  ShadowSpace<VftV2>& space = R.shadow_space();
+  struct Blob {
+    std::uint64_t a, b, c;
+  };
+  alignas(8) Blob blob{};
+  EXPECT_TRUE(instrumented_range_write(R, space, &blob, sizeof(blob)));
+  // Three words -> three write events, all [Write Exclusive] first touch.
+  EXPECT_EQ(stats.count(Rule::kWriteExclusive), 3u);
+  EXPECT_TRUE(instrumented_range_read(R, space, &blob, sizeof(blob)));
+  EXPECT_TRUE(rc.empty());
+  // Unaligned sub-range still covers the words it overlaps.
+  const auto before = stats.count(Rule::kReadSameEpoch) +
+                      stats.count(Rule::kReadExclusive);
+  EXPECT_TRUE(instrumented_range_read(
+      R, space, reinterpret_cast<char*>(&blob) + 4, 8));  // straddles a|b
+  const auto after = stats.count(Rule::kReadSameEpoch) +
+                     stats.count(Rule::kReadExclusive);
+  EXPECT_EQ(after - before, 2u);
+}
+
+TEST(ShadowSpace, ConcurrentRangeAccessesUnderRealThreads) {
+  RaceCollector rc;
+  Runtime<VftV2> R{VftV2(&rc)};
+  Runtime<VftV2>::MainScope scope(R);
+  ShadowSpace<VftV2>& space = R.shadow_space();
+  // Page-straddling buffer: a 64-word read-only prefix every thread
+  // sweeps (read-shared) plus disjoint written slices behind it. Threads
+  // race on page *publication* at slice boundaries, never on data.
+  constexpr std::size_t kWords = 2 * Geometry::kSlotsPerPage + 128;
+  std::vector<std::uint64_t> buf(kWords);
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::size_t kShared = 64;
+  parallel_for_threads(R, kThreads, [&](std::uint32_t w) {
+    const std::size_t chunk = (kWords - kShared) / kThreads;
+    for (int rep = 0; rep < 8; ++rep) {
+      instrumented_range_write(R, space, &buf[kShared + w * chunk],
+                               chunk * sizeof(std::uint64_t));
+      instrumented_range_read(R, space, buf.data(),
+                              kShared * sizeof(std::uint64_t));
+    }
+  });
+  EXPECT_TRUE(rc.empty()) << rc.first()->str();
+  EXPECT_GE(space.pages(), 2u);
+}
+
+TEST(ShadowSpace, ArrayCarvedFromSpaceAgreesWithRawPointers) {
+  RaceCollector rc;
+  Runtime<VftV2> R{VftV2(&rc)};
+  Runtime<VftV2>::MainScope scope(R);
+  Array<double, VftV2> a(R, R.shadow_space(), 8, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // The wrapper's VarState is exactly the space's VarState for the
+    // element address: wrapper and raw instrumentation agree.
+    EXPECT_EQ(&a.shadow(i), &R.shadow_space().of(&a.data()[i]));
+  }
+  a.store(3, 1.0);
+  EXPECT_TRUE(instrumented_read(R, R.shadow_space(), &a.data()[3]));
+  EXPECT_TRUE(rc.empty());
+}
+
+// --- Parity: identical race verdicts across API paths and backends ---------
+
+/// One deterministic schedule, driven from two sequentially-scoped
+/// ThreadStates with no ordering edge between them (so the racy steps are
+/// the same every run):
+///   t0: write x      -> clean first write
+///   t1: read  x      -> write-read race
+///   t1: write y      -> clean
+///   t0: write y      -> write-write race
+///   t0: read  z, t1: read z -> read-share, no race
+struct Verdict {
+  std::size_t reports;
+  std::vector<RaceKind> kinds;
+
+  bool operator==(const Verdict&) const = default;
+};
+
+template <typename D, typename Access>
+Verdict run_schedule(Access&& acc) {
+  // acc(rt, which_thread, op{0=read,1=write}, loc{0,1,2})
+  RaceCollector rc;
+  Runtime<D> R{D(&rc)};
+  ThreadState& t0 = R.registry().create();
+  ThreadState& t1 = R.registry().create();
+  auto step = [&](ThreadState& ts, int op, int loc) {
+    Registry::ThreadScope scope(ts);
+    acc(R, op, loc);
+  };
+  step(t0, 1, 0);
+  step(t1, 0, 0);
+  step(t1, 1, 1);
+  step(t0, 1, 1);
+  step(t0, 0, 2);
+  step(t1, 0, 2);
+  Verdict v;
+  v.reports = rc.count();
+  for (const auto& r : rc.all()) v.kinds.push_back(r.kind);
+  return v;
+}
+
+template <typename D>
+void expect_parity() {
+  // Raw-pointer paths over both backends, on word-aligned locations.
+  alignas(8) static thread_local std::uint64_t raw_locs[3];
+  auto raw = [](auto& backend) {
+    return [&backend](Runtime<D>& R, int op, int loc) {
+      if (op == 1) {
+        instrumented_write(R, backend, &raw_locs[loc]);
+      } else {
+        instrumented_read(R, backend, &raw_locs[loc]);
+      }
+    };
+  };
+  ShadowSpace<D> space;
+  ShadowTable<D> table;
+  const Verdict via_space = run_schedule<D>(raw(space));
+  const Verdict via_table = run_schedule<D>(raw(table));
+
+  // Wrapper path: an Array carved from a fresh space, driven through
+  // load/store (needs a live runtime reference inside the accessor).
+  RaceCollector rc;
+  Runtime<D> R{D(&rc)};
+  ThreadState& t0 = R.registry().create();
+  ThreadState& t1 = R.registry().create();
+  Array<std::uint64_t, D> arr(R, R.shadow_space(), 3, 0);
+  auto wrapped_step = [&](ThreadState& ts, int op, int loc) {
+    Registry::ThreadScope scope(ts);
+    if (op == 1) {
+      arr.store(static_cast<std::size_t>(loc), 1);
+    } else {
+      arr.load(static_cast<std::size_t>(loc));
+    }
+  };
+  wrapped_step(t0, 1, 0);
+  wrapped_step(t1, 0, 0);
+  wrapped_step(t1, 1, 1);
+  wrapped_step(t0, 1, 1);
+  wrapped_step(t0, 0, 2);
+  wrapped_step(t1, 0, 2);
+  Verdict via_wrapper;
+  via_wrapper.reports = rc.count();
+  for (const auto& r : rc.all()) via_wrapper.kinds.push_back(r.kind);
+
+  EXPECT_GE(via_space.reports, 2u) << D::kName;  // both races reported
+  EXPECT_EQ(via_space, via_table) << D::kName;
+  EXPECT_EQ(via_space, via_wrapper) << D::kName;
+}
+
+TEST(ShadowParity, IdenticalVerdictsAcrossBackendsAndApis) {
+  expect_parity<VftV1>();
+  expect_parity<VftV15>();
+  expect_parity<VftV2>();
+  expect_parity<FtMutex>();
+  expect_parity<FtCas>();
+  expect_parity<Djit>();
+}
+
+TEST(ShadowParity, OrderedAccessesStayCleanOnEveryBackend) {
+  RaceCollector rc;
+  Runtime<VftV2> R{VftV2(&rc)};
+  Runtime<VftV2>::MainScope scope(R);
+  alignas(8) std::uint64_t x = 0;
+  instrumented_write(R, R.shadow_space(), &x);
+  Thread<VftV2> child(R, [&] {
+    instrumented_write(R, R.shadow_space(), &x);  // ordered by fork
+    instrumented_write(R, R.shadow_table(), &x);  // distinct history, clean
+  });
+  child.join();
+  instrumented_read(R, R.shadow_space(), &x);  // ordered by join
+  EXPECT_TRUE(rc.empty()) << rc.first()->str();
+}
+
+}  // namespace
+}  // namespace vft::rt

@@ -11,7 +11,11 @@
 //       `vft analyze @-` nicely).
 //
 //   vft bench <kernel> [--tool ...] [--threads T] [--scale S]
+//             [--shadow inline|table|space]
 //       Time one kernel of the Table 1 suite under one detector.
+//       --shadow picks where ported kernels (sor, lufact) keep their
+//       element shadow: inline VarStates (default), the sharded-hash
+//       ShadowTable, or the lock-free two-level ShadowSpace.
 //
 //   vft minimize <trace | @file>
 //       Shrink a racy trace to a locally minimal racy core (delta
@@ -45,7 +49,7 @@ int usage() {
                "                    [--vars V] [--locks L] [--disciplined P]"
                " [--seed S]\n"
                "       vft bench <kernel> [--tool NAME] [--threads T]"
-               " [--scale S]\n"
+               " [--scale S] [--shadow inline|table|space]\n"
                "       vft minimize <trace|@file>\n"
                "       vft rules\n"
                "tools: v1 v1.5 v2 ft-mutex ft-cas djit (default v2)\n");
@@ -151,12 +155,24 @@ template <typename D>
 int bench_with(const std::string& kernel, kernels::KernelConfig cfg) {
   for (const auto& e : kernels::kernel_table<D>()) {
     if (kernel != e.name) continue;
+    RaceCollector races;
+    rt::Runtime<D> R{D(&races)};
+    typename rt::Runtime<D>::MainScope scope(R);
     const auto t0 = std::chrono::steady_clock::now();
-    auto [result, races] = kernels::run_kernel<D>(e.fn, cfg);
+    const kernels::KernelResult result = e.fn(R, cfg);
     const auto t1 = std::chrono::steady_clock::now();
-    std::printf("%s/%s: %.4fs valid=%d races=%zu checksum=%.6g\n", e.name,
-                D::kName, std::chrono::duration<double>(t1 - t0).count(),
-                result.valid ? 1 : 0, races, result.checksum);
+    std::printf("%s/%s: %.4fs valid=%d races=%zu checksum=%.6g shadow=%s\n",
+                e.name, D::kName,
+                std::chrono::duration<double>(t1 - t0).count(),
+                result.valid ? 1 : 0, races.count(), result.checksum,
+                kernels::shadow_backend_name(cfg.shadow));
+    if (R.has_shadow_space()) {
+      std::printf("  shadow space: %s\n",
+                  rt::str(R.shadow_space().stats()).c_str());
+    }
+    if (R.has_shadow_table()) {
+      std::printf("  shadow table: entries=%zu\n", R.shadow_table().size());
+    }
     return result.valid ? 0 : 1;
   }
   std::fprintf(stderr, "unknown kernel %s (see DESIGN.md 1.4)\n",
@@ -172,6 +188,15 @@ int cmd_bench(int argc, char** argv) {
       std::atoi(arg_value(argc, argv, "--threads", "4").c_str()));
   cfg.scale = static_cast<std::uint32_t>(
       std::atoi(arg_value(argc, argv, "--scale", "2").c_str()));
+  const std::string shadow = arg_value(argc, argv, "--shadow", "inline");
+  if (shadow == "table") {
+    cfg.shadow = kernels::ShadowBackend::kTable;
+  } else if (shadow == "space") {
+    cfg.shadow = kernels::ShadowBackend::kSpace;
+  } else if (shadow != "inline") {
+    std::fprintf(stderr, "unknown shadow backend %s\n", shadow.c_str());
+    return usage();
+  }
   const std::string tool = arg_value(argc, argv, "--tool", "v2");
   if (tool == "none") return bench_with<rt::NullTool>(kernel, cfg);
   if (tool == "v1") return bench_with<VftV1>(kernel, cfg);
