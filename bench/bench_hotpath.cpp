@@ -1,0 +1,303 @@
+// Experiment E13: per-access hot-path microbenchmarks for the ISSUE-2
+// optimisations, with machine-readable output (BENCH_hotpath.json).
+//
+// Sections:
+//   vc_leq / vc_join  per-ISA vector-clock kernel cost (ns/op) across
+//                     clock sizes straddling the inline capacity, plus
+//                     the speedup of each SIMD variant over scalar on the
+//                     same inputs. Acceptance: AVX2 >= 1.5x scalar on the
+//                     64-slot join/leq rows.
+//   shadow_cache      ShadowSpace::of() (thread-local page cache) vs
+//                     of_uncached() (hash + chain walk every lookup) on a
+//                     sequential sweep, 1..max threads.
+//   volatile_load     rt::Volatile load with the same-epoch fast path on
+//                     vs off (always-locked join), 1..max threads hammering
+//                     one volatile after a single publication.
+//   barrier_phase     arrive_and_wait cost per phase (trajectory metric;
+//                     pre-sized clocks keep the phase flip allocation-free).
+//
+// Environment: VFT_HOTPATH_MAXTHREADS (default 8), VFT_HOTPATH_SCALE
+// (default 1; multiplies every rep count), VFT_BENCH_JSON (output path,
+// default BENCH_hotpath.json in the working directory).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "harness.h"
+#include "kernels/kernel.h"
+
+namespace {
+
+using namespace vft;
+using bench::JsonReport;
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    return static_cast<std::size_t>(std::atoll(v));
+  }
+  return fallback;
+}
+
+double now_minus(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Keep results observable so the measured loops cannot be elided. The
+// kernels live in another TU, but the sink also guards the lookup loops.
+std::atomic<std::uint64_t> g_sink{0};
+
+// ---------------------------------------------------------------------------
+// Section 1: vector-clock kernels, per ISA.
+// ---------------------------------------------------------------------------
+
+/// A well-formed-looking slot array: tid bits ascending, clock bits `c`.
+std::vector<std::uint32_t> make_slots(std::size_t n, std::uint32_t c) {
+  std::vector<std::uint32_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = (static_cast<std::uint32_t>(i & 0xff) << Epoch::kClockBits) |
+           (c & ((1u << Epoch::kClockBits) - 1));
+  }
+  return v;
+}
+
+struct IsaFns {
+  simd::Isa isa;
+  bool (*leq)(const std::uint32_t*, const std::uint32_t*, std::size_t);
+  void (*join)(std::uint32_t*, const std::uint32_t*, std::size_t);
+};
+
+void vc_kernel_section(JsonReport& json, std::size_t scale) {
+  const IsaFns variants[] = {
+      {simd::Isa::kScalar, simd::leq_all_scalar, simd::join_max_scalar},
+      {simd::Isa::kSse2, simd::leq_all_sse2, simd::join_max_sse2},
+      {simd::Isa::kAvx2, simd::leq_all_avx2, simd::join_max_avx2},
+  };
+  const std::size_t sizes[] = {4, 8, 16, 32, 64, 128, 256};
+
+  std::printf("vector-clock kernels (ns per whole-clock op; dispatch=%s)\n",
+              simd::isa_name(simd::active_isa()));
+  std::printf("%6s %8s | %9s %9s %9s | %9s %9s %9s\n", "op", "slots",
+              "scalar", "sse2", "avx2", "", "sse2 x", "avx2 x");
+
+  for (const std::size_t n : sizes) {
+    const auto a = make_slots(n, 7);
+    const auto b = make_slots(n, 7);  // equal clocks: leq scans every slot
+    auto src = make_slots(n, 9);
+    const std::size_t reps = std::max<std::size_t>(
+        1000, scale * 40'000'000 / n);
+
+    double leq_ns[3] = {0, 0, 0};
+    double join_ns[3] = {0, 0, 0};
+    for (int v = 0; v < 3; ++v) {
+      if (!simd::isa_available(variants[v].isa)) {
+        leq_ns[v] = join_ns[v] = -1.0;
+        continue;
+      }
+      std::uint64_t sink = 0;
+      auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < reps; ++r) {
+        sink += variants[v].leq(a.data(), b.data(), n) ? 1 : 0;
+      }
+      leq_ns[v] = 1e9 * now_minus(t0) / static_cast<double>(reps);
+
+      auto dst = make_slots(n, 3);
+      t0 = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < reps; ++r) {
+        variants[v].join(dst.data(), src.data(), n);
+      }
+      join_ns[v] = 1e9 * now_minus(t0) / static_cast<double>(reps);
+      sink += dst[0];
+      g_sink.fetch_add(sink, std::memory_order_relaxed);
+    }
+
+    auto speedup = [](const double* ns, int v) {
+      return ns[v] > 0 ? ns[0] / ns[v] : 0.0;
+    };
+    std::printf("%6s %8zu | %9.2f %9.2f %9.2f | %9s %8.2fx %8.2fx\n", "leq",
+                n, leq_ns[0], leq_ns[1], leq_ns[2], "", speedup(leq_ns, 1),
+                speedup(leq_ns, 2));
+    std::printf("%6s %8zu | %9.2f %9.2f %9.2f | %9s %8.2fx %8.2fx\n", "join",
+                n, join_ns[0], join_ns[1], join_ns[2], "", speedup(join_ns, 1),
+                speedup(join_ns, 2));
+    char name[32];
+    std::snprintf(name, sizeof(name), "n%zu", n);
+    json.add("vc_leq", name,
+             {{"scalar_ns", leq_ns[0]},
+              {"sse2_ns", leq_ns[1]},
+              {"avx2_ns", leq_ns[2]},
+              {"sse2_speedup", speedup(leq_ns, 1)},
+              {"avx2_speedup", speedup(leq_ns, 2)}});
+    json.add("vc_join", name,
+             {{"scalar_ns", join_ns[0]},
+              {"sse2_ns", join_ns[1]},
+              {"avx2_ns", join_ns[2]},
+              {"sse2_speedup", speedup(join_ns, 1)},
+              {"avx2_speedup", speedup(join_ns, 2)}});
+  }
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: ShadowSpace lookup, page cache on vs off.
+// ---------------------------------------------------------------------------
+
+void shadow_cache_section(JsonReport& json, std::uint32_t max_threads,
+                          std::size_t scale) {
+  const std::size_t words = 32768;
+  const std::size_t sweeps = 32 * scale;
+
+  // Two access patterns bounding the cache's effect:
+  //   sweep   sequential pass over the buffer - one miss per 512-slot page;
+  //           the uncached path's bucket line is L1-hot too, so the win is
+  //           the skipped hash arithmetic + atomic load.
+  //   hammer  the same word over and over (a hot field / loop accumulator) -
+  //           the cache's target case: two compares vs the full hash+walk.
+  std::printf("ShadowSpace lookup: of() [page cache] vs of_uncached()\n");
+  std::printf("%8s %8s %14s %14s %9s %14s\n", "pattern", "threads",
+              "cached ns/op", "uncached ns/op", "speedup", "cache misses");
+  for (const bool hammer : {false, true}) {
+    for (std::uint32_t t = 1; t <= max_threads; t *= 2) {
+      std::vector<double> buf(words, 0.0);
+      RaceCollector races;
+      rt::Runtime<rt::NullTool> R{rt::NullTool(&races)};
+      rt::Runtime<rt::NullTool>::MainScope scope(R);
+      auto& space = R.shadow_space();
+
+      auto run = [&](bool cached) {
+        const auto t0 = std::chrono::steady_clock::now();
+        rt::parallel_for_threads(R, t, [&](std::uint32_t) {
+          std::uint64_t sink = 0;
+          for (std::size_t s = 0; s < sweeps; ++s) {
+            for (std::size_t i = 0; i < words; ++i) {
+              const void* p = hammer ? &buf[0] : &buf[i];
+              auto& vs = cached ? space.of(p) : space.of_uncached(p);
+              sink += reinterpret_cast<std::uintptr_t>(&vs);
+            }
+          }
+          g_sink.fetch_add(sink, std::memory_order_relaxed);
+        });
+        return now_minus(t0);
+      };
+
+      const double ops = static_cast<double>(t) * sweeps * words;
+      const double un = 1e9 * run(false) / ops;
+      const std::size_t misses0 = space.stats().cache_misses;
+      const double ca = 1e9 * run(true) / ops;
+      const std::size_t misses =
+          space.stats().cache_misses - misses0;  // misses in the cached run
+      const char* pat = hammer ? "hammer" : "sweep";
+      std::printf("%8s %8u %14.2f %14.2f %8.2fx %14zu\n", pat, t, ca, un,
+                  un / ca, misses);
+      char name[32];
+      std::snprintf(name, sizeof(name), "%s_t%u", pat, t);
+      json.add("shadow_cache", name,
+               {{"cached_ns", ca},
+                {"uncached_ns", un},
+                {"speedup", un / ca},
+                {"cache_misses", static_cast<double>(misses)},
+                {"lookups", ops}});
+    }
+  }
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: Volatile load fast path on vs off.
+// ---------------------------------------------------------------------------
+
+void volatile_section(JsonReport& json, std::uint32_t max_threads,
+                      std::size_t scale) {
+  const std::size_t loads = 200'000 * scale;
+
+  std::printf("rt::Volatile load under VerifiedFT-v2: same-epoch fast path\n");
+  std::printf("%8s %12s %12s %9s\n", "threads", "fast ns/op", "slow ns/op",
+              "speedup");
+  for (std::uint32_t t = 1; t <= max_threads; t *= 2) {
+    auto run = [&](bool fast) {
+      RaceCollector races;
+      rt::Runtime<VftV2> R{VftV2(&races)};
+      rt::Runtime<VftV2>::MainScope scope(R);
+      rt::Volatile<int, VftV2> v(R, 0, fast);
+      v.store(42);  // one publication; loads then hit the fast/slow path
+      const auto t0 = std::chrono::steady_clock::now();
+      rt::parallel_for_threads(R, t, [&](std::uint32_t) {
+        std::uint64_t sink = 0;
+        for (std::size_t i = 0; i < loads; ++i) {
+          sink += static_cast<std::uint64_t>(v.load());
+        }
+        g_sink.fetch_add(sink, std::memory_order_relaxed);
+      });
+      const double secs = now_minus(t0);
+      if (!races.empty()) {
+        std::fprintf(stderr, "FATAL: volatile workload reported races\n");
+        std::exit(1);
+      }
+      return 1e9 * secs / (static_cast<double>(t) * loads);
+    };
+    const double slow = run(false);
+    const double fast = run(true);
+    std::printf("%8u %12.2f %12.2f %8.2fx\n", t, fast, slow, slow / fast);
+    char name[32];
+    std::snprintf(name, sizeof(name), "t%u", t);
+    json.add("volatile_load", name,
+             {{"fast_ns", fast}, {"slow_ns", slow}, {"speedup", slow / fast}});
+  }
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Section 4: Barrier phase cost (trajectory metric).
+// ---------------------------------------------------------------------------
+
+void barrier_section(JsonReport& json, std::uint32_t max_threads,
+                     std::size_t scale) {
+  const std::size_t phases = 2'000 * scale;
+
+  std::printf("rt::Barrier arrive_and_wait under VerifiedFT-v2 "
+              "(pre-sized clocks)\n");
+  std::printf("%8s %14s\n", "threads", "ns/phase");
+  for (std::uint32_t t = 2; t <= max_threads; t *= 2) {
+    RaceCollector races;
+    rt::Runtime<VftV2> R{VftV2(&races)};
+    rt::Runtime<VftV2>::MainScope scope(R);
+    rt::Barrier<VftV2> bar(R, t);
+    const auto t0 = std::chrono::steady_clock::now();
+    rt::parallel_for_threads(R, t, [&](std::uint32_t) {
+      for (std::size_t p = 0; p < phases; ++p) bar.arrive_and_wait();
+    });
+    const double ns = 1e9 * now_minus(t0) / static_cast<double>(phases);
+    std::printf("%8u %14.2f\n", t, ns);
+    char name[32];
+    std::snprintf(name, sizeof(name), "t%u", t);
+    json.add("barrier_phase", name, {{"ns_per_phase", ns}});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto max_threads =
+      static_cast<std::uint32_t>(env_or("VFT_HOTPATH_MAXTHREADS", 8));
+  const std::size_t scale = env_or("VFT_HOTPATH_SCALE", 1);
+
+  std::printf("Hot-path microbenchmarks (E13)\n");
+  std::printf("dispatched vector-clock ISA: %s (override with VFT_VC_ISA)\n\n",
+              simd::isa_name(simd::active_isa()));
+
+  JsonReport json("hotpath");
+  json.context("isa", simd::isa_name(simd::active_isa()));
+  json.context("max_threads", std::to_string(max_threads));
+  json.context("scale", std::to_string(scale));
+
+  vc_kernel_section(json, scale);
+  shadow_cache_section(json, max_threads, scale);
+  volatile_section(json, max_threads, scale);
+  barrier_section(json, max_threads, scale);
+
+  return json.write("BENCH_hotpath.json") ? 0 : 1;
+}

@@ -20,11 +20,14 @@ int main() {
   const BenchConfig bc = BenchConfig::from_env();
   std::printf(
       "Table 1 reproduction: overhead (x base) per program\n"
-      "threads=%u scale=%u iters=%d (VFT_BENCH_* env vars rescale)\n\n",
+      "threads=%u scale=%u iters=%d (VFT_BENCH_* env vars rescale)\n"
+      "base column is mean +/- half the min-max spread across iterations;\n"
+      "overheads are clamped at 0 (a checker cannot beat its own base -\n"
+      "negative readings are timer noise on short kernels).\n\n",
       bc.threads, bc.scale, bc.iters);
-  std::printf("%-12s %10s | %8s %8s | %8s %8s %8s\n", "program", "base(s)",
-              "FT-Mutex", "FT-CAS", "v1", "v1.5", "v2");
-  std::printf("%s\n", std::string(72, '-').c_str());
+  std::printf("%-12s %16s | %8s %8s | %8s %8s %8s\n", "program",
+              "base(s)+/-spread", "FT-Mutex", "FT-CAS", "v1", "v1.5", "v2");
+  std::printf("%s\n", std::string(78, '-').c_str());
 
   std::vector<double> o_mutex, o_cas, o_v1, o_v15, o_v2;
   const auto table_none = kernel_table<rt::NullTool>();
@@ -36,15 +39,21 @@ int main() {
 
   for (std::size_t k = 0; k < table_none.size(); ++k) {
     const char* name = table_none[k].name;
-    const double base = time_kernel<rt::NullTool>(table_none[k].fn, bc, name);
-    auto overhead = [base](double t) { return (t - base) / base; };
+    const TimeStats base =
+        time_kernel_stats<rt::NullTool>(table_none[k].fn, bc, name);
+    // Clamp at 0: instrumentation cannot make the kernel faster than its
+    // uninstrumented base, so a negative reading is measurement noise
+    // (short kernel, shared machine) and would poison the geomean.
+    auto overhead = [&base](double t) {
+      return std::max(0.0, (t - base.mean) / base.mean);
+    };
     const double m = overhead(time_kernel<FtMutex>(table_mutex[k].fn, bc, name));
     const double c = overhead(time_kernel<FtCas>(table_cas[k].fn, bc, name));
     const double v1 = overhead(time_kernel<VftV1>(table_v1[k].fn, bc, name));
     const double v15 = overhead(time_kernel<VftV15>(table_v15[k].fn, bc, name));
     const double v2 = overhead(time_kernel<VftV2>(table_v2[k].fn, bc, name));
-    std::printf("%-12s %10.4f | %8.2f %8.2f | %8.2f %8.2f %8.2f\n", name,
-                base, m, c, v1, v15, v2);
+    std::printf("%-12s %8.4f+/-%5.4f | %8.2f %8.2f | %8.2f %8.2f %8.2f\n",
+                name, base.mean, base.spread(), m, c, v1, v15, v2);
     // Guard the geomean against ~zero-overhead entries (series) exactly as
     // one must when reproducing the paper's geomean: clamp at 0.01x.
     auto clamp = [](double x) { return std::max(x, 0.01); };
@@ -55,8 +64,8 @@ int main() {
     o_v2.push_back(clamp(v2));
   }
 
-  std::printf("%s\n", std::string(72, '-').c_str());
-  std::printf("%-12s %10s | %8.2f %8.2f | %8.2f %8.2f %8.2f\n", "geomean", "",
+  std::printf("%s\n", std::string(78, '-').c_str());
+  std::printf("%-12s %16s | %8.2f %8.2f | %8.2f %8.2f %8.2f\n", "geomean", "",
               geomean(o_mutex), geomean(o_cas), geomean(o_v1), geomean(o_v15),
               geomean(o_v2));
   std::printf(

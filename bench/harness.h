@@ -12,15 +12,79 @@
 //   VFT_BENCH_WARMUP  (default 1)
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "kernels/all.h"
 
 namespace vft::bench {
+
+/// Machine-readable benchmark output: a flat list of records, each a
+/// section + name + numeric metrics, serialized as pretty-printed JSON.
+/// Benches write BENCH_<name>.json next to their stdout tables so every
+/// PR records the performance trajectory (ISSUE 2); CI uploads the files
+/// as artifacts. Hand-rolled writer: no JSON dependency in the image.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  /// Attach a top-level context value (thread count, scale, ISA, ...).
+  void context(const std::string& key, const std::string& value) {
+    context_.emplace_back(key, value);
+  }
+
+  void add(const std::string& section, const std::string& name,
+           std::vector<std::pair<std::string, double>> metrics) {
+    records_.push_back(Record{section, name, std::move(metrics)});
+  }
+
+  /// Serialize to `path` (or $VFT_BENCH_JSON when set). Returns success.
+  bool write(const std::string& path) const {
+    const char* env = std::getenv("VFT_BENCH_JSON");
+    const std::string target = env != nullptr ? env : path;
+    std::FILE* f = std::fopen(target.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s\n", target.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n", benchmark_.c_str());
+    for (const auto& [k, v] : context_) {
+      std::fprintf(f, "  \"%s\": \"%s\",\n", k.c_str(), v.c_str());
+    }
+    std::fprintf(f, "  \"records\": [\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "    {\"section\": \"%s\", \"name\": \"%s\"",
+                   r.section.c_str(), r.name.c_str());
+      for (const auto& [k, v] : r.metrics) {
+        std::fprintf(f, ", \"%s\": %.6g", k.c_str(), v);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", target.c_str(), records_.size());
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string section;
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  std::string benchmark_;
+  std::vector<std::pair<std::string, std::string>> context_;
+  std::vector<Record> records_;
+};
 
 struct BenchConfig {
   std::uint32_t threads = 4;
@@ -46,13 +110,24 @@ struct BenchConfig {
   }
 };
 
-/// Times `iters` runs of one kernel under tool D and returns the mean
-/// seconds per run. One validated warm-up run checks the kernel's output
-/// and race-freedom; timed runs skip validation so uninstrumented checking
+/// Per-iteration timing summary. `spread` is half the min-max range: the
+/// tables print "mean ± spread" so a reader (and EXPERIMENTS.md) can judge
+/// whether an overhead delta is inside the run-to-run noise.
+struct TimeStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double spread() const { return (max - min) / 2.0; }
+};
+
+/// Times `iters` runs of one kernel under tool D, each iteration timed
+/// separately. One validated warm-up run checks the kernel's output and
+/// race-freedom; timed runs skip validation so uninstrumented checking
 /// work cannot dilute the ratios.
 template <Detector D, typename... ToolArgs>
-double time_kernel(kernels::KernelFn<D> fn, const BenchConfig& bc,
-                   const char* name, ToolArgs&&... tool_args) {
+TimeStats time_kernel_stats(kernels::KernelFn<D> fn, const BenchConfig& bc,
+                            const char* name, ToolArgs&&... tool_args) {
   kernels::KernelConfig cfg;
   cfg.threads = bc.threads;
   cfg.scale = bc.scale;
@@ -69,15 +144,32 @@ double time_kernel(kernels::KernelFn<D> fn, const BenchConfig& bc,
   }
 
   cfg.validate = false;
-  const auto t0 = std::chrono::steady_clock::now();
+  TimeStats stats;
   for (int i = 0; i < bc.iters; ++i) {
-    RaceCollector races;
-    rt::Runtime<D> R(D(&races, std::forward<ToolArgs>(tool_args)...));
-    typename rt::Runtime<D>::MainScope scope(R);
-    fn(R, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      RaceCollector races;
+      rt::Runtime<D> R(D(&races, std::forward<ToolArgs>(tool_args)...));
+      typename rt::Runtime<D>::MainScope scope(R);
+      fn(R, cfg);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(t1 - t0).count();
+    stats.mean += dt;
+    stats.min = (i == 0) ? dt : std::min(stats.min, dt);
+    stats.max = (i == 0) ? dt : std::max(stats.max, dt);
   }
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count() / bc.iters;
+  stats.mean /= bc.iters > 0 ? bc.iters : 1;
+  return stats;
+}
+
+/// Mean seconds per run (the original interface; stats discarded).
+template <Detector D, typename... ToolArgs>
+double time_kernel(kernels::KernelFn<D> fn, const BenchConfig& bc,
+                   const char* name, ToolArgs&&... tool_args) {
+  return time_kernel_stats<D>(fn, bc, name,
+                              std::forward<ToolArgs>(tool_args)...)
+      .mean;
 }
 
 inline double geomean(const std::vector<double>& xs) {

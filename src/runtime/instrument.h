@@ -53,7 +53,10 @@ class Var {
  public:
   explicit Var(Runtime<D>& rt, T initial = T{}, std::uint64_t id = 0)
       : rt_(&rt), data_(initial) {
-    shadow_.id = id != 0 ? id : reinterpret_cast<std::uint64_t>(this);
+    // Default id: the shadow VarState's own address - the same scheme
+    // Array uses for its element shadows, so ids are consistent across
+    // wrapper kinds (see the id taxonomy in vft/report.h).
+    shadow_.id = id != 0 ? id : reinterpret_cast<std::uint64_t>(&shadow_);
   }
 
   T load() {
@@ -206,16 +209,45 @@ class Guard {
   Mutex<D>* m_;
 };
 
+/// Tid headroom the sync wrappers pre-size their clocks for beyond the
+/// registry's current high-water mark, so clocks of wrappers constructed
+/// before the workers fork still cover the usual worker counts without
+/// ever reallocating under the wrapper's lock.
+inline constexpr std::uint32_t kPresizeTids = 64;
+
 /// Instrumented Java-style volatile variable. Reads and writes are
 /// synchronization operations: a write publishes the writer's clock
 /// (release-like: Sv.V := Sv.V join St.V; inc_t), a read acquires it
 /// (St.V := St.V join Sv.V) - the standard FastTrack treatment mentioned
 /// in Section 7 ("Additional Synchronization Primitives").
+///
+/// Fast path (the FastTrack volatile-epoch optimization): a store whose
+/// thread's clock dominates vc_ leaves vc_ == that thread's clock, and
+/// publishes the storing epoch t@c in fast_epoch_. A reader that already
+/// knows t@c (its V[t] >= c) is ordered after that store - each epoch
+/// contains at most one clock publication, so knowing t@c implies having
+/// absorbed the publication's full clock - hence vc_ <= its own clock
+/// already and the locked join would be a no-op: skip it entirely. When
+/// the storing clock does not dominate vc_ (several unordered writers),
+/// fast_epoch_ is set to SHARED and every reader takes the locked join.
+///
+/// Ordering: fast_epoch_ is updated under the lock *before* the value's
+/// release-store, and readers load it *after* the value's acquire-load,
+/// so the epoch a reader checks is at least as recent as the store whose
+/// value it observed. A reader may still see an epoch staler than the
+/// globally latest store - that linearizes the read before the store
+/// whose value has not yet landed, a valid serialization of the two
+/// overlapping volatile operations (same §5-style argument the detector
+/// handlers rely on).
 template <typename T, Detector D>
 class Volatile {
  public:
-  explicit Volatile(Runtime<D>& rt, T initial = T{})
-      : rt_(&rt), data_(initial) {}
+  explicit Volatile(Runtime<D>& rt, T initial = T{}, bool fast_path = true)
+      : rt_(&rt), fast_path_(fast_path), data_(initial) {
+    if constexpr (kInstrumented<D>) {
+      vc_.reserve(std::max(rt.registry().capacity(), kPresizeTids));
+    }
+  }
 
   T load() {
     // Read the value first, then acquire the clock: a writer joins vc_
@@ -226,10 +258,14 @@ class Volatile {
     // the volatile was supposed to order.
     const T v = data_.load(std::memory_order_acquire);
     if constexpr (kInstrumented<D>) {
-      {
+      const Epoch fe = fast_epoch_.load(std::memory_order_acquire);
+      ThreadState& st = rt_->self();
+      if (fe.is_shared() || !vft::leq(fe, st.V.get(fe.tid()))) {
+        // Slow path: the locked join, publish-before-release order as
+        // above.
         std::scoped_lock lk(mu_);
-        rt_->self().join(vc_);
-      }
+        st.join(vc_);
+      }  // else [Volatile Same Epoch]: vc_ <= st.V already, join skipped
       count_sync_rule(rt_->tool(), Rule::kVolRead);
     }
     return v;
@@ -240,8 +276,15 @@ class Volatile {
       {
         std::scoped_lock lk(mu_);
         ThreadState& st = rt_->self();
+        const bool dominated = vc_.leq(st.V);
         vc_.join(st.V);
+        const Epoch e = st.epoch();
         st.inc();
+        // Enable the read fast path only when vc_ collapsed to exactly
+        // this thread's clock; must precede the value store below.
+        fast_epoch_.store(
+            dominated && fast_path_ ? e : Epoch::shared(),
+            std::memory_order_release);
       }
       count_sync_rule(rt_->tool(), Rule::kVolWrite);
     }
@@ -250,8 +293,12 @@ class Volatile {
 
  private:
   Runtime<D>* rt_;
+  const bool fast_path_;  // false: always take the locked join (benching)
   std::mutex mu_;  // protects vc_ (multiple readers/writers synchronize)
   VectorClock vc_;
+  // SHARED disables the fast path; otherwise the epoch of the last store,
+  // valid only because that store's clock dominated vc_.
+  std::atomic<Epoch> fast_epoch_{Epoch::shared()};
   std::atomic<T> data_;
 };
 
@@ -265,7 +312,16 @@ template <Detector D>
 class Barrier {
  public:
   Barrier(Runtime<D>& rt, std::uint32_t parties)
-      : rt_(&rt), parties_(parties) {}
+      : rt_(&rt), parties_(parties) {
+    if constexpr (kInstrumented<D>) {
+      // Pre-size both clocks: a phase flip under mu_ must never touch the
+      // allocator (it runs with every party blocked on it).
+      const std::uint32_t n =
+          std::max(rt.registry().capacity(), kPresizeTids);
+      gather_.reserve(n);
+      released_.reserve(n);
+    }
+  }
 
   void arrive_and_wait() {
     std::unique_lock lk(mu_);
@@ -273,7 +329,7 @@ class Barrier {
     const std::uint64_t my_phase = phase_;
     if (++arrived_ == parties_) {
       released_ = gather_;
-      gather_ = VectorClock();
+      gather_.reset();  // keeps the reserved capacity
       arrived_ = 0;
       ++phase_;
       cv_.notify_all();

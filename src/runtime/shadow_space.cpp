@@ -1,8 +1,15 @@
 #include "runtime/shadow_space.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace vft::rt {
+
+std::uint64_t ShadowGeometry::next_space_id() {
+  // Start at 1: id 0 is the thread-local cache's "empty" tag.
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::string ShadowGeometry::describe() {
   char buf[160];
@@ -16,9 +23,11 @@ std::string ShadowGeometry::describe() {
 std::string str(const ShadowSpaceStats& s) {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "pages=%zu slots=%zu mem=%.2fMiB collisions=%zu", s.pages,
-                s.slots, static_cast<double>(s.bytes) / (1024.0 * 1024.0),
-                s.collisions);
+                "pages=%zu slots=%zu mem=%.2fMiB collisions=%zu "
+                "cache-misses=%zu",
+                s.pages, s.slots,
+                static_cast<double>(s.bytes) / (1024.0 * 1024.0), s.collisions,
+                s.cache_misses);
   return buf;
 }
 

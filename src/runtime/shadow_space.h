@@ -77,6 +77,12 @@ struct ShadowGeometry {
 
   /// One-line description of the layout constants (for docs/tools).
   static std::string describe();
+
+  /// Monotonically increasing id handed to each ShadowSpace instance.
+  /// The thread-local lookup cache tags entries with it, so a cache entry
+  /// can never resurrect a page of a destroyed (or different) space even
+  /// if a later space reuses the same object address.
+  static std::uint64_t next_space_id();
 };
 
 /// Allocation counters of one ShadowSpace (snapshot; relaxed reads).
@@ -85,6 +91,7 @@ struct ShadowSpaceStats {
   std::size_t slots = 0;       ///< VarState slots those pages hold
   std::size_t bytes = 0;       ///< footprint: top-level array + pages
   std::size_t collisions = 0;  ///< bucket chains longer than one + CAS races
+  std::size_t cache_misses = 0;  ///< of() calls that fell past the TL cache
 };
 
 /// "pages=N slots=N mem=N.NMiB collisions=N" (shadow_space.cpp).
@@ -114,7 +121,31 @@ class ShadowSpace {
 
   /// The VarState shadowing the word containing `addr` (page allocated on
   /// first touch). Lock-free; the returned reference is stable forever.
+  ///
+  /// Fast path: a TSan-style thread-local last-page cache. Consecutive
+  /// accesses to the same 4 KiB shadow page (the overwhelmingly common
+  /// case for sweeps and per-thread working sets) skip the bucket hash,
+  /// the atomic chain walk, and their acquire fences: two compares and a
+  /// shift. Entries are tagged with the space's unique id, so a cache
+  /// line can never outlive its space or leak across spaces (ids are
+  /// never reused); the cached Page* was acquire-loaded by this same
+  /// thread when it was inserted, so its contents are already visible.
   typename D::VarState& of(const void* addr) {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    const std::uintptr_t base =
+        a & ~static_cast<std::uintptr_t>(Geometry::kPageSpan - 1);
+    const Cache& c = tl_cache_;
+    // Single fused tag check: both the space id and the page base must
+    // match; OR-ing the XORs turns that into one compare-and-branch.
+    if (((c.space ^ id_) | (c.base ^ base)) == 0) {
+      return c.page->slot(a);
+    }
+    return of_miss(a, base);
+  }
+
+  /// The pre-cache lookup path (hash + chain walk), kept callable so
+  /// bench_hotpath can measure exactly what the cache buys.
+  typename D::VarState& of_uncached(const void* addr) {
     const auto a = reinterpret_cast<std::uintptr_t>(addr);
     const std::uintptr_t base =
         a & ~static_cast<std::uintptr_t>(Geometry::kPageSpan - 1);
@@ -123,7 +154,7 @@ class ShadowSpace {
          p = p->next.load(std::memory_order_acquire)) {
       if (p->base == base) return p->slot(a);
     }
-    return publish_page(head, base, a);
+    return publish_page(head, base).slot(a);
   }
 
   /// Pages allocated so far (racy snapshot).
@@ -139,10 +170,32 @@ class ShadowSpace {
     s.bytes = Geometry::kBuckets * sizeof(std::atomic<Page*>) +
               s.pages * sizeof(Page);
     s.collisions = collisions_.load(std::memory_order_relaxed);
+    s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
     return s;
   }
 
  private:
+  struct Page;
+
+  /// One-entry per-thread lookup cache (per ShadowSpace instantiation).
+  struct Cache {
+    std::uint64_t space = 0;  ///< owning space's id_; 0 never matches
+    std::uintptr_t base = 0;
+    Page* page = nullptr;
+  };
+  inline static thread_local Cache tl_cache_{};
+
+  typename D::VarState& of_miss(std::uintptr_t a, std::uintptr_t base) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic<Page*>& head = buckets_[Geometry::bucket_of(base)];
+    Page* p = head.load(std::memory_order_acquire);
+    while (p != nullptr && p->base != base) {
+      p = p->next.load(std::memory_order_acquire);
+    }
+    if (p == nullptr) p = &publish_page(head, base);
+    tl_cache_ = Cache{id_, base, p};
+    return p->slot(a);
+  }
   struct Page {
     explicit Page(std::uintptr_t b) : base(b) {
       for (std::size_t i = 0; i < Geometry::kSlotsPerPage; ++i) {
@@ -162,8 +215,7 @@ class ShadowSpace {
 
   /// Miss path: allocate the page for `base` and CAS it onto the bucket
   /// chain; on a lost race the winner's page is used and ours is dropped.
-  typename D::VarState& publish_page(std::atomic<Page*>& head,
-                                     std::uintptr_t base, std::uintptr_t a) {
+  Page& publish_page(std::atomic<Page*>& head, std::uintptr_t base) {
     auto fresh = std::make_unique<Page>(base);
     Page* expected = head.load(std::memory_order_acquire);
     for (;;) {
@@ -172,7 +224,7 @@ class ShadowSpace {
            p = p->next.load(std::memory_order_acquire)) {
         if (p->base == base) {
           collisions_.fetch_add(1, std::memory_order_relaxed);
-          return p->slot(a);
+          return *p;
         }
       }
       fresh->next.store(expected, std::memory_order_relaxed);
@@ -183,14 +235,16 @@ class ShadowSpace {
           collisions_.fetch_add(1, std::memory_order_relaxed);
         }
         pages_.fetch_add(1, std::memory_order_relaxed);
-        return fresh.release()->slot(a);
+        return *fresh.release();
       }
     }
   }
 
+  const std::uint64_t id_ = Geometry::next_space_id();
   std::unique_ptr<std::atomic<Page*>[]> buckets_;
   std::atomic<std::size_t> pages_{0};
   std::atomic<std::size_t> collisions_{0};
+  std::atomic<std::size_t> cache_misses_{0};
 };
 
 /// Anything mapping addresses to stable VarStates can back the raw-pointer
@@ -218,6 +272,24 @@ bool instrumented_write(Runtime<D>& rt, S& shadow, const void* addr) {
   return rt.tool().write(rt.self(), shadow.of(addr));
 }
 
+/// Hint-prefetch the shadow word `slots_ahead` slots past `vs`. Inside a
+/// shadow page consecutive target words shadow to consecutive VarStates,
+/// so a range sweep's next few shadow words sit right after the current
+/// one; pulling them toward L1 while the detector handler runs hides the
+/// VarState-sized stride. Prefetch never faults, so running past a page
+/// end (or, for the ShadowTable backend, into unrelated heap) is merely a
+/// wasted hint.
+template <typename V>
+inline void prefetch_shadow_ahead(const V& vs, std::size_t slots_ahead = 4) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(
+      reinterpret_cast<const char*>(&vs) + slots_ahead * sizeof(V), 1, 3);
+#else
+  (void)vs;
+  (void)slots_ahead;
+#endif
+}
+
 /// Access-size/range variant: one read event per shadow word overlapped by
 /// [addr, addr+size) - the __tsan_read8/memcpy-annotation shape. Returns
 /// false iff any word reported a race.
@@ -233,7 +305,9 @@ bool instrumented_range_read(Runtime<D>& rt, S& shadow, const void* addr,
   const std::uintptr_t end = reinterpret_cast<std::uintptr_t>(addr) + size;
   bool ok = true;
   for (; a < end; a += ShadowGeometry::kGranularity) {
-    ok &= tool.read(self, shadow.of(reinterpret_cast<const void*>(a)));
+    auto& vs = shadow.of(reinterpret_cast<const void*>(a));
+    prefetch_shadow_ahead(vs);
+    ok &= tool.read(self, vs);
   }
   return ok;
 }
@@ -250,7 +324,9 @@ bool instrumented_range_write(Runtime<D>& rt, S& shadow, const void* addr,
   const std::uintptr_t end = reinterpret_cast<std::uintptr_t>(addr) + size;
   bool ok = true;
   for (; a < end; a += ShadowGeometry::kGranularity) {
-    ok &= tool.write(self, shadow.of(reinterpret_cast<const void*>(a)));
+    auto& vs = shadow.of(reinterpret_cast<const void*>(a));
+    prefetch_shadow_ahead(vs);
+    ok &= tool.write(self, vs);
   }
   return ok;
 }

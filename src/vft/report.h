@@ -35,7 +35,18 @@ const char* race_kind_name(RaceKind k);
 
 struct RaceReport {
   RaceKind kind;
-  /// Variable identifier (trace var id, or shadow address in the runtime).
+  /// Variable identifier. The id scheme, by origin of the VarState:
+  ///   - trace replay: the trace's small dense variable id;
+  ///   - wrapper shadows (rt::Var, rt::Array inline mode): the address of
+  ///     the VarState itself - uniform across wrapper kinds, and distinct
+  ///     per element for arrays;
+  ///   - address-keyed backends (rt::ShadowSpace pages, rt::ShadowTable,
+  ///     and rt::Array's carved mode, which borrows backend slots): the
+  ///     *target* address being shadowed (word-aligned for ShadowSpace),
+  ///     so a report names the racing memory, not the shadow's location;
+  ///   - explicit ids passed to Var's constructor override the default.
+  /// Ids only need to be stable and unique per logical variable; name_var
+  /// attaches the human-readable names reports print.
   std::uint64_t var;
   /// Thread performing the racing (current) access.
   Tid current_tid;

@@ -72,12 +72,25 @@ class SyncVectorClock {
 
   /// this <= other, point-wise. Caller must hold the owning lock (the slow
   /// [Write Shared] check of Figure 4 line 169 runs locked).
+  ///
+  /// Runs the same SIMD kernels as VectorClock::leq: with the lock held the
+  /// slot array is write-quiescent (every store requires the lock), so
+  /// reading it as raw words races with nothing - concurrent lock-free
+  /// readers only load, and read/read is no conflict.
   bool leq_locked(const VectorClock& other) const {
-    std::uint32_t n = std::max(size(), other.size());
-    for (Tid i = 0; i < n; ++i) {
-      if (!vft::leq(get(i), other.get(i))) return false;
+    static_assert(sizeof(std::atomic<Epoch>) == sizeof(std::uint32_t));
+    const std::uint32_t mine_n = size();
+    const std::uint32_t common = std::min(mine_n, other.size());
+    const auto* raw = reinterpret_cast<const std::uint32_t*>(
+        slots_.load(std::memory_order_acquire));
+    if (!simd::leq_all(raw, epoch_bits(other.raw_slots()), common)) {
+      return false;
     }
-    return true;
+    // Our components past other's length compare against bottom epochs:
+    // ok iff their clock bits are zero.
+    constexpr std::uint32_t kClockMask =
+        (std::uint32_t{1} << Epoch::kClockBits) - 1;
+    return simd::all_masked_zero(raw + common, mine_n - common, kClockMask);
   }
 
   /// Snapshot into a plain clock (for reports and tests). Caller holds lock.

@@ -1,0 +1,80 @@
+// SIMD kernels for the vector-clock inner loops (leq / join / copy).
+//
+// Why raw 32-bit compares are correct: every clock this repo stores obeys
+// the well-formedness invariant tid(V[t]) == t, so two clocks' slot-t
+// epochs always carry the same tid in the top kTidBits bits. For epochs
+// with equal tids,
+//
+//   leq(a, b)  =  bits(a) <= bits(b)   (unsigned)
+//   max(a, b)  =  from_bits(max(bits(a), bits(b)))
+//
+// and the SHARED sentinel never appears inside a VectorClock (set()
+// asserts it away). That makes the per-slot loops of VectorClock::leq/
+// join/copy element-wise unsigned u32 operations with no cross-lane
+// dependencies - exactly the shape SSE2/AVX2 eat: 4 or 8 slots per
+// instruction instead of one compare-and-branch per slot.
+//
+// Dispatch: a single resolution point picks the widest ISA the CPU (and
+// an optional VFT_VC_ISA=scalar|sse2|avx2 env override, read once) is
+// able to run; the per-ISA entry points stay exported so the differential
+// test (tests/vector_clock_simd_test.cpp) and bench_hotpath can pit every
+// variant against the scalar reference on the same inputs. SSE2 is the
+// x86-64 baseline; the AVX2 bodies are compiled with a function-level
+// target attribute, so a plain -O2 build still contains them and enables
+// them at runtime via cpuid. Non-x86 builds fall back to scalar.
+//
+// The kernels operate on raw std::uint32_t arrays (the bit-carrier of
+// Epoch): callers reinterpret their Epoch storage, which static_asserts
+// in vector_clock.h guarantee is layout-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vft::simd {
+
+enum class Isa : std::uint8_t { kScalar, kSse2, kAvx2 };
+
+/// The ISA the dispatched kernels below actually run (after the cpuid
+/// probe and the VFT_VC_ISA override).
+Isa active_isa();
+
+const char* isa_name(Isa isa);
+
+/// True when `isa`'s kernels can run on this machine (compile target and
+/// cpuid both permit it).
+bool isa_available(Isa isa);
+
+// --- Dispatched kernels (resolved once, then direct calls) -----------------
+
+/// all i < n: a[i] <= b[i], unsigned.
+bool leq_all(const std::uint32_t* a, const std::uint32_t* b, std::size_t n);
+
+/// dst[i] := max(dst[i], src[i]), unsigned, for i < n.
+void join_max(std::uint32_t* dst, const std::uint32_t* src, std::size_t n);
+
+/// dst[0, n) := src[0, n) (memcpy; here so all three hot loops share the
+/// one dispatch surface and the differential test covers them uniformly).
+void copy_words(std::uint32_t* dst, const std::uint32_t* src, std::size_t n);
+
+/// all i < n: (a[i] & mask) == 0. Used for the leq tail ("components past
+/// the other clock's length must be at bottom", mask = the clock bits).
+bool all_masked_zero(const std::uint32_t* a, std::size_t n, std::uint32_t mask);
+
+// --- Per-ISA entry points (testing / benchmarking) -------------------------
+// Calling an entry point whose ISA isa_available() rejects is undefined
+// (illegal-instruction trap); guard with isa_available first.
+
+bool leq_all_scalar(const std::uint32_t* a, const std::uint32_t* b, std::size_t n);
+void join_max_scalar(std::uint32_t* dst, const std::uint32_t* src, std::size_t n);
+bool all_masked_zero_scalar(const std::uint32_t* a, std::size_t n, std::uint32_t mask);
+
+bool leq_all_sse2(const std::uint32_t* a, const std::uint32_t* b, std::size_t n);
+void join_max_sse2(std::uint32_t* dst, const std::uint32_t* src, std::size_t n);
+bool all_masked_zero_sse2(const std::uint32_t* a, std::size_t n, std::uint32_t mask);
+
+bool leq_all_avx2(const std::uint32_t* a, const std::uint32_t* b, std::size_t n);
+void join_max_avx2(std::uint32_t* dst, const std::uint32_t* src, std::size_t n);
+bool all_masked_zero_avx2(const std::uint32_t* a, std::size_t n, std::uint32_t mask);
+
+}  // namespace vft::simd

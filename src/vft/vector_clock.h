@@ -25,8 +25,22 @@
 #include <string>
 
 #include "vft/epoch.h"
+#include "vft/vc_simd.h"
 
 namespace vft {
+
+// The SIMD kernels treat Epoch arrays as raw u32 arrays (see vc_simd.h for
+// why well-formedness makes that correct). Pin the layout they rely on.
+static_assert(sizeof(Epoch) == sizeof(std::uint32_t));
+static_assert(alignof(Epoch) == alignof(std::uint32_t));
+
+/// Reinterpret an Epoch array as its packed-bits carrier for the kernels.
+inline const std::uint32_t* epoch_bits(const Epoch* e) {
+  return reinterpret_cast<const std::uint32_t*>(e);
+}
+inline std::uint32_t* epoch_bits(Epoch* e) {
+  return reinterpret_cast<std::uint32_t*>(e);
+}
 
 class VectorClock {
  public:
@@ -65,7 +79,13 @@ class VectorClock {
   void set(Tid t, Epoch e) {
     VFT_ASSERT(!e.is_shared() && e.tid() == t);
     ensure_capacity(t + 1);
-    data()[t] = e;
+    if (heap_) {
+      heap_[t] = e;
+    } else {
+      // Heapless clocks have cap_ == kInline, so t < kInline here; the
+      // min() only makes that bound visible to the optimizer.
+      inline_[std::min(t, kInline - 1)] = e;
+    }
   }
 
   /// inc(t): advance thread t's component by one (inc_t in Section 3).
@@ -76,35 +96,33 @@ class VectorClock {
   std::uint32_t size() const { return size_; }
 
   /// this <= other, point-wise over all components of either clock.
+  /// Per-slot compares run as raw u32 compares (SIMD above the inline
+  /// size): well-formedness makes them equivalent to vft::leq slot-wise.
   bool leq(const VectorClock& other) const {
     const Epoch* mine = data();
     const std::uint32_t common = std::min(size_, other.size_);
-    for (Tid i = 0; i < common; ++i) {
-      if (!vft::leq(mine[i], other.data()[i])) return false;
+    if (!simd::leq_all(epoch_bits(mine), epoch_bits(other.data()), common)) {
+      return false;
     }
-    // Components beyond other's length compare against bottom.
-    for (Tid i = common; i < size_; ++i) {
-      if (mine[i].clock() != 0) return false;
-    }
-    return true;  // our missing components are bottom: always <=
+    // Components beyond other's length compare against bottom: their clock
+    // bits must all be zero.
+    constexpr std::uint32_t kClockMask =
+        (std::uint32_t{1} << Epoch::kClockBits) - 1;
+    return simd::all_masked_zero(epoch_bits(mine) + common, size_ - common,
+                                 kClockMask);
   }
 
-  /// this := this join other (point-wise max).
+  /// this := this join other (point-wise max; unsigned u32 max per slot).
   void join(const VectorClock& other) {
     ensure_capacity(other.size_);
-    Epoch* mine = data();
-    const Epoch* theirs = other.data();
-    for (Tid i = 0; i < other.size_; ++i) {
-      mine[i] = max(mine[i], theirs[i]);
-    }
+    simd::join_max(epoch_bits(data()), epoch_bits(other.data()), other.size_);
   }
 
   /// this := other (copying all components either clock covers).
   void copy(const VectorClock& other) {
     ensure_capacity(other.size_);
     Epoch* mine = data();
-    const Epoch* theirs = other.data();
-    for (Tid i = 0; i < other.size_; ++i) mine[i] = theirs[i];
+    simd::copy_words(epoch_bits(mine), epoch_bits(other.data()), other.size_);
     for (Tid i = other.size_; i < size_; ++i) mine[i] = Epoch::bottom(i);
   }
 
@@ -115,6 +133,26 @@ class VectorClock {
     }
     return true;
   }
+
+  /// Grow the backing allocation to hold n components without changing
+  /// the logical size. After reserve(n), every ensure_capacity(m) with
+  /// m <= n is allocation-free - the sync wrappers (Volatile, Barrier)
+  /// pre-size their clocks this way so growth never happens while they
+  /// hold their locks.
+  void reserve(std::uint32_t n) {
+    if (n <= cap_) return;
+    auto fresh = std::make_unique<Epoch[]>(n);
+    simd::copy_words(epoch_bits(fresh.get()), epoch_bits(data()), size_);
+    heap_ = std::move(fresh);
+    cap_ = n;
+  }
+
+  /// Allocated capacity in components (>= size()).
+  std::uint32_t capacity() const { return cap_; }
+
+  /// Forget all components but keep the allocation: the phase-reset path
+  /// of Barrier (and SharedMutex) without touching the heap.
+  void reset() { size_ = 0; }
 
   /// Grow the backing array so that indices [0, n) are materialized.
   void ensure_capacity(std::uint32_t n) {
@@ -132,6 +170,11 @@ class VectorClock {
     size_ = n;
   }
 
+  /// Contiguous component storage [0, size()). Exposed for the SIMD
+  /// kernels of callers that fuse over this representation (e.g.
+  /// SyncVectorClock::leq_locked) and for the hot-path microbench.
+  const Epoch* raw_slots() const { return data(); }
+
   /// "<0@1, 1@0, ...>" for debugging and golden-state tests.
   std::string str() const;
 
@@ -141,8 +184,7 @@ class VectorClock {
 
   void copy_from(const VectorClock& other) {
     ensure_capacity(other.size_);
-    Epoch* mine = data();
-    for (Tid i = 0; i < other.size_; ++i) mine[i] = other.data()[i];
+    simd::copy_words(epoch_bits(data()), epoch_bits(other.data()), other.size_);
     size_ = other.size_;
   }
 
@@ -154,8 +196,10 @@ class VectorClock {
     } else {
       heap_.reset();
       cap_ = kInline;
-      size_ = other.size_;
-      for (Tid i = 0; i < other.size_; ++i) inline_[i] = other.inline_[i];
+      // min() is a no-op (heapless clocks have size_ <= kInline) but lets
+      // the optimizer bound the copy inside the inline array.
+      size_ = std::min(other.size_, kInline);
+      simd::copy_words(epoch_bits(inline_), epoch_bits(other.inline_), size_);
     }
     other.size_ = 0;
     other.cap_ = kInline;
