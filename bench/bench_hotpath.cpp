@@ -9,7 +9,12 @@
 //                     64-slot join/leq rows.
 //   shadow_cache      ShadowSpace::of() (thread-local page cache) vs
 //                     of_uncached() (hash + chain walk every lookup) on a
-//                     sequential sweep, 1..max threads.
+//                     sequential sweep, 1..max threads, at both a
+//                     cache-resident and a >= 4 MiB-shadow working set.
+//   packed_cell       ISSUE-3 A/B: same-epoch sweeps through the packed
+//                     64-bit cell fast path vs the ShadowSpace + detector
+//                     call path, small and >= 4 MiB-shadow working sets.
+//                     Acceptance: packed read >= 3x on the large sweep.
 //   volatile_load     rt::Volatile load with the same-epoch fast path on
 //                     vs off (always-locked join), 1..max threads hammering
 //                     one volatile after a single publication.
@@ -147,18 +152,23 @@ void vc_kernel_section(JsonReport& json, std::size_t scale) {
 
 void shadow_cache_section(JsonReport& json, std::uint32_t max_threads,
                           std::size_t scale) {
-  const std::size_t words = 32768;
-  const std::size_t sweeps = 32 * scale;
-
   // Two access patterns bounding the cache's effect:
   //   sweep   sequential pass over the buffer - one miss per 512-slot page;
   //           the uncached path's bucket line is L1-hot too, so the win is
   //           the skipped hash arithmetic + atomic load.
   //   hammer  the same word over and over (a hot field / loop accumulator) -
   //           the cache's target case: two compares vs the full hash+walk.
+  // Two working sets: 32K words (256 KiB shadow, cache-resident) and 512K
+  // words (>= 4 MiB of shadow, exceeding L2 on the reference container) so
+  // the page-cache win is measured both when the directory walk is
+  // cache-hot and when every page touch goes to memory.
   std::printf("ShadowSpace lookup: of() [page cache] vs of_uncached()\n");
-  std::printf("%8s %8s %14s %14s %9s %14s\n", "pattern", "threads",
-              "cached ns/op", "uncached ns/op", "speedup", "cache misses");
+  std::printf("%8s %8s %8s %14s %14s %9s %14s\n", "pattern", "words",
+              "threads", "cached ns/op", "uncached ns/op", "speedup",
+              "cache misses");
+  for (const std::size_t words : {std::size_t{32768}, std::size_t{1} << 19}) {
+  const std::size_t sweeps =
+      std::max<std::size_t>(1, 32 * scale / (words / 32768));
   for (const bool hammer : {false, true}) {
     for (std::uint32_t t = 1; t <= max_threads; t *= 2) {
       std::vector<double> buf(words, 0.0);
@@ -190,18 +200,101 @@ void shadow_cache_section(JsonReport& json, std::uint32_t max_threads,
       const std::size_t misses =
           space.stats().cache_misses - misses0;  // misses in the cached run
       const char* pat = hammer ? "hammer" : "sweep";
-      std::printf("%8s %8u %14.2f %14.2f %8.2fx %14zu\n", pat, t, ca, un,
-                  un / ca, misses);
-      char name[32];
-      std::snprintf(name, sizeof(name), "%s_t%u", pat, t);
+      std::printf("%8s %7zuK %8u %14.2f %14.2f %8.2fx %14zu\n", pat,
+                  words / 1024, t, ca, un, un / ca, misses);
+      char name[48];
+      std::snprintf(name, sizeof(name), "%s_w%zuk_t%u", pat, words / 1024, t);
       json.add("shadow_cache", name,
                {{"cached_ns", ca},
                 {"uncached_ns", un},
                 {"speedup", un / ca},
                 {"cache_misses", static_cast<double>(misses)},
-                {"lookups", ops}});
+                {"lookups", ops},
+                {"words", static_cast<double>(words)}});
     }
   }
+  }
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Section 2b: packed-cell same-epoch fast path vs detector-call path.
+// ---------------------------------------------------------------------------
+
+/// Sweeps a pre-owned buffer through (a) PackedShadowSpace - the inlined
+/// 64-bit cell compare - and (b) ShadowSpace - page lookup plus a full
+/// detector handler on the word's VarState. Both runs are pure same-epoch
+/// traffic (main's clock never moves), so the delta is exactly the
+/// fast-path saving. The small working set is cache-resident; the large
+/// one puts >= 4 MiB of shadow behind every sweep, where the packed cell's
+/// 16 B/word footprint (vs a full VarState) also wins on memory traffic.
+template <Detector D>
+void packed_ab_rows(JsonReport& json, std::size_t scale) {
+  for (const std::size_t words : {std::size_t{1} << 12, std::size_t{1} << 21}) {
+    const std::size_t sweeps =
+        words <= (std::size_t{1} << 12) ? 2048 * scale : 8 * scale;
+    RaceCollector races;
+    rt::Runtime<D> R{D(&races)};
+    typename rt::Runtime<D>::MainScope scope(R);
+    std::vector<std::uint64_t> buf(words, 1);
+    auto& pspace = R.packed_space();
+    auto& vspace = R.shadow_space();
+    for (const std::uint64_t& w : buf) {
+      rt::instrumented_write(R, pspace, &w);
+      rt::instrumented_write(R, vspace, &w);
+    }
+
+    auto time_pass = [&](auto& space, bool is_write) {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::uint64_t sink = 0;
+      for (std::size_t s = 0; s < sweeps; ++s) {
+        for (const std::uint64_t& w : buf) {
+          sink += is_write ? rt::instrumented_write(R, space, &w)
+                           : rt::instrumented_read(R, space, &w);
+        }
+      }
+      g_sink.fetch_add(sink, std::memory_order_relaxed);
+      return 1e9 * now_minus(t0) /
+             (static_cast<double>(sweeps) * static_cast<double>(words));
+    };
+
+    const double det_r = time_pass(vspace, false);
+    const double pk_r = time_pass(pspace, false);
+    const double det_w = time_pass(vspace, true);
+    const double pk_w = time_pass(pspace, true);
+    VFT_CHECK(races.empty());
+    VFT_CHECK(pspace.spilled() == 0);  // pure same-epoch: nothing escalated
+
+    const double pk_mib =
+        static_cast<double>(words) * 16.0 / (1024.0 * 1024.0);
+    const double det_mib = static_cast<double>(words) *
+                           static_cast<double>(sizeof(typename D::VarState)) /
+                           (1024.0 * 1024.0);
+    std::printf("%-8s %7zuK | read %6.2f vs %6.2f ns (%5.2fx) | "
+                "write %6.2f vs %6.2f ns (%5.2fx) | shadow %.1f vs %.1f MiB\n",
+                D::kName, words / 1024, pk_r, det_r, det_r / pk_r, pk_w, det_w,
+                det_w / pk_w, pk_mib, det_mib);
+    char name[48];
+    std::snprintf(name, sizeof(name), "%s_w%zuk", D::kName, words / 1024);
+    json.add("packed_cell", name,
+             {{"packed_read_ns", pk_r},
+              {"detector_read_ns", det_r},
+              {"read_speedup", det_r / pk_r},
+              {"packed_write_ns", pk_w},
+              {"detector_write_ns", det_w},
+              {"write_speedup", det_w / pk_w},
+              {"packed_shadow_mib", pk_mib},
+              {"varstate_shadow_mib", det_mib},
+              {"words", static_cast<double>(words)}});
+  }
+}
+
+void packed_section(JsonReport& json, std::size_t scale) {
+  std::printf("packed-cell same-epoch fast path vs detector call "
+              "(1 thread; packed vs ShadowSpace ns/op)\n");
+  packed_ab_rows<VftV2>(json, scale);
+  packed_ab_rows<FtCas>(json, scale);
+  packed_ab_rows<VftV1>(json, scale);
   std::printf("\n");
 }
 
@@ -296,6 +389,7 @@ int main() {
 
   vc_kernel_section(json, scale);
   shadow_cache_section(json, max_threads, scale);
+  packed_section(json, scale);
   volatile_section(json, max_threads, scale);
   barrier_section(json, max_threads, scale);
 

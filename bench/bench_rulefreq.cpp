@@ -83,5 +83,63 @@ int main() {
     std::printf("  %-28s %12llu\n", rule_name(static_cast<Rule>(r)),
                 static_cast<unsigned long long>(agg[r]));
   }
+
+  // Second pass, ISSUE-3: the same suite with the packed-cell shadow
+  // backend, reporting how much of the access stream the inlined fast
+  // path absorbed before the detector was ever called. Only kernels
+  // ported to the address-keyed shadow API honor the backend; the others
+  // run unpacked and contribute zero fast-path events (their rows make
+  // the coverage denominator honest).
+  std::printf("\nPacked-cell fast path (shadow=packed; hit/miss/spill as %% "
+              "of accesses)\n\n");
+  std::printf("%-12s %10s %10s %10s %10s | %9s\n", "program", "rd-hit",
+              "wr-hit", "miss", "spills", "inline%");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  std::array<std::uint64_t, RuleStats::kN> pagg{};
+  for (const auto& e : kernel_table<VftV2>()) {
+    RaceCollector races;
+    RuleStats stats;
+    rt::Runtime<VftV2> R(VftV2(&races, &stats));
+    rt::Runtime<VftV2>::MainScope scope(R);
+    KernelConfig cfg;
+    cfg.threads = bc.threads;
+    cfg.scale = bc.scale;
+    cfg.shadow = ShadowBackend::kPacked;
+    e.fn(R, cfg);
+
+    const std::uint64_t all = stats.total_accesses();
+    const std::uint64_t rh = stats.count(Rule::kFastReadHit);
+    const std::uint64_t wh = stats.count(Rule::kFastWriteHit);
+    const std::uint64_t miss = stats.count(Rule::kFastMiss);
+    const std::uint64_t spill = stats.count(Rule::kFastSpill);
+    auto pct = [all](std::uint64_t n) {
+      return all == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
+                                  static_cast<double>(all);
+    };
+    std::printf("%-12s %9.1f%% %9.1f%% %9.1f%% %10llu | %8.1f%%\n", e.name,
+                pct(rh), pct(wh), pct(miss),
+                static_cast<unsigned long long>(spill), pct(rh + wh));
+    for (std::size_t r = 0; r < RuleStats::kN; ++r) {
+      pagg[r] += stats.count(static_cast<Rule>(r));
+    }
+  }
+  std::uint64_t pall = 0;
+  for (std::size_t r = 0;
+       r <= static_cast<std::size_t>(Rule::kSharedWriteRace); ++r) {
+    pall += pagg[r];
+  }
+  auto pg = [&pagg](Rule r) { return pagg[static_cast<std::size_t>(r)]; };
+  auto ppct = [pall](std::uint64_t n) {
+    return pall == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
+                                 static_cast<double>(pall);
+  };
+  std::printf("%s\n", std::string(70, '-').c_str());
+  std::printf("%-12s %9.1f%% %9.1f%% %9.1f%% %10llu | %8.1f%%\n", "aggregate",
+              ppct(pg(Rule::kFastReadHit)), ppct(pg(Rule::kFastWriteHit)),
+              ppct(pg(Rule::kFastMiss)),
+              static_cast<unsigned long long>(pg(Rule::kFastSpill)),
+              ppct(pg(Rule::kFastReadHit) + pg(Rule::kFastWriteHit)));
+  std::printf("\ncompare with the paper's same-epoch percentages above: every "
+              "fast hit is an access the detector never saw.\n");
   return 0;
 }

@@ -48,6 +48,8 @@ double run_read_shared(std::uint32_t threads, std::uint32_t scale,
 
 int main() {
   const BenchConfig bc = BenchConfig::from_env();
+  JsonReport report("scaling");
+  report.context("scale", std::to_string(bc.scale));
   std::printf("Read-shared scaling: T threads re-reading one shared table "
               "(seconds; scale=%u)\n\n", bc.scale);
   std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "threads", "none", "v1",
@@ -61,7 +63,16 @@ int main() {
     const double fc = run_read_shared<FtCas>(t, bc.scale);
     std::printf("%8u %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n", t, n0, v1,
                 v15, v2, fm, fc);
+    report.add("read_shared_seconds", "threads_" + std::to_string(t),
+               {{"threads", static_cast<double>(t)},
+                {"none", n0},
+                {"v1", v1},
+                {"v15", v15},
+                {"v2", v2},
+                {"ft_mutex", fm},
+                {"ft_cas", fc}});
   }
+  report.write("BENCH_scaling.json");
   std::printf("\nexpectation: v1/v1.5 pay a lock per read (and serialize "
               "under real parallelism); v2/FT-CAS stay near the base "
               "line's slope\n");

@@ -18,6 +18,10 @@ int main() {
   using namespace vft::kernels;
 
   const BenchConfig bc = BenchConfig::from_env();
+  JsonReport report("table1");
+  report.context("threads", std::to_string(bc.threads));
+  report.context("scale", std::to_string(bc.scale));
+  report.context("iters", std::to_string(bc.iters));
   std::printf(
       "Table 1 reproduction: overhead (x base) per program\n"
       "threads=%u scale=%u iters=%d (VFT_BENCH_* env vars rescale)\n"
@@ -54,6 +58,14 @@ int main() {
     const double v2 = overhead(time_kernel<VftV2>(table_v2[k].fn, bc, name));
     std::printf("%-12s %8.4f+/-%5.4f | %8.2f %8.2f | %8.2f %8.2f %8.2f\n",
                 name, base.mean, base.spread(), m, c, v1, v15, v2);
+    report.add("overhead", name,
+               {{"base_s", base.mean},
+                {"base_spread_s", base.spread()},
+                {"ft_mutex", m},
+                {"ft_cas", c},
+                {"v1", v1},
+                {"v15", v15},
+                {"v2", v2}});
     // Guard the geomean against ~zero-overhead entries (series) exactly as
     // one must when reproducing the paper's geomean: clamp at 0.01x.
     auto clamp = [](double x) { return std::max(x, 0.01); };
@@ -71,5 +83,12 @@ int main() {
   std::printf(
       "\npaper (16 threads, 16 cores): Mutex 8.87, CAS 8.11, v1 15.0, "
       "v1.5 10.8, v2 8.12\n");
+  report.add("geomean", "all",
+             {{"ft_mutex", geomean(o_mutex)},
+              {"ft_cas", geomean(o_cas)},
+              {"v1", geomean(o_v1)},
+              {"v15", geomean(o_v15)},
+              {"v2", geomean(o_v2)}});
+  report.write("BENCH_table1.json");
   return 0;
 }

@@ -31,13 +31,18 @@ namespace vft::kernels {
 ///            and what the Table 1 runs measure);
 ///   kTable   carved from the runtime's sharded-hash ShadowTable;
 ///   kSpace   carved from the runtime's lock-free two-level ShadowSpace,
-///            so raw-pointer and wrapper instrumentation agree.
-enum class ShadowBackend : std::uint8_t { kInline, kTable, kSpace };
+///            so raw-pointer and wrapper instrumentation agree;
+///   kPacked  carved from the runtime's PackedShadowSpace: accesses run
+///            the 64-bit packed-cell same-epoch fast path inline and only
+///            escalated words materialize a VarState (spill-capable
+///            detectors; NullTool falls back to kInline).
+enum class ShadowBackend : std::uint8_t { kInline, kTable, kSpace, kPacked };
 
 inline const char* shadow_backend_name(ShadowBackend b) {
   switch (b) {
     case ShadowBackend::kTable: return "table";
     case ShadowBackend::kSpace: return "space";
+    case ShadowBackend::kPacked: return "packed";
     default: return "inline";
   }
 }
@@ -123,6 +128,12 @@ rt::Array<T, D> make_shadowed_array(rt::Runtime<D>& R, const KernelConfig& cfg,
       return rt::Array<T, D>(R, R.shadow_table(), n, initial);
     case ShadowBackend::kSpace:
       return rt::Array<T, D>(R, R.shadow_space(), n, initial);
+    case ShadowBackend::kPacked:
+      if constexpr (rt::kPackedCapable<D>) {
+        return rt::Array<T, D>(R, R.packed_space(), n, initial);
+      } else {
+        return rt::Array<T, D>(R, n, initial);  // nothing to pack (NullTool)
+      }
     default:
       return rt::Array<T, D>(R, n, initial);
   }

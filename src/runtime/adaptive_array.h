@@ -37,9 +37,16 @@ template <typename T, Detector D>
   requires ProbeableVarState<typename D::VarState>
 class AdaptiveArray {
  public:
+  /// With `packed = true`, the coarse (owner-only) path runs the packed
+  /// cell fast path against a per-granule cell instead of calling the
+  /// detector on the coarse VarState: the owner's accesses are always
+  /// ordered after its own history, so they stay inline until the granule
+  /// splits; split() then snapshots {R, W} from the cell. Opt-in like the
+  /// other wrappers' packed modes.
   AdaptiveArray(Runtime<D>& rt, std::size_t n, std::size_t granule,
-                T initial = T{})
+                T initial = T{}, bool packed = false)
       : rt_(&rt),
+        packed_(packed),
         n_(n),
         granule_(granule == 0 ? 1 : granule),
         data_(std::make_unique<std::atomic<T>[]>(n)),
@@ -55,12 +62,12 @@ class AdaptiveArray {
   std::size_t size() const { return n_; }
 
   T load(std::size_t i) {
-    rt_->tool().read(rt_->self(), shadow_for(i));
+    access(i, /*is_write=*/false);
     return data_[i].load(std::memory_order_relaxed);
   }
 
   void store(std::size_t i, T v) {
-    rt_->tool().write(rt_->self(), shadow_for(i));
+    access(i, /*is_write=*/true);
     data_[i].store(v, std::memory_order_relaxed);
   }
 
@@ -80,6 +87,7 @@ class AdaptiveArray {
  private:
   struct Granule {
     typename D::VarState coarse;
+    PackedCell cell;  // fronts `coarse` in packed mode
     std::atomic<Tid> owner{kUnowned};
     std::atomic<typename D::VarState*> elements{nullptr};
     std::mutex split_mu;
@@ -90,21 +98,48 @@ class AdaptiveArray {
 
   std::size_t num_granules() const { return (n_ + granule_ - 1) / granule_; }
 
-  typename D::VarState& shadow_for(std::size_t i) {
+  void access(std::size_t i, bool is_write) {
     Granule& g = granules_[i / granule_];
     typename D::VarState* fine = g.elements.load(std::memory_order_acquire);
-    if (fine != nullptr) return fine[i % granule_];
+    if (fine == nullptr && packed_ && owner_is_self(g)) {
+      // Owner-only coarse path through the cell. The owner's accesses are
+      // ordered after its own recorded epochs by program order, so in
+      // practice this never escalates before the split; the spill target
+      // is the eager coarse VarState either way.
+      auto target = [&g]() -> typename D::VarState& { return g.coarse; };
+      if (is_write) {
+        packed_write(rt_->tool(), rt_->self(), g.cell, target, target);
+      } else {
+        packed_read(rt_->tool(), rt_->self(), g.cell, target, target);
+      }
+      return;
+    }
+    typename D::VarState& vs =
+        fine != nullptr ? fine[i % granule_] : shadow_for(g, i);
+    if (is_write) {
+      rt_->tool().write(rt_->self(), vs);
+    } else {
+      rt_->tool().read(rt_->self(), vs);
+    }
+  }
 
+  /// Resolve the granule's owner, claiming it on first touch.
+  bool owner_is_self(Granule& g) {
     const Tid self = rt_->self().t;
     Tid owner = g.owner.load(std::memory_order_acquire);
     if (owner == kUnowned &&
         g.owner.compare_exchange_strong(owner, self,
                                         std::memory_order_acq_rel)) {
-      return g.coarse;  // first touch: claimed the granule
+      return true;  // first touch: claimed the granule
     }
-    if (owner == self || g.owner.load(std::memory_order_acquire) == self) {
-      return g.coarse;  // still the exclusive owner
-    }
+    return owner == self ||
+           g.owner.load(std::memory_order_acquire) == self;
+  }
+
+  typename D::VarState& shadow_for(Granule& g, std::size_t i) {
+    typename D::VarState* fine = g.elements.load(std::memory_order_acquire);
+    if (fine != nullptr) return fine[i % granule_];
+    if (owner_is_self(g)) return g.coarse;  // exclusive owner, coarse path
     return split(g, i);  // second thread: refine to per-element shadows
   }
 
@@ -115,8 +150,18 @@ class AdaptiveArray {
       const std::size_t lo = (&g - granules_.get()) * granule_;
       const std::size_t len = std::min(granule_, n_ - lo);
       auto storage = std::make_unique<typename D::VarState[]>(len);
-      const Epoch r = probe_r(g.coarse);
-      const Epoch w = probe_w(g.coarse);
+      // Epoch-mode snapshot of the granule's history: from the cell when
+      // it fronts the coarse path, from the coarse VarState otherwise (or
+      // when the cell was force-escalated into it).
+      Epoch r, w;
+      const std::uint64_t bits = g.cell.bits();
+      if (packed_ && !PackedCell::is_sentinel(bits)) {
+        r = PackedCell::unpack_r(bits);
+        w = PackedCell::unpack_w(bits);
+      } else {
+        r = probe_r(g.coarse);
+        w = probe_w(g.coarse);
+      }
       for (std::size_t k = 0; k < len; ++k) {
         storage[k].id = reinterpret_cast<std::uint64_t>(&storage[k]);
         inject(storage[k], r, w);
@@ -129,6 +174,7 @@ class AdaptiveArray {
   }
 
   Runtime<D>* rt_;
+  const bool packed_;
   std::size_t n_;
   std::size_t granule_;
   std::unique_ptr<std::atomic<T>[]> data_;

@@ -25,8 +25,13 @@ template <typename T, Detector D>
 class CoarseArray {
  public:
   /// n elements shadowed at granularity `granule` (elements per VarState).
+  /// With `packed = true` (spill-capable detectors only), each granule's
+  /// VarState is fronted by a packed cell: granule-exclusive phases run
+  /// the same-epoch fast path inline and the eager VarState becomes the
+  /// spill target on escalation. Opt-in, so the E11 granularity curves
+  /// keep measuring the detectors themselves by default.
   CoarseArray(Runtime<D>& rt, std::size_t n, std::size_t granule,
-              T initial = T{})
+              T initial = T{}, bool packed = false)
       : rt_(&rt),
         n_(n),
         granule_(granule == 0 ? 1 : granule),
@@ -39,6 +44,11 @@ class CoarseArray {
     for (std::size_t g = 0; g < (n + granule_ - 1) / granule_; ++g) {
       shadow_[g].id = reinterpret_cast<std::uint64_t>(&shadow_[g]);
     }
+    if constexpr (SpillableVarState<typename D::VarState>) {
+      if (packed) {
+        cells_ = std::make_unique<PackedCell[]>((n + granule_ - 1) / granule_);
+      }
+    }
   }
 
   std::size_t size() const { return n_; }
@@ -46,13 +56,13 @@ class CoarseArray {
 
   T load(std::size_t i) {
     VFT_ASSERT(i < n_);
-    rt_->tool().read(rt_->self(), shadow_[i / granule_]);
+    check_granule(i / granule_, /*is_write=*/false);
     return data_[i].load(std::memory_order_relaxed);
   }
 
   void store(std::size_t i, T v) {
     VFT_ASSERT(i < n_);
-    rt_->tool().write(rt_->self(), shadow_[i / granule_]);
+    check_granule(i / granule_, /*is_write=*/true);
     data_[i].store(v, std::memory_order_relaxed);
   }
 
@@ -81,16 +91,33 @@ class CoarseArray {
   T raw(std::size_t i) const { return data_[i].load(std::memory_order_relaxed); }
 
  private:
+  void check_granule(std::size_t g, bool is_write) {
+    if constexpr (SpillableVarState<typename D::VarState>) {
+      if (cells_ != nullptr) {
+        auto target = [this, g]() -> typename D::VarState& {
+          return shadow_[g];
+        };
+        if (is_write) {
+          packed_write(rt_->tool(), rt_->self(), cells_[g], target, target);
+        } else {
+          packed_read(rt_->tool(), rt_->self(), cells_[g], target, target);
+        }
+        return;
+      }
+    }
+    if (is_write) {
+      rt_->tool().write(rt_->self(), shadow_[g]);
+    } else {
+      rt_->tool().read(rt_->self(), shadow_[g]);
+    }
+  }
+
   void check_range(std::size_t lo, std::size_t hi, bool is_write) {
     if (lo == hi) return;
     const std::size_t g_lo = lo / granule_;
     const std::size_t g_hi = (hi - 1) / granule_;
     for (std::size_t g = g_lo; g <= g_hi; ++g) {
-      if (is_write) {
-        rt_->tool().write(rt_->self(), shadow_[g]);
-      } else {
-        rt_->tool().read(rt_->self(), shadow_[g]);
-      }
+      check_granule(g, is_write);
     }
   }
 
@@ -99,6 +126,7 @@ class CoarseArray {
   std::size_t granule_;
   std::unique_ptr<std::atomic<T>[]> data_;
   std::unique_ptr<typename D::VarState[]> shadow_;
+  std::unique_ptr<PackedCell[]> cells_;  // non-null iff packed mode
 };
 
 }  // namespace vft::rt

@@ -47,12 +47,25 @@ inline void count_sync_rule(Tool& tool, Rule r) {
   }
 }
 
+/// True when D's VarState can back the packed-cell fast path (all six
+/// production detectors; NullTool has nothing to spill to).
+template <typename D>
+inline constexpr bool kPackedCapable = SpillableVarState<typename D::VarState>;
+
 /// One instrumented scalar variable with an inline shadow VarState.
+///
+/// With `packed = true` (and a spill-capable detector), accesses first run
+/// the vft/packed_cell.h fast path against an inline 64-bit cell and only
+/// escalation calls the detector on the inline VarState - the spill target
+/// pre-exists, so escalation is just inject + publish. Default off: the
+/// Table 1 benches measure the detectors themselves, so removing their
+/// calls must be an explicit choice, not a silent one.
 template <typename T, Detector D>
 class Var {
  public:
-  explicit Var(Runtime<D>& rt, T initial = T{}, std::uint64_t id = 0)
-      : rt_(&rt), data_(initial) {
+  explicit Var(Runtime<D>& rt, T initial = T{}, std::uint64_t id = 0,
+               bool packed = false)
+      : rt_(&rt), packed_(packed && kPackedCapable<D>), data_(initial) {
     // Default id: the shadow VarState's own address - the same scheme
     // Array uses for its element shadows, so ids are consistent across
     // wrapper kinds (see the id taxonomy in vft/report.h).
@@ -60,11 +73,26 @@ class Var {
   }
 
   T load() {
+    if constexpr (kPackedCapable<D>) {
+      if (packed_) {
+        packed_read(rt_->tool(), rt_->self(), cell_, spill_target(),
+                    spill_target());
+        return data_.load(std::memory_order_relaxed);
+      }
+    }
     rt_->tool().read(rt_->self(), shadow_);
     return data_.load(std::memory_order_relaxed);
   }
 
   void store(T v) {
+    if constexpr (kPackedCapable<D>) {
+      if (packed_) {
+        packed_write(rt_->tool(), rt_->self(), cell_, spill_target(),
+                     spill_target());
+        data_.store(v, std::memory_order_relaxed);
+        return;
+      }
+    }
     rt_->tool().write(rt_->self(), shadow_);
     data_.store(v, std::memory_order_relaxed);
   }
@@ -79,10 +107,26 @@ class Var {
     }
   }
 
-  typename D::VarState& shadow() { return shadow_; }
+  /// In packed mode the cell is force-escalated first, so external probes
+  /// always observe coherent detector state.
+  typename D::VarState& shadow() {
+    if constexpr (kPackedCapable<D>) {
+      if (packed_) escalate_cell(cell_, spill_target(), spill_target());
+    }
+    return shadow_;
+  }
+
+  /// The packed cell (tests; meaningful only in packed mode).
+  PackedCell& cell() { return cell_; }
 
  private:
+  auto spill_target() {
+    return [this]() -> typename D::VarState& { return shadow_; };
+  }
+
   Runtime<D>* rt_;
+  const bool packed_;
+  PackedCell cell_;
   std::atomic<T> data_;
   typename D::VarState shadow_;
 };
@@ -124,16 +168,48 @@ class Array {
     }
   }
 
+  /// Carve packed cells out of `space` instead: element accesses run the
+  /// same-epoch fast path inline against 8-byte cells and only escalated
+  /// elements ever materialize a VarState (word granularity applies, as
+  /// with any address-keyed backend). instrumented_read/write on
+  /// &data()[i] through the same space agree on cell and spill state.
+  Array(Runtime<D>& rt, PackedShadowSpace<D>& space, std::size_t n,
+        T initial = T{})
+    requires kPackedCapable<D>
+      : rt_(&rt),
+        n_(n),
+        data_(std::make_unique<std::atomic<T>[]>(n)),
+        pspace_(&space),
+        pslots_(std::make_unique<typename PackedShadowSpace<D>::Slot[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      data_[i].store(initial, std::memory_order_relaxed);
+      pslots_[i] = space.slot_of(&data_[i]);
+    }
+  }
+
   std::size_t size() const { return n_; }
 
   T load(std::size_t i) {
     VFT_ASSERT(i < n_);
+    if constexpr (kPackedCapable<D>) {
+      if (pspace_ != nullptr) {
+        pspace_->read_slot(rt_->tool(), rt_->self(), pslots_[i]);
+        return data_[i].load(std::memory_order_relaxed);
+      }
+    }
     rt_->tool().read(rt_->self(), shadow(i));
     return data_[i].load(std::memory_order_relaxed);
   }
 
   void store(std::size_t i, T v) {
     VFT_ASSERT(i < n_);
+    if constexpr (kPackedCapable<D>) {
+      if (pspace_ != nullptr) {
+        pspace_->write_slot(rt_->tool(), rt_->self(), pslots_[i]);
+        data_[i].store(v, std::memory_order_relaxed);
+        return;
+      }
+    }
     rt_->tool().write(rt_->self(), shadow(i));
     data_[i].store(v, std::memory_order_relaxed);
   }
@@ -146,21 +222,35 @@ class Array {
     data_[i].store(v, std::memory_order_relaxed);
   }
 
-  /// Register element names "name[i]" for race reports.
+  /// Register element names "name[i]" for race reports. Uses shadow_id()
+  /// so a packed array's cells are not escalated just to be named.
   void set_name(const std::string& name) {
     if (RaceCollector* rc = rt_->tool().races()) {
       for (std::size_t i = 0; i < n_; ++i) {
-        rc->name_var(shadow(i).id, name + "[" + std::to_string(i) + "]");
+        rc->name_var(shadow_id(i), name + "[" + std::to_string(i) + "]");
       }
     }
   }
 
+  /// The element's VarState. In packed mode this force-escalates the cell
+  /// first, so external probes always observe coherent detector state.
   typename D::VarState& shadow(std::size_t i) {
+    if constexpr (kPackedCapable<D>) {
+      if (pspace_ != nullptr) return pspace_->escalated(pslots_[i]);
+    }
     return shadow_ ? shadow_[i] : *shadow_ptrs_[i];
   }
 
+  /// The element's race-report id, without materializing any spill state.
+  std::uint64_t shadow_id(std::size_t i) const {
+    if constexpr (kPackedCapable<D>) {
+      if (pspace_ != nullptr) return pslots_[i].id;
+    }
+    return shadow_ ? shadow_[i].id : shadow_ptrs_[i]->id;
+  }
+
   /// The element storage, for raw-pointer instrumentation of the same
-  /// memory (meaningful with the backend-carving constructor).
+  /// memory (meaningful with the backend-carving constructors).
   std::atomic<T>* data() { return data_.get(); }
 
  private:
@@ -169,6 +259,8 @@ class Array {
   std::unique_ptr<std::atomic<T>[]> data_;
   std::unique_ptr<typename D::VarState[]> shadow_;        // inline mode
   std::unique_ptr<typename D::VarState*[]> shadow_ptrs_;  // carved mode
+  PackedShadowSpace<D>* pspace_ = nullptr;                // packed mode
+  std::unique_ptr<typename PackedShadowSpace<D>::Slot[]> pslots_;
 };
 
 /// Instrumented mutex: a real std::mutex plus the LockState shadow.

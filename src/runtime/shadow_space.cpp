@@ -21,13 +21,17 @@ std::string ShadowGeometry::describe() {
 }
 
 std::string str(const ShadowSpaceStats& s) {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "pages=%zu slots=%zu mem=%.2fMiB collisions=%zu "
-                "cache-misses=%zu",
-                s.pages, s.slots,
-                static_cast<double>(s.bytes) / (1024.0 * 1024.0), s.collisions,
-                s.cache_misses);
+  char buf[200];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "pages=%zu slots=%zu mem=%.2fMiB collisions=%zu "
+                        "cache-misses=%zu",
+                        s.pages, s.slots,
+                        static_cast<double>(s.bytes) / (1024.0 * 1024.0),
+                        s.collisions, s.cache_misses);
+  if (s.spilled > 0 && n > 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
+    std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                  " spilled=%zu", s.spilled);
+  }
   return buf;
 }
 

@@ -1,5 +1,5 @@
 // Two-level shadow memory: the production-shaped mapping from target
-// addresses to VarState objects, replacing the mutex-sharded hash table
+// addresses to analysis state, replacing the mutex-sharded hash table
 // as the primary raw-pointer backend.
 //
 // Layout (the Valgrind-DRD primary/secondary map, adapted to 64-bit
@@ -13,20 +13,28 @@
 //             └─ bits [kGranularityLog2,
 //                      kPageSpanLog2)      ──> slot inside the page
 //
-// Each "shadow page" covers kPageSpan bytes of target memory at
-// word (8-byte) granularity: one VarState per word. Pages are allocated
-// on first touch and published with a CAS into the bucket's chain - no
-// lock anywhere on the lookup path. Distinct page bases that land in the
-// same bucket chain off each other (the chain is almost always length 1).
+// Two page flavors share that directory machinery (PageDirectory below):
+//
+//   ShadowSpace        one full VarState per 8-byte word - every access is
+//                      a detector call against production analysis state.
+//   PackedShadowSpace  one 64-bit packed {R, W} cell per word plus a lazy
+//                      spill slot - the same-epoch/exclusive fast path of
+//                      vft/packed_cell.h runs inline against the cell, and
+//                      only escalated words ever materialize a VarState.
+//
+// Pages are allocated on first touch and published with a CAS into the
+// bucket's chain - no lock anywhere on the lookup path. Distinct page
+// bases that land in the same bucket chain off each other (the chain is
+// almost always length 1).
 //
 // Two properties the Section 4 runtime assumptions need:
 //
 //   Stability  pages are never freed or moved during a session, so a
-//              VarState& stays valid forever (the one-to-one persistent
-//              variable->VarState mapping). The flip side: if the target
-//              frees memory and the allocator reuses the address, the new
-//              object inherits the old shadow word (real tools hook free()
-//              to clear shadow; see docs/ALGORITHM.md §8).
+//              VarState& (or cell&) stays valid forever (the one-to-one
+//              persistent variable->VarState mapping). The flip side: if
+//              the target frees memory and the allocator reuses the
+//              address, the new object inherits the old shadow word (real
+//              tools hook free() to clear shadow; see docs/ALGORITHM.md §8).
 //   Agreement  every alias of an address maps to the same VarState, so
 //              wrapper-based (rt::Array carving) and raw-pointer
 //              instrumentation of the same memory see the same history.
@@ -43,6 +51,7 @@
 #include <string>
 
 #include "vft/detector.h"
+#include "vft/packed_cell.h"
 
 namespace vft::rt {
 
@@ -64,6 +73,16 @@ struct ShadowGeometry {
   static constexpr std::size_t kTopBitsLog2 = 16;
   static constexpr std::size_t kBuckets = 1u << kTopBitsLog2;
 
+  /// The page base covering `a`.
+  static std::uintptr_t base_of(std::uintptr_t a) {
+    return a & ~static_cast<std::uintptr_t>(kPageSpan - 1);
+  }
+
+  /// Slot index of `a` within its page.
+  static std::size_t slot_index(std::uintptr_t a) {
+    return (a >> kGranularityLog2) & (kSlotsPerPage - 1);
+  }
+
   /// Top-level index for a page base: multiply-shift mix of the page
   /// number, so the handful of live 48-bit address-space regions (stack,
   /// heap, globals) spread over the buckets instead of clustering.
@@ -78,149 +97,120 @@ struct ShadowGeometry {
   /// One-line description of the layout constants (for docs/tools).
   static std::string describe();
 
-  /// Monotonically increasing id handed to each ShadowSpace instance.
+  /// Monotonically increasing id handed to each directory instance.
   /// The thread-local lookup cache tags entries with it, so a cache entry
   /// can never resurrect a page of a destroyed (or different) space even
   /// if a later space reuses the same object address.
   static std::uint64_t next_space_id();
 };
 
-/// Allocation counters of one ShadowSpace (snapshot; relaxed reads).
+/// Allocation counters of one shadow space (snapshot; relaxed reads).
 struct ShadowSpaceStats {
   std::size_t pages = 0;       ///< shadow pages allocated
-  std::size_t slots = 0;       ///< VarState slots those pages hold
+  std::size_t slots = 0;       ///< shadow slots those pages hold
   std::size_t bytes = 0;       ///< footprint: top-level array + pages
   std::size_t collisions = 0;  ///< bucket chains longer than one + CAS races
-  std::size_t cache_misses = 0;  ///< of() calls that fell past the TL cache
+  std::size_t cache_misses = 0;  ///< lookups that fell past the TL cache
+  std::size_t spilled = 0;  ///< packed cells escalated to full VarStates
 };
 
-/// "pages=N slots=N mem=N.NMiB collisions=N" (shadow_space.cpp).
+/// "pages=N slots=N mem=N.NMiB collisions=N ..." (shadow_space.cpp).
 std::string str(const ShadowSpaceStats& s);
 
-template <Detector D>
-class ShadowSpace {
+/// The lock-free two-level page table both shadow flavors share. PageT
+/// must expose `const std::uintptr_t base`, `std::atomic<PageT*> next`,
+/// and a PageT(std::uintptr_t base) constructor.
+///
+/// Lookup fast path: a TSan-style thread-local last-page cache.
+/// Consecutive accesses to the same 4 KiB shadow page (the overwhelmingly
+/// common case for sweeps and per-thread working sets) skip the bucket
+/// hash, the atomic chain walk, and their acquire fences: two compares and
+/// a shift. Entries are tagged with the directory's unique id, so a cache
+/// line can never outlive its space or leak across spaces (ids are never
+/// reused); the cached PageT* was acquire-loaded by this same thread when
+/// it was inserted, so its contents are already visible.
+template <typename PageT>
+class PageDirectory {
  public:
   using Geometry = ShadowGeometry;
 
-  ShadowSpace()
-      : buckets_(std::make_unique<std::atomic<Page*>[]>(Geometry::kBuckets)) {}
+  PageDirectory()
+      : buckets_(std::make_unique<std::atomic<PageT*>[]>(Geometry::kBuckets)) {}
 
-  ~ShadowSpace() {
+  ~PageDirectory() {
     for (std::size_t b = 0; b < Geometry::kBuckets; ++b) {
-      Page* p = buckets_[b].load(std::memory_order_relaxed);
+      PageT* p = buckets_[b].load(std::memory_order_relaxed);
       while (p != nullptr) {
-        Page* next = p->next.load(std::memory_order_relaxed);
+        PageT* next = p->next.load(std::memory_order_relaxed);
         delete p;
         p = next;
       }
     }
   }
 
-  ShadowSpace(const ShadowSpace&) = delete;
-  ShadowSpace& operator=(const ShadowSpace&) = delete;
+  PageDirectory(const PageDirectory&) = delete;
+  PageDirectory& operator=(const PageDirectory&) = delete;
 
-  /// The VarState shadowing the word containing `addr` (page allocated on
-  /// first touch). Lock-free; the returned reference is stable forever.
-  ///
-  /// Fast path: a TSan-style thread-local last-page cache. Consecutive
-  /// accesses to the same 4 KiB shadow page (the overwhelmingly common
-  /// case for sweeps and per-thread working sets) skip the bucket hash,
-  /// the atomic chain walk, and their acquire fences: two compares and a
-  /// shift. Entries are tagged with the space's unique id, so a cache
-  /// line can never outlive its space or leak across spaces (ids are
-  /// never reused); the cached Page* was acquire-loaded by this same
-  /// thread when it was inserted, so its contents are already visible.
-  typename D::VarState& of(const void* addr) {
-    const auto a = reinterpret_cast<std::uintptr_t>(addr);
-    const std::uintptr_t base =
-        a & ~static_cast<std::uintptr_t>(Geometry::kPageSpan - 1);
+  /// The page for `base` (allocated on first touch), through the
+  /// thread-local cache. Single fused tag check: both the space id and the
+  /// page base must match; OR-ing the XORs turns that into one
+  /// compare-and-branch.
+  PageT& page(std::uintptr_t base) {
     const Cache& c = tl_cache_;
-    // Single fused tag check: both the space id and the page base must
-    // match; OR-ing the XORs turns that into one compare-and-branch.
     if (((c.space ^ id_) | (c.base ^ base)) == 0) {
-      return c.page->slot(a);
+      return *c.page;
     }
-    return of_miss(a, base);
+    return page_miss(base);
   }
 
   /// The pre-cache lookup path (hash + chain walk), kept callable so
   /// bench_hotpath can measure exactly what the cache buys.
-  typename D::VarState& of_uncached(const void* addr) {
-    const auto a = reinterpret_cast<std::uintptr_t>(addr);
-    const std::uintptr_t base =
-        a & ~static_cast<std::uintptr_t>(Geometry::kPageSpan - 1);
-    std::atomic<Page*>& head = buckets_[Geometry::bucket_of(base)];
-    for (Page* p = head.load(std::memory_order_acquire); p != nullptr;
+  PageT& page_uncached(std::uintptr_t base) {
+    std::atomic<PageT*>& head = buckets_[Geometry::bucket_of(base)];
+    for (PageT* p = head.load(std::memory_order_acquire); p != nullptr;
          p = p->next.load(std::memory_order_acquire)) {
-      if (p->base == base) return p->slot(a);
+      if (p->base == base) return *p;
     }
-    return publish_page(head, base).slot(a);
+    return publish_page(head, base);
   }
 
-  /// Pages allocated so far (racy snapshot).
   std::size_t pages() const { return pages_.load(std::memory_order_relaxed); }
-
-  /// VarState slots materialized so far (pages * slots-per-page).
-  std::size_t size() const { return pages() * Geometry::kSlotsPerPage; }
-
-  ShadowSpaceStats stats() const {
-    ShadowSpaceStats s;
-    s.pages = pages();
-    s.slots = s.pages * Geometry::kSlotsPerPage;
-    s.bytes = Geometry::kBuckets * sizeof(std::atomic<Page*>) +
-              s.pages * sizeof(Page);
-    s.collisions = collisions_.load(std::memory_order_relaxed);
-    s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-    return s;
+  std::size_t collisions() const {
+    return collisions_.load(std::memory_order_relaxed);
+  }
+  std::size_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
   }
 
  private:
-  struct Page;
-
-  /// One-entry per-thread lookup cache (per ShadowSpace instantiation).
+  /// One-entry per-thread lookup cache (per PageT instantiation).
   struct Cache {
-    std::uint64_t space = 0;  ///< owning space's id_; 0 never matches
+    std::uint64_t space = 0;  ///< owning directory's id_; 0 never matches
     std::uintptr_t base = 0;
-    Page* page = nullptr;
+    PageT* page = nullptr;
   };
   inline static thread_local Cache tl_cache_{};
 
-  typename D::VarState& of_miss(std::uintptr_t a, std::uintptr_t base) {
+  PageT& page_miss(std::uintptr_t base) {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    std::atomic<Page*>& head = buckets_[Geometry::bucket_of(base)];
-    Page* p = head.load(std::memory_order_acquire);
+    std::atomic<PageT*>& head = buckets_[Geometry::bucket_of(base)];
+    PageT* p = head.load(std::memory_order_acquire);
     while (p != nullptr && p->base != base) {
       p = p->next.load(std::memory_order_acquire);
     }
     if (p == nullptr) p = &publish_page(head, base);
     tl_cache_ = Cache{id_, base, p};
-    return p->slot(a);
+    return *p;
   }
-  struct Page {
-    explicit Page(std::uintptr_t b) : base(b) {
-      for (std::size_t i = 0; i < Geometry::kSlotsPerPage; ++i) {
-        slots[i].id = base + (i << Geometry::kGranularityLog2);
-      }
-    }
-
-    typename D::VarState& slot(std::uintptr_t addr) {
-      return slots[(addr >> Geometry::kGranularityLog2) &
-                   (Geometry::kSlotsPerPage - 1)];
-    }
-
-    const std::uintptr_t base;
-    std::atomic<Page*> next{nullptr};
-    typename D::VarState slots[Geometry::kSlotsPerPage];
-  };
 
   /// Miss path: allocate the page for `base` and CAS it onto the bucket
   /// chain; on a lost race the winner's page is used and ours is dropped.
-  Page& publish_page(std::atomic<Page*>& head, std::uintptr_t base) {
-    auto fresh = std::make_unique<Page>(base);
-    Page* expected = head.load(std::memory_order_acquire);
+  PageT& publish_page(std::atomic<PageT*>& head, std::uintptr_t base) {
+    auto fresh = std::make_unique<PageT>(base);
+    PageT* expected = head.load(std::memory_order_acquire);
     for (;;) {
       // Re-scan: a concurrent publisher may have added `base` meanwhile.
-      for (Page* p = expected; p != nullptr;
+      for (PageT* p = expected; p != nullptr;
            p = p->next.load(std::memory_order_acquire)) {
         if (p->base == base) {
           collisions_.fetch_add(1, std::memory_order_relaxed);
@@ -241,14 +231,199 @@ class ShadowSpace {
   }
 
   const std::uint64_t id_ = Geometry::next_space_id();
-  std::unique_ptr<std::atomic<Page*>[]> buckets_;
+  std::unique_ptr<std::atomic<PageT*>[]> buckets_;
   std::atomic<std::size_t> pages_{0};
   std::atomic<std::size_t> collisions_{0};
   std::atomic<std::size_t> cache_misses_{0};
 };
 
+template <Detector D>
+class ShadowSpace {
+ public:
+  using Geometry = ShadowGeometry;
+
+  ShadowSpace() = default;
+  ShadowSpace(const ShadowSpace&) = delete;
+  ShadowSpace& operator=(const ShadowSpace&) = delete;
+
+  /// The VarState shadowing the word containing `addr` (page allocated on
+  /// first touch). Lock-free; the returned reference is stable forever.
+  typename D::VarState& of(const void* addr) {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    return dir_.page(Geometry::base_of(a)).slot(a);
+  }
+
+  /// The pre-cache lookup path, for bench_hotpath's cache A/B.
+  typename D::VarState& of_uncached(const void* addr) {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    return dir_.page_uncached(Geometry::base_of(a)).slot(a);
+  }
+
+  /// Pages allocated so far (racy snapshot).
+  std::size_t pages() const { return dir_.pages(); }
+
+  /// VarState slots materialized so far (pages * slots-per-page).
+  std::size_t size() const { return pages() * Geometry::kSlotsPerPage; }
+
+  ShadowSpaceStats stats() const {
+    ShadowSpaceStats s;
+    s.pages = pages();
+    s.slots = s.pages * Geometry::kSlotsPerPage;
+    s.bytes = Geometry::kBuckets * sizeof(std::atomic<Page*>) +
+              s.pages * sizeof(Page);
+    s.collisions = dir_.collisions();
+    s.cache_misses = dir_.cache_misses();
+    return s;
+  }
+
+ private:
+  struct Page {
+    explicit Page(std::uintptr_t b) : base(b) {
+      for (std::size_t i = 0; i < Geometry::kSlotsPerPage; ++i) {
+        slots[i].id = base + (i << Geometry::kGranularityLog2);
+      }
+    }
+
+    typename D::VarState& slot(std::uintptr_t addr) {
+      return slots[Geometry::slot_index(addr)];
+    }
+
+    const std::uintptr_t base;
+    std::atomic<Page*> next{nullptr};
+    typename D::VarState slots[Geometry::kSlotsPerPage];
+  };
+
+  PageDirectory<Page> dir_;
+};
+
+/// Packed-cell shadow space: 16 bytes of page payload per target word (an
+/// 8-byte {R, W} cell plus an 8-byte lazy spill pointer) instead of a full
+/// VarState. Accesses run the vft/packed_cell.h fast path inline; only
+/// escalated words allocate a VarState, published through the cell's
+/// ESCALATING->ESCALATED protocol (the spill directory of the packed
+/// design). The spilled VarState's id is the word's base address, the same
+/// id ShadowSpace assigns, so race reports agree across flavors.
+template <Detector D>
+class PackedShadowSpace {
+ public:
+  using Geometry = ShadowGeometry;
+  using VarState = typename D::VarState;
+
+  PackedShadowSpace() = default;
+  PackedShadowSpace(const PackedShadowSpace&) = delete;
+  PackedShadowSpace& operator=(const PackedShadowSpace&) = delete;
+
+  /// A resolved word: its cell, its spill slot, and the report id. Stable
+  /// forever; wrappers pre-resolve one per element.
+  struct Slot {
+    PackedCell* cell = nullptr;
+    std::atomic<VarState*>* spill = nullptr;
+    std::uint64_t id = 0;
+  };
+
+  Slot slot_of(const void* addr) {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    Page& p = dir_.page(Geometry::base_of(a));
+    const std::size_t i = Geometry::slot_index(a);
+    return Slot{&p.cells[i], &p.spills[i],
+                p.base + (i << Geometry::kGranularityLog2)};
+  }
+
+  /// The packed cell shadowing the word containing `addr`.
+  PackedCell& cell_of(const void* addr) {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    return dir_.page(Geometry::base_of(a)).cells[Geometry::slot_index(a)];
+  }
+
+  /// Force-escalated VarState access, so external probes (and the generic
+  /// backend concept) stay coherent with the cell protocol. Prefer
+  /// read()/write(): this defeats the fast path for the word it touches.
+  VarState& of(const void* addr) { return escalated(slot_of(addr)); }
+
+  /// One instrumented access: fast path inline against the cell, detector
+  /// call on the (spilled-on-demand) VarState otherwise.
+  template <typename Tool>
+  bool read(Tool& tool, ThreadState& st, const void* addr) {
+    return read_slot(tool, st, slot_of(addr));
+  }
+  template <typename Tool>
+  bool write(Tool& tool, ThreadState& st, const void* addr) {
+    return write_slot(tool, st, slot_of(addr));
+  }
+
+  /// Slot-resolved variants (wrappers cache the Slot per element).
+  template <typename Tool>
+  bool read_slot(Tool& tool, ThreadState& st, const Slot& s) {
+    return packed_read(tool, st, *s.cell, spill_make(s), spill_get(s));
+  }
+  template <typename Tool>
+  bool write_slot(Tool& tool, ThreadState& st, const Slot& s) {
+    return packed_write(tool, st, *s.cell, spill_make(s), spill_get(s));
+  }
+
+  /// The spilled VarState of `s`, escalating the cell first if needed.
+  VarState& escalated(const Slot& s) {
+    return escalate_cell(*s.cell, spill_make(s), spill_get(s));
+  }
+
+  std::size_t pages() const { return dir_.pages(); }
+  std::size_t size() const { return pages() * Geometry::kSlotsPerPage; }
+  std::size_t spilled() const {
+    return spilled_.load(std::memory_order_relaxed);
+  }
+
+  ShadowSpaceStats stats() const {
+    ShadowSpaceStats s;
+    s.pages = pages();
+    s.slots = s.pages * Geometry::kSlotsPerPage;
+    s.bytes = Geometry::kBuckets * sizeof(std::atomic<Page*>) +
+              s.pages * sizeof(Page) + spilled() * sizeof(VarState);
+    s.collisions = dir_.collisions();
+    s.cache_misses = dir_.cache_misses();
+    s.spilled = spilled();
+    return s;
+  }
+
+ private:
+  struct Page {
+    explicit Page(std::uintptr_t b) : base(b) {}
+
+    ~Page() {
+      for (std::size_t i = 0; i < Geometry::kSlotsPerPage; ++i) {
+        delete spills[i].load(std::memory_order_relaxed);
+      }
+    }
+
+    const std::uintptr_t base;
+    std::atomic<Page*> next{nullptr};
+    PackedCell cells[Geometry::kSlotsPerPage];
+    std::atomic<VarState*> spills[Geometry::kSlotsPerPage]{};
+  };
+
+  /// make/get closures for escalate_cell: publication order is carried by
+  /// the cell's release-store of ESCALATED, so the spill pointer itself
+  /// needs only relaxed ordering.
+  auto spill_make(const Slot& s) {
+    return [this, &s]() -> VarState& {
+      auto* vs = new VarState();
+      vs->id = s.id;
+      s.spill->store(vs, std::memory_order_relaxed);
+      spilled_.fetch_add(1, std::memory_order_relaxed);
+      return *vs;
+    };
+  }
+  auto spill_get(const Slot& s) {
+    return [&s]() -> VarState& { return *s.spill->load(std::memory_order_relaxed); };
+  }
+
+  PageDirectory<Page> dir_;
+  std::atomic<std::size_t> spilled_{0};
+};
+
 /// Anything mapping addresses to stable VarStates can back the raw-pointer
-/// entry points: ShadowSpace (primary) and ShadowTable (fallback).
+/// entry points: ShadowSpace (primary), ShadowTable (fallback), and
+/// PackedShadowSpace (via its force-escalating of(); the dedicated
+/// overloads below keep its fast path instead).
 template <typename S, typename D>
 concept ShadowBackendFor = requires(S& s, const void* p) {
   { s.of(p) } -> std::same_as<typename D::VarState&>;
@@ -258,7 +433,8 @@ concept ShadowBackendFor = requires(S& s, const void* p) {
 //
 // The API a compiler pass or binary-instrumentation front end would call
 // (TSan's __tsan_readN/__tsan_writeN shape), generic over the backend so
-// tools can switch between ShadowSpace and ShadowTable with a flag.
+// tools can switch between ShadowSpace, ShadowTable, and the packed cells
+// with a flag.
 
 template <Detector D, typename S>
   requires ShadowBackendFor<S, D>
@@ -270,6 +446,20 @@ template <Detector D, typename S>
   requires ShadowBackendFor<S, D>
 bool instrumented_write(Runtime<D>& rt, S& shadow, const void* addr) {
   return rt.tool().write(rt.self(), shadow.of(addr));
+}
+
+/// Packed-cell overloads: more specialized than the generic backend
+/// template, so they win overload resolution and keep the fast path.
+template <Detector D>
+bool instrumented_read(Runtime<D>& rt, PackedShadowSpace<D>& shadow,
+                       const void* addr) {
+  return shadow.read(rt.tool(), rt.self(), addr);
+}
+
+template <Detector D>
+bool instrumented_write(Runtime<D>& rt, PackedShadowSpace<D>& shadow,
+                        const void* addr) {
+  return shadow.write(rt.tool(), rt.self(), addr);
 }
 
 /// Hint-prefetch the shadow word `slots_ahead` slots past `vs`. Inside a
@@ -327,6 +517,40 @@ bool instrumented_range_write(Runtime<D>& rt, S& shadow, const void* addr,
     auto& vs = shadow.of(reinterpret_cast<const void*>(a));
     prefetch_shadow_ahead(vs);
     ok &= tool.write(self, vs);
+  }
+  return ok;
+}
+
+/// Packed range variants: the fast path per word; cells are 8 bytes apart,
+/// so the hardware prefetcher covers the stride and no hint is needed.
+template <Detector D>
+bool instrumented_range_read(Runtime<D>& rt, PackedShadowSpace<D>& shadow,
+                             const void* addr, std::size_t size) {
+  if (size == 0) return true;
+  ThreadState& self = rt.self();
+  auto& tool = rt.tool();
+  std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr) &
+                     ~static_cast<std::uintptr_t>(ShadowGeometry::kGranularity - 1);
+  const std::uintptr_t end = reinterpret_cast<std::uintptr_t>(addr) + size;
+  bool ok = true;
+  for (; a < end; a += ShadowGeometry::kGranularity) {
+    ok &= shadow.read(tool, self, reinterpret_cast<const void*>(a));
+  }
+  return ok;
+}
+
+template <Detector D>
+bool instrumented_range_write(Runtime<D>& rt, PackedShadowSpace<D>& shadow,
+                              const void* addr, std::size_t size) {
+  if (size == 0) return true;
+  ThreadState& self = rt.self();
+  auto& tool = rt.tool();
+  std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr) &
+                     ~static_cast<std::uintptr_t>(ShadowGeometry::kGranularity - 1);
+  const std::uintptr_t end = reinterpret_cast<std::uintptr_t>(addr) + size;
+  bool ok = true;
+  for (; a < end; a += ShadowGeometry::kGranularity) {
+    ok &= shadow.write(tool, self, reinterpret_cast<const void*>(a));
   }
   return ok;
 }

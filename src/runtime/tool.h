@@ -72,10 +72,22 @@ class Runtime {
     return *table_;
   }
 
+  /// The packed-cell shadow space (the inline same-epoch fast path with
+  /// VarState spill-on-escalation), also lazy. Meaningful for detectors
+  /// whose VarState is SpillableVarState - all six production detectors;
+  /// a NullTool instantiation compiles but has nothing to spill to, so
+  /// callers gate on the concept (see kernels::make_shadowed_array).
+  PackedShadowSpace<D>& packed_space() {
+    std::call_once(packed_once_,
+                   [this] { packed_ = std::make_unique<PackedShadowSpace<D>>(); });
+    return *packed_;
+  }
+
   /// True iff shadow_space() has been materialized (stats reporting can
   /// avoid forcing an allocation).
   bool has_shadow_space() const { return space_ != nullptr; }
   bool has_shadow_table() const { return table_ != nullptr; }
+  bool has_packed_space() const { return packed_ != nullptr; }
 
   /// The calling thread's state; the thread must be inside a ThreadScope
   /// (MainScope or a runtime-spawned Thread).
@@ -100,8 +112,10 @@ class Runtime {
   Registry registry_;
   std::once_flag space_once_;
   std::once_flag table_once_;
+  std::once_flag packed_once_;
   std::unique_ptr<ShadowSpace<D>> space_;
   std::unique_ptr<ShadowTable<D>> table_;
+  std::unique_ptr<PackedShadowSpace<D>> packed_;
 };
 
 }  // namespace vft::rt

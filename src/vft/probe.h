@@ -52,6 +52,14 @@ inline void inject(FtCas::VarState& v, Epoch r, Epoch w) {
   VFT_ASSERT(!r.is_shared());
   v.rw.store(FtCas::VarState::pack(r, w), std::memory_order_release);
 }
+inline void inject(Djit::VarState& v, Epoch r, Epoch w) {
+  // DJIT+ keeps full vector clocks; an epoch-mode history {r, w} lands as
+  // the singleton clock entries of the recording threads. Clock-0 epochs
+  // are bottom (the clock's implicit default) and need no slot.
+  VFT_ASSERT(!r.is_shared());
+  if (r.clock() > 0) v.Rvc.set(r.tid(), r);
+  if (w.clock() > 0) v.Wvc.set(w.tid(), w);
+}
 
 /// True for VarState types the probes understand (excludes DJIT+, which
 /// has no epoch representation).

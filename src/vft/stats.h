@@ -36,6 +36,17 @@ enum class Rule : std::uint8_t {
   kVolRead,
   kVolWrite,
   kBarrier,
+  // Packed-cell fast-path accounting (vft/packed_cell.h). These are
+  // *extra* observations layered over the access rules above: a fast-path
+  // hit also bumps its [.. Same Epoch]/[.. Exclusive] rule (the detector
+  // never saw the access, so the fast path keeps the Table 1 distribution
+  // honest), and a miss is counted here on top of whatever rule the
+  // detector then fires. Placed after kBarrier so total_accesses() - which
+  // sums only through kSharedWriteRace - never double counts.
+  kFastReadHit,   ///< read completed inline against the packed cell
+  kFastWriteHit,  ///< write completed inline against the packed cell
+  kFastSpill,     ///< escalations won: cell spilled into a full VarState
+  kFastMiss,      ///< accesses that fell through to a detector call
   kNumRules,
 };
 
@@ -60,6 +71,10 @@ inline const char* rule_name(Rule r) {
     case Rule::kVolRead: return "[Volatile Read]";
     case Rule::kVolWrite: return "[Volatile Write]";
     case Rule::kBarrier: return "[Barrier]";
+    case Rule::kFastReadHit: return "[Fast Read Hit]";
+    case Rule::kFastWriteHit: return "[Fast Write Hit]";
+    case Rule::kFastSpill: return "[Fast Spill]";
+    case Rule::kFastMiss: return "[Fast Miss]";
     default: return "?";
   }
 }

@@ -11,11 +11,13 @@
 //       `vft analyze @-` nicely).
 //
 //   vft bench <kernel> [--tool ...] [--threads T] [--scale S]
-//             [--shadow inline|table|space]
+//             [--shadow inline|table|space|packed]
 //       Time one kernel of the Table 1 suite under one detector.
 //       --shadow picks where ported kernels (sor, lufact) keep their
 //       element shadow: inline VarStates (default), the sharded-hash
-//       ShadowTable, or the lock-free two-level ShadowSpace.
+//       ShadowTable, the lock-free two-level ShadowSpace, or the packed
+//       64-bit-cell PackedShadowSpace (prints the fast-path hit/miss/
+//       spill counters next to the rule totals).
 //
 //   vft minimize <trace | @file>
 //       Shrink a racy trace to a locally minimal racy core (delta
@@ -49,7 +51,7 @@ int usage() {
                "                    [--vars V] [--locks L] [--disciplined P]"
                " [--seed S]\n"
                "       vft bench <kernel> [--tool NAME] [--threads T]"
-               " [--scale S] [--shadow inline|table|space]\n"
+               " [--scale S] [--shadow inline|table|space|packed]\n"
                "       vft minimize <trace|@file>\n"
                "       vft rules\n"
                "tools: v1 v1.5 v2 ft-mutex ft-cas djit (default v2)\n");
@@ -156,7 +158,8 @@ int bench_with(const std::string& kernel, kernels::KernelConfig cfg) {
   for (const auto& e : kernels::kernel_table<D>()) {
     if (kernel != e.name) continue;
     RaceCollector races;
-    rt::Runtime<D> R{D(&races)};
+    RuleStats stats;
+    rt::Runtime<D> R{D(&races, &stats)};
     typename rt::Runtime<D>::MainScope scope(R);
     const auto t0 = std::chrono::steady_clock::now();
     const kernels::KernelResult result = e.fn(R, cfg);
@@ -172,6 +175,23 @@ int bench_with(const std::string& kernel, kernels::KernelConfig cfg) {
     }
     if (R.has_shadow_table()) {
       std::printf("  shadow table: entries=%zu\n", R.shadow_table().size());
+    }
+    if (R.has_packed_space()) {
+      std::printf("  packed space: %s\n",
+                  rt::str(R.packed_space().stats()).c_str());
+      const std::uint64_t all = stats.total_accesses();
+      const std::uint64_t rh = stats.count(Rule::kFastReadHit);
+      const std::uint64_t wh = stats.count(Rule::kFastWriteHit);
+      auto pct = [all](std::uint64_t n) {
+        return all == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
+                                    static_cast<double>(all);
+      };
+      std::printf("  fast path: read-hit %.1f%% write-hit %.1f%% miss %.1f%% "
+                  "spills=%llu (of %llu accesses)\n",
+                  pct(rh), pct(wh), pct(stats.count(Rule::kFastMiss)),
+                  static_cast<unsigned long long>(
+                      stats.count(Rule::kFastSpill)),
+                  static_cast<unsigned long long>(all));
     }
     return result.valid ? 0 : 1;
   }
@@ -193,6 +213,8 @@ int cmd_bench(int argc, char** argv) {
     cfg.shadow = kernels::ShadowBackend::kTable;
   } else if (shadow == "space") {
     cfg.shadow = kernels::ShadowBackend::kSpace;
+  } else if (shadow == "packed") {
+    cfg.shadow = kernels::ShadowBackend::kPacked;
   } else if (shadow != "inline") {
     std::fprintf(stderr, "unknown shadow backend %s\n", shadow.c_str());
     return usage();
