@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "runtime/tool.h"
+#include "sched/sched_point.h"
 #include "vft/vector_clock.h"
 
 namespace vft::rt {
@@ -348,8 +349,10 @@ class Volatile {
     // reverse order has a window (join, writer publishes, we load the new
     // value without its clock) that manifests as false positives on reads
     // the volatile was supposed to order.
+    VFT_SCHED_POINT(kLoad, &data_);
     const T v = data_.load(std::memory_order_acquire);
     if constexpr (kInstrumented<D>) {
+      VFT_SCHED_POINT(kLoad, &fast_epoch_);
       const Epoch fe = fast_epoch_.load(std::memory_order_acquire);
       ThreadState& st = rt_->self();
       if (fe.is_shared() || !vft::leq(fe, st.V.get(fe.tid()))) {
@@ -364,6 +367,7 @@ class Volatile {
   }
 
   void store(T v) {
+    bool value_published = false;
     if constexpr (kInstrumented<D>) {
       {
         std::scoped_lock lk(mu_);
@@ -372,21 +376,39 @@ class Volatile {
         vc_.join(st.V);
         const Epoch e = st.epoch();
         st.inc();
+        const Epoch armed =
+            dominated && fast_path_ ? e : Epoch::shared();
+#ifdef VFT_SCHED
+        // Seeded-bug hook (sched mutation smoke test): publish the value
+        // *before* arming, the interleaving that dropping the arm->value
+        // ordering below would allow. A reader can then pair a fresh
+        // value with a stale armed epoch it already covers, skip the
+        // join, and report a false race on a location this volatile was
+        // supposed to order.
+        if (sched::Mutations::volatile_value_before_arm.load(
+                std::memory_order_relaxed)) {
+          VFT_SCHED_POINT(kStore, &data_);
+          data_.store(v, std::memory_order_release);
+          value_published = true;
+        }
+#endif
         // Enable the read fast path only when vc_ collapsed to exactly
         // this thread's clock; must precede the value store below.
-        fast_epoch_.store(
-            dominated && fast_path_ ? e : Epoch::shared(),
-            std::memory_order_release);
+        VFT_SCHED_POINT(kStore, &fast_epoch_);
+        fast_epoch_.store(armed, std::memory_order_release);
       }
       count_sync_rule(rt_->tool(), Rule::kVolWrite);
     }
-    data_.store(v, std::memory_order_release);
+    if (!value_published) {
+      VFT_SCHED_POINT(kStore, &data_);
+      data_.store(v, std::memory_order_release);
+    }
   }
 
  private:
   Runtime<D>* rt_;
   const bool fast_path_;  // false: always take the locked join (benching)
-  std::mutex mu_;  // protects vc_ (multiple readers/writers synchronize)
+  SchedMutex mu_;  // protects vc_ (multiple readers/writers synchronize)
   VectorClock vc_;
   // SHARED disables the fast path; otherwise the epoch of the last store,
   // valid only because that store's clock dominated vc_.

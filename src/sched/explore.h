@@ -1,0 +1,357 @@
+// Schedule-space exploration on top of sched::Scheduler.
+//
+// explore_dfs: depth-first enumeration of every schedule of a scenario
+// instance, with two orthogonal reducers:
+//
+//   - Sleep sets (Godefroid): when the explorer backtracks over a choice
+//     p at a node, p is put to sleep in the sibling subtrees and stays
+//     asleep until an operation conflicting with p's pending op executes
+//     (conflicting = same object, at least one write-like; see
+//     sched_point.h). A prefix whose every enabled thread is asleep is
+//     provably a commutation of an already-visited schedule and is
+//     abandoned (counted in sleep_blocked, not schedules). Sound for
+//     "some schedule violates the check" because sleeping threads' next
+//     ops commute with the explored subtree - see docs/ALGORITHM.md s11.
+//
+//   - A CHESS-style preemption bound: switching away from a still-
+//     enabled thread is a preemption; schedules needing more than the
+//     bound are cut (bound_blocked). Unlike sleep sets this is a real
+//     coverage bound - exhaustive suites run with the bound off, larger
+//     scenarios pick a small bound and say so.
+//
+// explore_pct: the PCT randomized sampler (Burckhardt et al.): random
+// thread priorities, d-1 random priority-change points, highest-priority
+// enabled thread runs. Fully deterministic given (seed, run index) - the
+// generator is hand-rolled over std::mt19937_64 outputs only, never
+// distribution classes, so artifacts replay across standard libraries.
+//
+// Both return the recorded Schedule of each failing execution; replay()
+// re-executes one schedule exactly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace vft::sched {
+
+/// One scenario instance: fresh state, bodies closed over it, and a
+/// post-run oracle check (nullopt = every oracle agrees with the run).
+struct Instance {
+  std::vector<Scheduler::Body> bodies;
+  std::function<std::optional<std::string>()> check;
+  std::shared_ptr<void> state;  ///< keepalive for whatever the closures use
+};
+
+using InstanceFactory = std::function<Instance()>;
+
+struct ExploreConfig {
+  int preemption_bound = -1;  ///< <0: unbounded (exhaustive)
+  bool sleep_sets = true;
+  std::size_t max_schedules = std::size_t{1} << 20;  ///< safety cap
+  std::size_t max_steps = std::size_t{1} << 16;      ///< livelock guard
+};
+
+struct ExploreResult {
+  std::size_t schedules = 0;      ///< complete executions visited
+  std::size_t sleep_blocked = 0;  ///< prefixes pruned as redundant
+  std::size_t bound_blocked = 0;  ///< prefixes cut by the preemption bound
+  std::size_t deadlocks = 0;
+  std::size_t livelocks = 0;
+  std::size_t failures = 0;  ///< completed executions whose check failed
+  std::vector<FailureArtifact> artifacts;  ///< first few failures
+  bool capped = false;
+
+  bool clean() const {
+    return failures == 0 && deadlocks == 0 && livelocks == 0 && !capped;
+  }
+};
+
+namespace detail {
+
+inline constexpr std::uint32_t kNoTid = 0xFFFFFFFFu;
+
+/// One decision point along the current DFS path. Stored pendings and
+/// enabled sets are deterministic functions of the choice prefix, so
+/// backtracking can pick the next sibling without re-running.
+struct Node {
+  std::vector<std::uint32_t> enabled;  ///< tids enabled here, ascending
+  std::vector<PendingOp> pending;      ///< per tid (all threads)
+  std::set<std::uint32_t> sleep_entry;
+  std::set<std::uint32_t> done;
+  std::optional<std::uint32_t> chosen;
+  std::uint32_t prev_running = kNoTid;
+  int preemptions = 0;  ///< used along the path up to this node
+};
+
+inline bool is_preemption(const Node& n, std::uint32_t c) {
+  if (n.prev_running == kNoTid || n.prev_running == c) return false;
+  for (std::uint32_t t : n.enabled) {
+    if (t == n.prev_running) return true;  // switched away while runnable
+  }
+  return false;
+}
+
+/// First admissible candidate at n: enabled, not done, not asleep, and
+/// within the preemption bound. Sets *bound_cut when the bound (alone)
+/// removed at least one otherwise-admissible candidate.
+inline std::optional<std::uint32_t> next_candidate(const Node& n,
+                                                   const ExploreConfig& cfg,
+                                                   bool* bound_cut) {
+  for (std::uint32_t c : n.enabled) {
+    if (n.done.contains(c)) continue;
+    if (cfg.sleep_sets && n.sleep_entry.contains(c)) continue;
+    if (cfg.preemption_bound >= 0 && is_preemption(n, c) &&
+        n.preemptions >= cfg.preemption_bound) {
+      *bound_cut = true;
+      continue;
+    }
+    return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace detail
+
+inline ExploreResult explore_dfs(const InstanceFactory& make,
+                                 const ExploreConfig& cfg = {}) {
+  ExploreResult res;
+  std::vector<detail::Node> path;
+  Scheduler sched(cfg.max_steps);
+  for (;;) {
+    if (res.schedules + res.sleep_blocked + res.bound_blocked >=
+        cfg.max_schedules) {
+      res.capped = true;
+      break;
+    }
+    Instance inst = make();
+    std::size_t depth = 0;
+    std::set<std::uint32_t> carry;  // sleep set for the next new node
+    std::uint32_t prev = detail::kNoTid;
+    int preempts = 0;
+    bool bound_this_run = false;
+
+    const Scheduler::Chooser chooser =
+        [&](const std::vector<ThreadView>& views)
+        -> std::optional<std::uint32_t> {
+      if (depth == path.size()) {
+        // Frontier: record the decision point, pick its first candidate.
+        detail::Node n;
+        n.pending.resize(views.size());
+        for (const ThreadView& v : views) {
+          n.pending[v.tid] = v.pending;
+          if (v.enabled) n.enabled.push_back(v.tid);
+        }
+        n.sleep_entry = carry;
+        n.prev_running = prev;
+        n.preemptions = preempts;
+        bool bound_cut = false;
+        n.chosen = detail::next_candidate(n, cfg, &bound_cut);
+        const bool blocked = !n.chosen.has_value();
+        if (blocked) bound_this_run = bound_cut;
+        path.push_back(std::move(n));
+        if (blocked) return std::nullopt;  // pruned prefix: abandon
+      }
+      detail::Node& n = path[depth];
+      const std::uint32_t c = *n.chosen;
+      if (cfg.sleep_sets) {
+        // Child sleep set: sleepers and explored siblings whose pending
+        // op commutes with c's stay asleep; conflicting ones wake.
+        carry.clear();
+        for (std::uint32_t t : n.sleep_entry) {
+          if (!conflicting(n.pending[t], n.pending[c])) carry.insert(t);
+        }
+        for (std::uint32_t t : n.done) {
+          if (!conflicting(n.pending[t], n.pending[c])) carry.insert(t);
+        }
+      }
+      if (detail::is_preemption(n, c)) ++preempts;
+      prev = c;
+      ++depth;
+      return c;
+    };
+
+    const Scheduler::Result r = sched.run(inst.bodies, chooser);
+    if (r.completed) {
+      ++res.schedules;
+      std::optional<std::string> err =
+          inst.check ? inst.check() : std::nullopt;
+      if (err.has_value()) {
+        ++res.failures;
+        if (res.artifacts.size() < 8) {
+          res.artifacts.push_back(
+              {"", 0, res.schedules, preempts, r.schedule, *err});
+        }
+      }
+    } else if (r.abandoned) {
+      if (bound_this_run) {
+        ++res.bound_blocked;
+      } else {
+        ++res.sleep_blocked;
+      }
+    } else if (r.deadlock) {
+      ++res.deadlocks;
+      if (res.artifacts.size() < 8) {
+        res.artifacts.push_back(
+            {"", 0, res.schedules, preempts, r.schedule, "deadlock"});
+      }
+    } else if (r.livelock) {
+      ++res.livelocks;
+    }
+
+    // Backtrack: advance the deepest node with an untried sibling.
+    bool advanced = false;
+    while (!path.empty()) {
+      detail::Node& n = path.back();
+      if (n.chosen.has_value()) {
+        n.done.insert(*n.chosen);
+        n.chosen.reset();
+      }
+      bool bound_cut = false;
+      if (auto pick = detail::next_candidate(n, cfg, &bound_cut)) {
+        n.chosen = pick;
+        advanced = true;
+        break;
+      }
+      path.pop_back();
+    }
+    if (!advanced) break;  // space exhausted
+  }
+  return res;
+}
+
+struct PctConfig {
+  std::uint64_t seed = 1;
+  int preemptions = 3;  ///< PCT depth d: d-1 priority change points
+  std::size_t runs = 100;
+  std::size_t max_steps = std::size_t{1} << 16;
+  std::size_t length_hint = 64;  ///< change points drawn from [1, hint)
+};
+
+struct PctResult {
+  std::size_t runs = 0;
+  std::size_t failures = 0;
+  std::size_t deadlocks = 0;
+  std::size_t livelocks = 0;
+  std::vector<FailureArtifact> artifacts;
+};
+
+inline PctResult explore_pct(const InstanceFactory& make,
+                             const PctConfig& cfg = {}) {
+  PctResult res;
+  Scheduler sched(cfg.max_steps);
+  for (std::size_t run = 0; run < cfg.runs; ++run) {
+    // One self-contained stream per run: replaying (seed, run) alone
+    // reproduces the schedule.
+    std::mt19937_64 rng(cfg.seed * 0x9E3779B97F4A7C15ull + run + 1);
+    Instance inst = make();
+    const std::size_t n = inst.bodies.size();
+    // Initial priorities: a permutation of [d, d+n), Fisher-Yates over
+    // raw rng() words (distribution classes are not portable).
+    std::vector<long> prio(n);
+    for (std::size_t i = 0; i < n; ++i) prio[i] = cfg.preemptions + long(i);
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(prio[i - 1], prio[rng() % i]);
+    }
+    // d-1 change points at random step indices; at the k-th one reached,
+    // the currently-highest enabled thread drops below everything.
+    std::vector<std::size_t> change_at;
+    const int changes = cfg.preemptions > 0 ? cfg.preemptions - 1 : 0;
+    for (int k = 0; k < changes; ++k) {
+      change_at.push_back(1 + rng() % (cfg.length_hint > 1
+                                           ? cfg.length_hint - 1
+                                           : 1));
+    }
+    long next_low = 0;
+    std::size_t step = 0;
+    const Scheduler::Chooser chooser =
+        [&](const std::vector<ThreadView>& views)
+        -> std::optional<std::uint32_t> {
+      std::uint32_t best = detail::kNoTid;
+      for (const ThreadView& v : views) {
+        if (v.enabled && (best == detail::kNoTid || prio[v.tid] > prio[best])) {
+          best = v.tid;
+        }
+      }
+      for (std::size_t cp : change_at) {
+        if (cp == step) prio[best] = --next_low;
+      }
+      // Re-pick after any priority drop.
+      for (const ThreadView& v : views) {
+        if (v.enabled && (prio[v.tid] > prio[best])) best = v.tid;
+      }
+      ++step;
+      return best;
+    };
+    const Scheduler::Result r = sched.run(inst.bodies, chooser);
+    ++res.runs;
+    std::optional<std::string> err;
+    if (r.completed) {
+      err = inst.check ? inst.check() : std::nullopt;
+    } else if (r.deadlock) {
+      ++res.deadlocks;
+      err = "deadlock";
+    } else if (r.livelock) {
+      ++res.livelocks;
+      err = "livelock";
+    }
+    if (err.has_value()) {
+      ++res.failures;
+      if (res.artifacts.size() < 8) {
+        res.artifacts.push_back(
+            {"", cfg.seed, run, cfg.preemptions, r.schedule, *err});
+      }
+    }
+  }
+  return res;
+}
+
+/// Re-execute one recorded schedule exactly. The scenario programs are
+/// deterministic given the schedule, so this reproduces the original
+/// execution; a schedule that no longer matches (picks a disabled or
+/// missing thread) abandons and reports so.
+struct ReplayOutcome {
+  Scheduler::Result result;
+  std::optional<std::string> error;  ///< check failure, deadlock, mismatch
+};
+
+inline ReplayOutcome replay(const InstanceFactory& make, const Schedule& s,
+                            std::size_t max_steps = std::size_t{1} << 16) {
+  Instance inst = make();
+  std::size_t pos = 0;
+  bool mismatch = false;
+  Scheduler sched(max_steps);
+  ReplayOutcome out;
+  out.result = sched.run(
+      inst.bodies,
+      [&](const std::vector<ThreadView>& views)
+          -> std::optional<std::uint32_t> {
+        if (pos >= s.size()) return std::nullopt;
+        const std::uint32_t c = s[pos++];
+        if (c >= views.size() || !views[c].enabled) {
+          mismatch = true;
+          return std::nullopt;
+        }
+        return c;
+      });
+  if (mismatch) {
+    out.error = "schedule does not match this scenario/build";
+  } else if (out.result.abandoned) {
+    out.error = "schedule ended before the program did";
+  } else if (out.result.deadlock) {
+    out.error = "deadlock";
+  } else if (out.result.livelock) {
+    out.error = "livelock";
+  } else if (out.result.completed && inst.check) {
+    out.error = inst.check();
+  }
+  return out;
+}
+
+}  // namespace vft::sched

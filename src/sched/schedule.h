@@ -1,0 +1,74 @@
+// Schedule: the replay format shared by the DFS explorer, the PCT
+// sampler, the `vft sched` CLI, and the promoted deterministic handshake
+// tests (sched/script.h). A schedule is simply the sequence of virtual
+// thread indices the scheduler resumed, one entry per sched point; the
+// textual form is comma-separated ("0,1,1,0"), compact enough to paste
+// from a CI log into `vft sched --schedule`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vft::sched {
+
+using Schedule = std::vector<std::uint32_t>;
+
+inline std::string to_string(const Schedule& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(s[i]);
+  }
+  return out;
+}
+
+/// Parse "0,1,1,0". Returns nullopt on malformed input (anything but
+/// digits and separating commas).
+inline std::optional<Schedule> parse_schedule(const std::string& text) {
+  Schedule out;
+  std::uint32_t cur = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<std::uint32_t>(c - '0');
+      have_digit = true;
+    } else if (c == ',') {
+      if (!have_digit) return std::nullopt;
+      out.push_back(cur);
+      cur = 0;
+      have_digit = false;
+    } else if (c != ' ') {
+      return std::nullopt;
+    }
+  }
+  if (have_digit) out.push_back(cur);
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+/// Everything needed to reproduce one failing execution. The PCT sampler
+/// emits these; DFS failures reuse the format with seed/run zeroed. The
+/// schedule alone replays the execution exactly (the scenario programs
+/// are deterministic given the schedule); seed + preemptions + run
+/// re-derive it from scratch as a cross-check.
+struct FailureArtifact {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::size_t run = 0;
+  int preemptions = 0;
+  Schedule schedule;
+  std::string error;
+};
+
+/// One greppable line per failure ("VFT-SCHED-FAIL ..."), the form CI
+/// uploads and README documents for the triage loop.
+inline std::string format_artifact(const FailureArtifact& a) {
+  return "VFT-SCHED-FAIL scenario=" + a.scenario +
+         " seed=" + std::to_string(a.seed) + " run=" + std::to_string(a.run) +
+         " preemptions=" + std::to_string(a.preemptions) +
+         " schedule=" + to_string(a.schedule) + " error=" + a.error;
+}
+
+}  // namespace vft::sched

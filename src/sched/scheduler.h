@@ -1,0 +1,278 @@
+// Cooperative virtual-thread scheduler: the execution engine under every
+// VFT_SCHED exploration. Each scenario thread is a real std::thread, but
+// exactly one is ever runnable: threads park at every VFT_SCHED_POINT
+// (announcing the operation they are about to perform) and the controller
+// resumes whichever one a Chooser picks, recording the pick into a
+// sched::Schedule. Serializing execution this way makes the interleaving
+// of the announced operations a pure function of the schedule, which is
+// what lets the DFS explorer enumerate the space and the replayer
+// reproduce a failure from a CI artifact.
+//
+// Enabled-set rules (what the Chooser may pick):
+//   - a thread with a pending kLockAcq on a cooperatively-held mutex is
+//     disabled until the holder's kLockRel runs (the scheduler tracks
+//     ownership; no real lock is taken while a hook is installed);
+//   - a thread parked at kSpin is disabled until any other thread
+//     performs a store/CAS/lock op ("blocked until state change") - this
+//     is what keeps DFS over PackedCell::wait_escalated finite;
+//   - everything else parked is enabled.
+// No enabled thread and not all done = deadlock; exceeding max_steps
+// (spinner/CAS livelock) is reported as livelock. Both unwind the
+// remaining threads one at a time via a per-thread abort exception, so
+// the serialized-execution invariant holds even while failing.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/sched_point.h"
+#include "sched/schedule.h"
+#include "vft/assert.h"
+
+namespace vft::sched {
+
+/// Snapshot of one virtual thread at a decision point. views[i].tid == i;
+/// the Chooser sees every thread (pending ops drive sleep-set pruning)
+/// but may only pick an enabled one.
+struct ThreadView {
+  std::uint32_t tid = 0;
+  PendingOp pending;
+  bool enabled = false;
+  bool done = false;
+};
+
+class Scheduler final : public SchedHook {
+ public:
+  using Body = std::function<void()>;
+  /// Pick the tid to resume (must be enabled), or nullopt to abandon the
+  /// execution (sleep-set-blocked prefix, exhausted replay schedule).
+  using Chooser =
+      std::function<std::optional<std::uint32_t>(const std::vector<ThreadView>&)>;
+
+  struct Result {
+    Schedule schedule;
+    bool completed = false;  ///< every body ran to the end
+    bool deadlock = false;   ///< threads remain, none enabled
+    bool livelock = false;   ///< max_steps exceeded
+    bool abandoned = false;  ///< chooser returned nullopt
+  };
+
+  explicit Scheduler(std::size_t max_steps = std::size_t{1} << 16)
+      : max_steps_(max_steps) {}
+
+  /// Run the bodies to completion (or failure) under `choose`. Reentrant
+  /// per Scheduler object across calls, not within one.
+  Result run(const std::vector<Body>& bodies, const Chooser& choose) {
+    const std::uint32_t n = static_cast<std::uint32_t>(bodies.size());
+    VFT_CHECK(n > 0);
+    threads_.clear();
+    lock_owner_.clear();
+    change_epoch_ = 1;
+    active_ = kNone;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      threads_.push_back(std::make_unique<VThread>());
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      threads_[i]->th =
+          std::thread([this, i, &bodies] { thread_main(i, bodies[i]); });
+    }
+
+    Result res;
+    {
+      std::unique_lock lk(m_);
+      cv_.wait(lk, [&] { return all_parked_or_done(); });
+      std::size_t steps = 0;
+      std::vector<ThreadView> views(n);
+      for (;;) {
+        bool all_done = true;
+        bool any_enabled = false;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const VThread& t = *threads_[i];
+          views[i].tid = i;
+          views[i].pending = t.pending;
+          views[i].done = t.st == VThread::St::kDone;
+          views[i].enabled = enabled_locked(t);
+          all_done &= views[i].done;
+          any_enabled |= views[i].enabled;
+        }
+        if (all_done) {
+          res.completed = true;
+          break;
+        }
+        if (!any_enabled) {
+          res.deadlock = true;
+          abort_locked(lk);
+          break;
+        }
+        if (steps >= max_steps_) {
+          res.livelock = true;
+          abort_locked(lk);
+          break;
+        }
+        const std::optional<std::uint32_t> pick = choose(views);
+        if (!pick.has_value()) {
+          res.abandoned = true;
+          abort_locked(lk);
+          break;
+        }
+        VFT_CHECK(*pick < n && views[*pick].enabled);
+        res.schedule.push_back(*pick);
+        ++steps;
+        resume_locked(*pick, lk);
+      }
+    }
+    for (auto& t : threads_) t->th.join();
+    threads_.clear();
+    return res;
+  }
+
+  // --- SchedHook (called from the virtual threads) ---
+
+  void point(PendingOp op) override {
+    const std::uint32_t i = tls_index_;
+    VThread& t = *threads_[i];
+    if (t.unwinding) {
+      // Free-running towards completion during abort. Points are no-ops
+      // (execution is still serialized: the controller unwinds one thread
+      // at a time), except a spin, which would never terminate with every
+      // other thread parked. Throwing is safe exactly here: lock releases
+      // may be announced from destructors (std::scoped_lock), spins never
+      // are.
+      if (op.kind == PointKind::kSpin) throw Aborted{};
+      return;
+    }
+    std::unique_lock lk(m_);
+    t.pending = op;
+    if (op.kind == PointKind::kSpin) t.spin_seen = change_epoch_;
+    t.st = VThread::St::kParked;
+    active_ = kNone;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return active_ == static_cast<std::int64_t>(i); });
+    t.st = VThread::St::kRunning;
+    if (t.abort) {
+      // Don't throw from the park itself: this frame may be a destructor
+      // (a cooperative unlock). Run the rest of the body for real - every
+      // later point no-ops via `unwinding`, so the thread just finishes.
+      t.unwinding = true;
+      if (op.kind == PointKind::kSpin) throw Aborted{};
+    }
+  }
+
+  void coop_lock(const void* mu) override {
+    point({PointKind::kLockAcq, mu});
+  }
+  void coop_unlock(const void* mu) override {
+    point({PointKind::kLockRel, mu});
+  }
+  void spin(const void* obj) override { point({PointKind::kSpin, obj}); }
+
+ private:
+  struct Aborted {};
+
+  struct VThread {
+    enum class St : std::uint8_t { kRunning, kParked, kDone };
+    St st = St::kRunning;
+    PendingOp pending;
+    std::uint64_t spin_seen = 0;  ///< change_epoch_ when parked at kSpin
+    bool abort = false;           ///< next resume throws Aborted
+    bool unwinding = false;       ///< written/read by the thread itself only
+    std::thread th;
+  };
+
+  static constexpr std::int64_t kNone = -1;
+  static inline thread_local std::uint32_t tls_index_ = 0;
+
+  void thread_main(std::uint32_t i, const Body& body) {
+    tls_index_ = i;
+    tls_hook = this;
+    try {
+      point({PointKind::kThreadStart, nullptr});  // initial park
+      body();
+    } catch (const Aborted&) {
+    }
+    tls_hook = nullptr;
+    std::unique_lock lk(m_);
+    threads_[i]->st = VThread::St::kDone;
+    active_ = kNone;
+    cv_.notify_all();
+  }
+
+  bool all_parked_or_done() const {
+    for (const auto& t : threads_) {
+      if (t->st == VThread::St::kRunning) return false;
+    }
+    return true;
+  }
+
+  bool enabled_locked(const VThread& t) const {
+    if (t.st != VThread::St::kParked) return false;
+    switch (t.pending.kind) {
+      case PointKind::kLockAcq:
+        return !lock_owner_.contains(t.pending.obj);
+      case PointKind::kSpin:
+        return change_epoch_ > t.spin_seen;
+      default:
+        return true;
+    }
+  }
+
+  /// Resume thread i and wait for its next park/finish. The op effects
+  /// the scheduler must model (lock ownership, the state-change epoch
+  /// that wakes spinners) are applied here: the thread performs the
+  /// announced op right after resuming, and nothing else runs before its
+  /// next park, so applying them at resume time is equivalent.
+  void resume_locked(std::uint32_t i, std::unique_lock<std::mutex>& lk) {
+    VThread& t = *threads_[i];
+    switch (t.pending.kind) {
+      case PointKind::kLockAcq:
+        VFT_CHECK(!lock_owner_.contains(t.pending.obj));
+        lock_owner_[t.pending.obj] = i;
+        break;
+      case PointKind::kLockRel:
+        VFT_CHECK(lock_owner_.contains(t.pending.obj) &&
+                  lock_owner_[t.pending.obj] == i);
+        lock_owner_.erase(t.pending.obj);
+        ++change_epoch_;
+        break;
+      case PointKind::kStore:
+      case PointKind::kCas:
+        ++change_epoch_;
+        break;
+      default:
+        break;
+    }
+    active_ = static_cast<std::int64_t>(i);
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return active_ == kNone; });
+  }
+
+  /// Unwind the remaining threads one at a time (resume-with-abort, wait
+  /// for done), preserving serialized execution even on the failure path.
+  void abort_locked(std::unique_lock<std::mutex>& lk) {
+    for (std::uint32_t i = 0; i < threads_.size(); ++i) {
+      VThread& t = *threads_[i];
+      if (t.st == VThread::St::kDone) continue;
+      t.abort = true;
+      active_ = static_cast<std::int64_t>(i);
+      cv_.notify_all();
+      cv_.wait(lk, [&] { return threads_[i]->st == VThread::St::kDone; });
+    }
+  }
+
+  const std::size_t max_steps_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::int64_t active_ = kNone;  ///< tid allowed to run; kNone = controller
+  std::uint64_t change_epoch_ = 1;
+  std::vector<std::unique_ptr<VThread>> threads_;
+  std::unordered_map<const void*, std::uint32_t> lock_owner_;
+};
+
+}  // namespace vft::sched

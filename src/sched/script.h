@@ -1,0 +1,77 @@
+// ScriptedOrder: the scheduler's replay format applied at coarse-step
+// granularity, for deterministic handshake tests that run in ordinary
+// (non-VFT_SCHED) builds.
+//
+// The fine-grained Scheduler serializes every atomic access and only
+// exists under VFT_SCHED; the promoted handshake tests in
+// tests/packed_fastpath_test.cpp and tests/volatile_fastpath_test.cpp
+// instead name a handful of coarse steps per thread (a whole detector
+// call, a store+store pair) and drive them in an explicit order. Both
+// layers speak sched::Schedule - a list of thread indices, one per step -
+// so a schedule printed by one is readable by the other and by
+// `vft sched --schedule`.
+//
+// Usage:
+//   ScriptedOrder order({0, 1, 1, 0});     // t0, then t1 twice, then t0
+//   // thread 0:  order.step(0, [&]{ ... }); ... order.step(0, [&]{ ... });
+//   // thread 1:  order.step(1, [&]{ ... }); order.step(1, [&]{ ... });
+// Each step blocks until every earlier schedule entry has executed, runs
+// its body while holding the sequencer lock (steps are totally ordered
+// and mutually exclusive - that is the point), and wakes the next. The
+// destructor checks the whole schedule was consumed, so a test that
+// under-runs its script fails loudly instead of silently passing.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+
+#include "sched/schedule.h"
+#include "vft/assert.h"
+
+namespace vft::sched {
+
+class ScriptedOrder {
+ public:
+  explicit ScriptedOrder(Schedule schedule) : sched_(std::move(schedule)) {}
+
+  ~ScriptedOrder() { VFT_CHECK(pos_ == sched_.size()); }
+
+  ScriptedOrder(const ScriptedOrder&) = delete;
+  ScriptedOrder& operator=(const ScriptedOrder&) = delete;
+
+  /// Run `body` as the next step owned by `tid`. Blocks until the
+  /// schedule reaches an entry equal to tid.
+  template <typename F>
+  auto step(std::uint32_t tid, F&& body) {
+    std::unique_lock lk(m_);
+    cv_.wait(lk, [&] { return pos_ < sched_.size() && sched_[pos_] == tid; });
+    // Advance before running: if body throws (a failing EXPECT inside a
+    // GTest death, say) the remaining steps are not wedged.
+    ++pos_;
+    auto wake = [this] { cv_.notify_all(); };
+    if constexpr (std::is_void_v<decltype(body())>) {
+      std::forward<F>(body)();
+      wake();
+    } else {
+      auto r = std::forward<F>(body)();
+      wake();
+      return r;
+    }
+  }
+
+  std::size_t consumed() const {
+    std::scoped_lock lk(m_);
+    return pos_;
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  Schedule sched_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vft::sched

@@ -18,7 +18,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+
+#include "sched/sched_point.h"
 
 #include "vft/detector_base.h"
 #include "vft/spec.h"
@@ -33,7 +34,7 @@ class FtCas : public DetectorBase {
   struct VarState {
     /// R in the high 32 bits, W in the low 32; always read/CASed whole.
     std::atomic<std::uint64_t> rw{0};
-    std::mutex mu;  // protects V only
+    SchedMutex mu;  // protects V only
     SyncVectorClock V;
     std::uint64_t id = 0;
 
@@ -46,6 +47,19 @@ class FtCas : public DetectorBase {
     static Epoch unpack_w(std::uint64_t v) {
       return Epoch::from_bits(static_cast<std::uint32_t>(v));
     }
+
+    /// All shared access to the packed word funnels through these two, so
+    /// the sched explorer sees every load and every CAS attempt.
+    std::uint64_t load_rw() const {
+      VFT_SCHED_POINT(kLoad, &rw);
+      return rw.load(std::memory_order_acquire);
+    }
+    bool cas_rw(std::uint64_t& expected, std::uint64_t desired) {
+      VFT_SCHED_POINT(kCas, &rw);
+      return rw.compare_exchange_weak(expected, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+    }
   };
 
   explicit FtCas(RaceCollector* races = nullptr, RuleStats* stats = nullptr,
@@ -55,7 +69,7 @@ class FtCas : public DetectorBase {
   bool read(ThreadState& st, VarState& sx) {
     const Tid t = st.t;
     const Epoch e = st.epoch();
-    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    std::uint64_t cur = sx.load_rw();
     for (;;) {
       const Epoch r = VarState::unpack_r(cur);
       const Epoch w = VarState::unpack_w(cur);
@@ -87,9 +101,7 @@ class FtCas : public DetectorBase {
       if (ordered_before(r, st)) {
         // [Read Exclusive]: lock-free commit; CAS validates both R and W,
         // so the checks above hold at the commit point.
-        if (sx.rw.compare_exchange_weak(cur, VarState::pack(e, w),
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_acquire)) {
+        if (sx.cas_rw(cur, VarState::pack(e, w))) {
           count(Rule::kReadExclusive);
           return true;
         }
@@ -101,7 +113,7 @@ class FtCas : public DetectorBase {
 
   bool write(ThreadState& st, VarState& sx) {
     const Epoch e = st.epoch();
-    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    std::uint64_t cur = sx.load_rw();
     for (;;) {
       const Epoch r = VarState::unpack_r(cur);
       const Epoch w = VarState::unpack_w(cur);
@@ -121,9 +133,7 @@ class FtCas : public DetectorBase {
         return false;
       }
       // [Write Exclusive]: lock-free CAS commit.
-      if (sx.rw.compare_exchange_weak(cur, VarState::pack(r, e),
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire)) {
+      if (sx.cas_rw(cur, VarState::pack(r, e))) {
         count(Rule::kWriteExclusive);
         return true;
       }
@@ -137,7 +147,7 @@ class FtCas : public DetectorBase {
     const Tid t = st.t;
     const Epoch e = st.epoch();
     std::scoped_lock lk(sx.mu);
-    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    std::uint64_t cur = sx.load_rw();
     for (;;) {
       const Epoch r = VarState::unpack_r(cur);
       const Epoch w = VarState::unpack_w(cur);
@@ -154,9 +164,7 @@ class FtCas : public DetectorBase {
       if (r == e) return true;  // another CAS of ours? defensive no-op
       if (ordered_before(r, st)) {
         // The previous read got ordered in the meantime: exclusive update.
-        if (sx.rw.compare_exchange_weak(cur, VarState::pack(e, w),
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_acquire)) {
+        if (sx.cas_rw(cur, VarState::pack(e, w))) {
           if (ok) count(Rule::kReadExclusive);
           return ok;
         }
@@ -166,9 +174,7 @@ class FtCas : public DetectorBase {
       // readers that observe SHARED see the slots.
       sx.V.set_locked(r.tid(), r);
       sx.V.set_locked(t, e);
-      if (sx.rw.compare_exchange_weak(cur, VarState::pack(Epoch::shared(), w),
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire)) {
+      if (sx.cas_rw(cur, VarState::pack(Epoch::shared(), w))) {
         if (ok) count(Rule::kReadShare);
         return ok;
       }
@@ -180,7 +186,7 @@ class FtCas : public DetectorBase {
     const Tid t = st.t;
     const Epoch e = st.epoch();
     std::scoped_lock lk(sx.mu);
-    const std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    const std::uint64_t cur = sx.load_rw();
     const Epoch w = VarState::unpack_w(cur);
     VFT_ASSERT(VarState::unpack_r(cur).is_shared());
     bool ok = true;
@@ -196,7 +202,7 @@ class FtCas : public DetectorBase {
   bool write_shared_locked(ThreadState& st, VarState& sx) {
     const Epoch e = st.epoch();
     std::scoped_lock lk(sx.mu);
-    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    std::uint64_t cur = sx.load_rw();
     // R is SHARED and final; only W changes concurrently (via CAS).
     VFT_ASSERT(VarState::unpack_r(cur).is_shared());
     bool ok = true;
@@ -211,9 +217,7 @@ class FtCas : public DetectorBase {
                             ? Epoch()            // forget reads (original)
                             : Epoch::shared();   // keep SHARED (VerifiedFT)
     for (;;) {
-      if (sx.rw.compare_exchange_weak(cur, VarState::pack(new_r, e),
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire)) {
+      if (sx.cas_rw(cur, VarState::pack(new_r, e))) {
         break;
       }
     }
@@ -223,16 +227,14 @@ class FtCas : public DetectorBase {
 
   /// Fail-over state repair after a reported race on a write.
   void force_write(VarState& sx, Epoch e) {
-    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
-    while (!sx.rw.compare_exchange_weak(
-        cur, VarState::pack(VarState::unpack_r(cur), e),
-        std::memory_order_acq_rel, std::memory_order_acquire)) {
+    std::uint64_t cur = sx.load_rw();
+    while (!sx.cas_rw(cur, VarState::pack(VarState::unpack_r(cur), e))) {
     }
   }
 
   /// Fail-over state repair after a reported race on a read.
   void force_read(VarState& sx, ThreadState& st, Epoch e) {
-    std::uint64_t cur = sx.rw.load(std::memory_order_acquire);
+    std::uint64_t cur = sx.load_rw();
     for (;;) {
       const Epoch r = VarState::unpack_r(cur);
       if (r.is_shared()) {
@@ -241,16 +243,14 @@ class FtCas : public DetectorBase {
         return;
       }
       if (ordered_before(r, st)) {
-        if (sx.rw.compare_exchange_weak(
-                cur, VarState::pack(e, VarState::unpack_w(cur)),
-                std::memory_order_acq_rel, std::memory_order_acquire)) {
+        if (sx.cas_rw(cur, VarState::pack(e, VarState::unpack_w(cur)))) {
           return;
         }
       } else {
         // Inflate to SHARED without re-running the (already reported)
         // write-read check.
         std::scoped_lock lk(sx.mu);
-        cur = sx.rw.load(std::memory_order_acquire);
+        cur = sx.load_rw();
         for (;;) {
           const Epoch r2 = VarState::unpack_r(cur);
           if (r2.is_shared()) {
@@ -259,9 +259,7 @@ class FtCas : public DetectorBase {
           }
           sx.V.set_locked(r2.tid(), r2);
           sx.V.set_locked(st.t, e);
-          if (sx.rw.compare_exchange_weak(
-                  cur, VarState::pack(Epoch::shared(), VarState::unpack_w(cur)),
-                  std::memory_order_acq_rel, std::memory_order_acquire)) {
+          if (sx.cas_rw(cur, VarState::pack(Epoch::shared(), VarState::unpack_w(cur)))) {
             return;
           }
         }

@@ -47,9 +47,9 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
-#include <thread>
 #include <utility>
 
+#include "sched/sched_point.h"
 #include "vft/detector_base.h"
 #include "vft/probe.h"
 
@@ -101,6 +101,20 @@ class PackedCell {
     return (v >> 32) == 0xFFFFFFFFull;
   }
 
+  /// Shared access to the cell word funnels through these, so the sched
+  /// explorer interleaves every fast-path load/CAS and the escalation
+  /// handshake.
+  std::uint64_t load_bits() const {
+    VFT_SCHED_POINT(kLoad, &bits_);
+    return bits_.load(std::memory_order_acquire);
+  }
+  bool cas_bits(std::uint64_t& expected, std::uint64_t desired) {
+    VFT_SCHED_POINT(kCas, &bits_);
+    return bits_.compare_exchange_weak(expected, desired,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+  }
+
   enum class Fast : std::uint8_t {
     kSameEpoch,  ///< hit: [Read/Write Same Epoch], cell untouched
     kAdvanced,   ///< hit: [Read/Write Exclusive], committed by one CAS
@@ -111,16 +125,14 @@ class PackedCell {
   /// treat as [Read Same Epoch]/[Read Exclusive] on identical state.
   Fast fast_read(const ThreadState& st) {
     const Epoch e = st.epoch();
-    std::uint64_t cur = bits_.load(std::memory_order_acquire);
+    std::uint64_t cur = load_bits();
     for (;;) {
       if (is_sentinel(cur)) return Fast::kSlow;
       if (unpack_r(cur) == e) return Fast::kSameEpoch;
       const Epoch r = unpack_r(cur);
       const Epoch w = unpack_w(cur);
       if (!ordered_before(r, st) || !ordered_before(w, st)) return Fast::kSlow;
-      if (bits_.compare_exchange_weak(cur, pack(e, w),
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire)) {
+      if (cas_bits(cur, pack(e, w))) {
         return Fast::kAdvanced;
       }
     }
@@ -129,16 +141,14 @@ class PackedCell {
   /// The write fast path ([Write Same Epoch]/[Write Exclusive]).
   Fast fast_write(const ThreadState& st) {
     const Epoch e = st.epoch();
-    std::uint64_t cur = bits_.load(std::memory_order_acquire);
+    std::uint64_t cur = load_bits();
     for (;;) {
       if (is_sentinel(cur)) return Fast::kSlow;
       if (unpack_w(cur) == e) return Fast::kSameEpoch;
       const Epoch r = unpack_r(cur);
       const Epoch w = unpack_w(cur);
       if (!ordered_before(r, st) || !ordered_before(w, st)) return Fast::kSlow;
-      if (bits_.compare_exchange_weak(cur, pack(r, e),
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire)) {
+      if (cas_bits(cur, pack(r, e))) {
         return Fast::kAdvanced;
       }
     }
@@ -150,16 +160,14 @@ class PackedCell {
   /// nullopt once the cell is ESCALATED (spinning out a concurrent
   /// winner's publication window if needed).
   std::optional<std::pair<Epoch, Epoch>> begin_escalate() {
-    std::uint64_t cur = bits_.load(std::memory_order_acquire);
+    std::uint64_t cur = load_bits();
     for (;;) {
       if (cur == kEscalated) return std::nullopt;
       if (cur == kEscalating) {
         wait_escalated();
         return std::nullopt;
       }
-      if (bits_.compare_exchange_weak(cur, kEscalating,
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire)) {
+      if (cas_bits(cur, kEscalating)) {
         return std::make_pair(unpack_r(cur), unpack_w(cur));
       }
     }
@@ -168,22 +176,23 @@ class PackedCell {
   /// Publish the escalation: the spilled VarState must be fully injected
   /// and reachable before this release-store.
   void finish_escalate() {
+    VFT_SCHED_POINT(kStore, &bits_);
     bits_.store(kEscalated, std::memory_order_release);
   }
 
-  bool escalated() const {
-    return bits_.load(std::memory_order_acquire) == kEscalated;
-  }
+  bool escalated() const { return load_bits() == kEscalated; }
 
   /// Raw word, for tests and split-snapshotting layers.
-  std::uint64_t bits() const { return bits_.load(std::memory_order_acquire); }
+  std::uint64_t bits() const { return load_bits(); }
 
  private:
   void wait_escalated() const {
     // The window is one inject() wide; spin with a yield for fairness on
-    // oversubscribed hosts.
-    while (bits_.load(std::memory_order_acquire) != kEscalated) {
-      std::this_thread::yield();
+    // oversubscribed hosts. Under the cooperative scheduler each
+    // iteration parks as "blocked until a state change" so exploration
+    // over the spin stays finite.
+    while (load_bits() != kEscalated) {
+      VFT_SCHED_SPIN(&bits_);
     }
   }
 
@@ -202,6 +211,20 @@ inline auto& escalate_cell(PackedCell& cell, Make&& make, Get&& get,
                            bool* won = nullptr) {
   if (auto rw = cell.begin_escalate()) {
     auto& vs = make();
+#ifdef VFT_SCHED
+    // Seeded-bug hook: publish ESCALATED *before* the snapshot lands, the
+    // interleaving a dropped release on finish_escalate() would allow. A
+    // loser can then read an empty VarState and miss the race the
+    // snapshot carried; the mutation smoke test asserts the explorer
+    // catches exactly that.
+    if (sched::Mutations::escalate_publish_before_inject.load(
+            std::memory_order_relaxed)) {
+      cell.finish_escalate();
+      inject(vs, rw->first, rw->second);
+      if (won != nullptr) *won = true;
+      return vs;
+    }
+#endif
     inject(vs, rw->first, rw->second);
     cell.finish_escalate();
     if (won != nullptr) *won = true;

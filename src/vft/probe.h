@@ -4,6 +4,7 @@
 // production types stay exactly shaped like the paper's.
 #pragma once
 
+#include "sched/sched_point.h"
 #include "vft/djit.h"
 #include "vft/ft_cas.h"
 #include "vft/sync_var_state.h"
@@ -45,11 +46,14 @@ inline void inject(VftV1::VarState& v, Epoch r, Epoch w) {
 }
 inline void inject(SyncVarState& v, Epoch r, Epoch w) {
   VFT_ASSERT(!r.is_shared());
+  VFT_SCHED_POINT(kStore, &v.R);
   v.R.store(r, std::memory_order_release);
+  VFT_SCHED_POINT(kStore, &v.W);
   v.W.store(w, std::memory_order_release);
 }
 inline void inject(FtCas::VarState& v, Epoch r, Epoch w) {
   VFT_ASSERT(!r.is_shared());
+  VFT_SCHED_POINT(kStore, &v.rw);
   v.rw.store(FtCas::VarState::pack(r, w), std::memory_order_release);
 }
 inline void inject(Djit::VarState& v, Epoch r, Epoch w) {

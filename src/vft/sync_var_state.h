@@ -12,18 +12,22 @@
 // The named accessors mirror the CIVL Layer-0 functions of Section 6
 // (VarStateGetWNoLock / VarStateGetW / VarStateSetW, and likewise for R),
 // so each call site documents which mover annotation it relies on.
+//
+// Every shared access announces itself through VFT_SCHED_POINT so the
+// src/sched/ explorer can interleave it; the macros are no-ops (and mu
+// is a plain std::mutex) outside VFT_SCHED builds.
 #pragma once
 
 #include <atomic>
-#include <mutex>
 
+#include "sched/sched_point.h"
 #include "vft/epoch.h"
 #include "vft/sync_vector_clock.h"
 
 namespace vft {
 
 struct SyncVarState {
-  std::mutex mu;
+  SchedMutex mu;
   std::atomic<Epoch> R{};  // bottom initially
   std::atomic<Epoch> W{};  // bottom initially
   SyncVectorClock V;
@@ -33,16 +37,34 @@ struct SyncVarState {
 
   /// atomic (N): unsynchronized read, used only by the lock-free pure
   /// blocks of Figure 4.
-  Epoch r_nolock() const { return R.load(std::memory_order_acquire); }
-  Epoch w_nolock() const { return W.load(std::memory_order_acquire); }
+  Epoch r_nolock() const {
+    VFT_SCHED_POINT(kLoad, &R);
+    return R.load(std::memory_order_acquire);
+  }
+  Epoch w_nolock() const {
+    VFT_SCHED_POINT(kLoad, &W);
+    return W.load(std::memory_order_acquire);
+  }
 
   /// both-mover (B): reads with mu held; no concurrent writer can exist.
-  Epoch r_locked() const { return R.load(std::memory_order_relaxed); }
-  Epoch w_locked() const { return W.load(std::memory_order_relaxed); }
+  Epoch r_locked() const {
+    VFT_SCHED_POINT(kLoad, &R);
+    return R.load(std::memory_order_relaxed);
+  }
+  Epoch w_locked() const {
+    VFT_SCHED_POINT(kLoad, &W);
+    return W.load(std::memory_order_relaxed);
+  }
 
   /// atomic (N): writes with mu held; concurrent lock-free readers exist.
-  void set_r_locked(Epoch e) { R.store(e, std::memory_order_release); }
-  void set_w_locked(Epoch e) { W.store(e, std::memory_order_release); }
+  void set_r_locked(Epoch e) {
+    VFT_SCHED_POINT(kStore, &R);
+    R.store(e, std::memory_order_release);
+  }
+  void set_w_locked(Epoch e) {
+    VFT_SCHED_POINT(kStore, &W);
+    W.store(e, std::memory_order_release);
+  }
 };
 
 static_assert(std::atomic<Epoch>::is_always_lock_free);

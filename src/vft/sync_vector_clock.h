@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "sched/sched_point.h"
 #include "vft/epoch.h"
 #include "vft/vector_clock.h"
 
@@ -55,6 +56,10 @@ class SyncVectorClock {
   /// Lock-free read of slot t (acquire). Safe for thread t's own slot per
   /// the discipline; also used under the lock for arbitrary slots.
   Epoch get(Tid t) const {
+    // One sched point for the whole read (len + pointer + slot): the
+    // clock is the interleaving-relevant object, per-word granularity
+    // would only blow up the schedule space without adding coverage.
+    VFT_SCHED_POINT(kLoad, this);
     std::uint32_t n = len_.load(std::memory_order_acquire);
     if (t >= n) return Epoch::bottom(t);
     const std::atomic<Epoch>* s = slots_.load(std::memory_order_acquire);
@@ -63,6 +68,7 @@ class SyncVectorClock {
 
   /// Store e at slot t. Caller must hold the owning VarState's lock.
   void set_locked(Tid t, Epoch e) {
+    VFT_SCHED_POINT(kStore, this);
     VFT_ASSERT(!e.is_shared() && e.tid() == t);
     ensure_capacity_locked(t + 1);
     slots_.load(std::memory_order_relaxed)[t].store(e, std::memory_order_release);
@@ -78,6 +84,7 @@ class SyncVectorClock {
   /// reading it as raw words races with nothing - concurrent lock-free
   /// readers only load, and read/read is no conflict.
   bool leq_locked(const VectorClock& other) const {
+    VFT_SCHED_POINT(kLoad, this);
     static_assert(sizeof(std::atomic<Epoch>) == sizeof(std::uint32_t));
     const std::uint32_t mine_n = size();
     const std::uint32_t common = std::min(mine_n, other.size());

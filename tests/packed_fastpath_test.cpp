@@ -11,7 +11,8 @@
 //   - cross-backend parity: the same traces against real memory through
 //     PackedShadowSpace, ShadowSpace, and ShadowTable must agree with each
 //     other and with the oracle;
-//   - deterministic raw-handshake schedules and concurrent stress through
+//   - deterministic schedules scripted in the schedule explorer's replay
+//     format (sched::ScriptedOrder) and concurrent stress through
 //     the production wrappers (rt::Var packed mode), including forced
 //     spill/promotion interleavings: simultaneous escalation must spill
 //     exactly once, ordered handoffs must stay race-free (and on the fast
@@ -21,13 +22,12 @@
 #include <gtest/gtest.h>
 
 #include <array>
-#include <atomic>
-#include <thread>
 
 #include "runtime/adaptive_array.h"
 #include "runtime/coarse_array.h"
 #include "runtime/instrument.h"
 #include "runtime/shadow_table.h"
+#include "sched/script.h"
 #include "trace/generator.h"
 #include "trace/replay.h"
 #include "vft/detector.h"
@@ -345,13 +345,6 @@ using AllDetectors =
     ::testing::Types<VftV1, VftV15, VftV2, FtMutex, FtCas, Djit>;
 TYPED_TEST_SUITE(PackedFastPath, AllDetectors);
 
-/// Spin until the raw flag reaches `v` (acquire). Not an analysis event.
-void await(const std::atomic<int>& flag, int v) {
-  while (flag.load(std::memory_order_acquire) < v) {
-    std::this_thread::yield();
-  }
-}
-
 TYPED_TEST(PackedFastPath, ReadSharePromotionSpillsWithSpecParity) {
   // main writes x; two forked readers share it. The first read advances
   // the cell inline; the second is unordered with it and must escalate
@@ -361,17 +354,17 @@ TYPED_TEST(PackedFastPath, ReadSharePromotionSpillsWithSpecParity) {
   rt::Runtime<TypeParam> R{TypeParam(&rc, &stats)};
   typename rt::Runtime<TypeParam>::MainScope scope(R);
   rt::Var<int, TypeParam> x(R, 0, 0, /*packed=*/true);
-  std::atomic<int> step{0};
+  sched::ScriptedOrder order({0, 1, 1});
 
   x.store(7);
   rt::Thread<TypeParam> t1(R, [&] {
-    EXPECT_EQ(x.load(), 7);
-    step.store(1, std::memory_order_release);
+    order.step(0, [&] { EXPECT_EQ(x.load(), 7); });
   });
   rt::Thread<TypeParam> t2(R, [&] {
-    await(step, 1);
-    EXPECT_EQ(x.load(), 7);  // unordered with t1's read: escalates
-    EXPECT_EQ(x.load(), 7);  // post-spill: detector [Read Shared Same Epoch]
+    // unordered with t1's read: escalates
+    order.step(1, [&] { EXPECT_EQ(x.load(), 7); });
+    // post-spill: detector [Read Shared Same Epoch]
+    order.step(1, [&] { EXPECT_EQ(x.load(), 7); });
   });
   t1.join();
   t2.join();
@@ -400,21 +393,21 @@ TYPED_TEST(PackedFastPath, LockedHandoffStaysOnFastPath) {
   typename rt::Runtime<TypeParam>::MainScope scope(R);
   rt::Var<int, TypeParam> x(R, 0, 0, /*packed=*/true);
   rt::Mutex<TypeParam> m(R);
-  std::atomic<int> step{0};
+  sched::ScriptedOrder order({0, 1});
 
   rt::Thread<TypeParam> t1(R, [&] {
-    {
+    order.step(0, [&] {
       rt::Guard<TypeParam> g(m);
       x.store(1);
       x.store(2);  // [Write Same Epoch] hit
-    }
-    step.store(1, std::memory_order_release);
+    });
   });
   rt::Thread<TypeParam> t2(R, [&] {
-    await(step, 1);
-    rt::Guard<TypeParam> g(m);
-    EXPECT_EQ(x.load(), 2);  // ordered via m: [Read Exclusive] inline
-    x.store(3);              // ordered: [Write Exclusive] inline
+    order.step(1, [&] {
+      rt::Guard<TypeParam> g(m);
+      EXPECT_EQ(x.load(), 2);  // ordered via m: [Read Exclusive] inline
+      x.store(3);              // ordered: [Write Exclusive] inline
+    });
   });
   t1.join();
   t2.join();
@@ -447,15 +440,13 @@ TYPED_TEST(PackedFastPath, RacingWriteSpillsAndReports) {
   rt::Runtime<TypeParam> R{TypeParam(&rc, &stats)};
   typename rt::Runtime<TypeParam>::MainScope scope(R);
   rt::Var<int, TypeParam> x(R, 0, 0, /*packed=*/true);
-  std::atomic<int> step{0};
+  sched::ScriptedOrder order({0, 1});  // scripted: invisible to analysis
 
   rt::Thread<TypeParam> t1(R, [&] {
-    x.store(1);
-    step.store(1, std::memory_order_release);  // raw: invisible to analysis
+    order.step(0, [&] { x.store(1); });
   });
   rt::Thread<TypeParam> t2(R, [&] {
-    await(step, 1);
-    x.store(2);  // races with t1's write
+    order.step(1, [&] { x.store(2); });  // races with t1's write
   });
   t1.join();
   t2.join();
@@ -596,14 +587,13 @@ TYPED_TEST(PackedFastPath, CoarseArrayPackedStillFalseAlarmsAcrossGranule) {
   rt::Runtime<TypeParam> R{TypeParam(&rc)};
   typename rt::Runtime<TypeParam>::MainScope scope(R);
   rt::CoarseArray<int, TypeParam> a(R, 64, 64, 0, /*packed=*/true);
-  std::atomic<int> step{0};
+  sched::ScriptedOrder order({0, 1});
   rt::Thread<TypeParam> t1(R, [&] {
-    a.store(1, 1);
-    step.store(1, std::memory_order_release);
+    order.step(0, [&] { a.store(1, 1); });
   });
   rt::Thread<TypeParam> t2(R, [&] {
-    await(step, 1);
-    a.store(60, 1);  // distinct element, same granule: merged history
+    // distinct element, same granule: merged history
+    order.step(1, [&] { a.store(60, 1); });
   });
   t1.join();
   t2.join();
@@ -639,14 +629,14 @@ TEST(PackedAdaptiveArray, RacyTouchAfterSplitStillReports) {
   rt::Runtime<VftV2> R{VftV2(&rc)};
   rt::Runtime<VftV2>::MainScope scope(R);
   rt::AdaptiveArray<int, VftV2> a(R, 32, 32, 0, /*packed=*/true);
-  std::atomic<int> step{0};
+  sched::ScriptedOrder order({0, 1});
   rt::Thread<VftV2> t1(R, [&] {
-    a.store(3, 1);  // claims the granule, packed coarse path
-    step.store(1, std::memory_order_release);
+    // claims the granule, packed coarse path
+    order.step(0, [&] { a.store(3, 1); });
   });
   rt::Thread<VftV2> t2(R, [&] {
-    await(step, 1);
-    a.store(3, 2);  // unordered second thread: split, then race on elem 3
+    // unordered second thread: split, then race on elem 3
+    order.step(1, [&] { a.store(3, 2); });
   });
   t1.join();
   t2.join();

@@ -1,19 +1,21 @@
 // The rt::Volatile same-epoch read fast path ([Volatile Same Epoch]),
 // checked over the whole detector family:
 //
-//   - deterministic multi-threaded schedules, sequenced with *raw*
-//     std::atomic handshakes (real happens-before the analysis cannot
-//     see, so they add no analysis edges), mirrored step-for-step into
-//     the Figure 2 Spec oracle and asserted for race-report parity;
+//   - deterministic multi-threaded schedules, driven by the schedule
+//     explorer's replay format (sched::ScriptedOrder - real
+//     happens-before the analysis cannot see, so it adds no analysis
+//     edges), mirrored step-for-step into the Figure 2 Spec oracle and
+//     asserted for race-report parity;
 //   - a concurrent stress test: volatile-ordered publication must stay
 //     race-free (no false positives from the skipped join) and the same
 //     pattern without the volatile ordering must still race (the fast
 //     path must not manufacture happens-before).
 //
-// Handshakes release *after* the writer's entire Volatile::store()
-// returns, so a reader's fast_epoch_ check always sees the matching
-// publication - that makes the schedules exactly replayable in the
-// sequential oracle.
+// Each scripted step spans the writer's entire Volatile::store() (or the
+// reader's whole load sequence), so a reader's fast_epoch_ check always
+// sees the matching publication - that makes the schedules exactly
+// replayable in the sequential oracle, and printable/replayable with the
+// same "0,1,0,1" notation `vft sched --schedule` speaks.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -21,6 +23,7 @@
 
 #include "kernels/all.h"
 #include "runtime/instrument.h"
+#include "sched/script.h"
 #include "vft/spec.h"
 
 namespace vft {
@@ -34,7 +37,8 @@ using AllDetectors =
 TYPED_TEST_SUITE(VolatileFastPath, AllDetectors);
 
 /// Spin until the raw flag reaches `v` (acquire). Not an analysis event.
-/// Yields so single-core machines don't burn a quantum per handshake.
+/// Only the stress tests still use raw flags; the deterministic
+/// schedules below are ScriptedOrder scripts.
 void await(const std::atomic<int>& flag, int v) {
   while (flag.load(std::memory_order_acquire) < v) {
     std::this_thread::yield();
@@ -53,17 +57,19 @@ TYPED_TEST(VolatileFastPath, PublicationParityWithSpec) {
   typename rt::Runtime<TypeParam>::MainScope scope(R);
   rt::Var<int, TypeParam> x(R, 0);
   rt::Volatile<int, TypeParam> v(R, 0);
-  std::atomic<int> step{0};
+  sched::ScriptedOrder order({0, 1});
 
   rt::Thread<TypeParam> t1(R, [&] {
-    x.store(1);
-    v.store(1);
-    step.store(1, std::memory_order_release);  // after the full store()
+    order.step(0, [&] {  // the step spans the full store()
+      x.store(1);
+      v.store(1);
+    });
   });
   rt::Thread<TypeParam> t2(R, [&] {
-    await(step, 1);
-    for (int i = 0; i < kLoads; ++i) EXPECT_EQ(v.load(), 1);
-    EXPECT_EQ(x.load(), 1);
+    order.step(1, [&] {
+      for (int i = 0; i < kLoads; ++i) EXPECT_EQ(v.load(), 1);
+      EXPECT_EQ(x.load(), 1);
+    });
   });
   t1.join();
   t2.join();
@@ -89,16 +95,18 @@ TYPED_TEST(VolatileFastPath, MissingOrderingParityWithSpec) {
   typename rt::Runtime<TypeParam>::MainScope scope(R);
   rt::Var<int, TypeParam> x(R, 0);
   rt::Volatile<int, TypeParam> v(R, 0);
-  std::atomic<int> step{0};
+  sched::ScriptedOrder order({0, 1});
 
   rt::Thread<TypeParam> t1(R, [&] {
-    x.store(1);
-    v.store(1);
-    step.store(1, std::memory_order_release);
+    order.step(0, [&] {
+      x.store(1);
+      v.store(1);
+    });
   });
   rt::Thread<TypeParam> t2(R, [&] {
-    await(step, 1);
-    EXPECT_EQ(x.load(), 1);  // no v.load(): races with t1's write
+    order.step(1, [&] {
+      EXPECT_EQ(x.load(), 1);  // no v.load(): races with t1's write
+    });
   });
   t1.join();
   t2.join();
@@ -124,24 +132,29 @@ TYPED_TEST(VolatileFastPath, RepeatedStoresReArmFastPath) {
   rt::Var<int, TypeParam> x(R, 0);
   rt::Volatile<int, TypeParam> v(R, 0);
   rt::Volatile<int, TypeParam> back(R, 0);  // reader -> writer ordering
-  std::atomic<int> step{0};
+  sched::Schedule plan;
+  for (int r = 0; r < kRounds; ++r) {
+    plan.push_back(0);  // writer publishes round r
+    plan.push_back(1);  // reader consumes round r
+  }
+  sched::ScriptedOrder order(plan);
 
   rt::Thread<TypeParam> writer(R, [&] {
     for (int r = 0; r < kRounds; ++r) {
-      await(step, 2 * r);      // reader finished round r-1...
-      (void)back.load();       // ...and its clock arrives via `back`
-      x.store(r);
-      v.store(r + 1);
-      step.store(2 * r + 1, std::memory_order_release);
+      order.step(0, [&] {
+        (void)back.load();  // the reader's clock arrives via `back`
+        x.store(r);
+        v.store(r + 1);
+      });
     }
   });
   rt::Thread<TypeParam> reader(R, [&] {
     for (int r = 0; r < kRounds; ++r) {
-      await(step, 2 * r + 1);
-      EXPECT_EQ(v.load(), r + 1);
-      EXPECT_EQ(x.load(), r);
-      back.store(r + 1);
-      step.store(2 * r + 2, std::memory_order_release);
+      order.step(1, [&] {
+        EXPECT_EQ(v.load(), r + 1);
+        EXPECT_EQ(x.load(), r);
+        back.store(r + 1);
+      });
     }
   });
   writer.join();
@@ -174,24 +187,26 @@ TYPED_TEST(VolatileFastPath, SecondWriterDisablesFastPathSoundly) {
   rt::Var<int, TypeParam> x(R, 0);
   rt::Var<int, TypeParam> y(R, 0);
   rt::Volatile<int, TypeParam> v(R, 0);
-  std::atomic<int> step{0};
+  sched::ScriptedOrder order({0, 1, 2});
 
   rt::Thread<TypeParam> w1(R, [&] {
-    x.store(1);
-    v.store(1);
-    step.store(1, std::memory_order_release);
+    order.step(0, [&] {
+      x.store(1);
+      v.store(1);
+    });
   });
   rt::Thread<TypeParam> w2(R, [&] {
-    await(step, 1);
-    y.store(1);
-    v.store(2);  // does not dominate w1's clock contribution -> SHARED
-    step.store(2, std::memory_order_release);
+    order.step(1, [&] {
+      y.store(1);
+      v.store(2);  // does not dominate w1's clock contribution -> SHARED
+    });
   });
   rt::Thread<TypeParam> reader(R, [&] {
-    await(step, 2);
-    EXPECT_EQ(v.load(), 2);  // slow path: joins both writers' clocks
-    EXPECT_EQ(x.load(), 1);
-    EXPECT_EQ(y.load(), 1);
+    order.step(2, [&] {
+      EXPECT_EQ(v.load(), 2);  // slow path: joins both writers' clocks
+      EXPECT_EQ(x.load(), 1);
+      EXPECT_EQ(y.load(), 1);
+    });
   });
   w1.join();
   w2.join();

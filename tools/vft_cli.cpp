@@ -23,17 +23,34 @@
 //       Shrink a racy trace to a locally minimal racy core (delta
 //       debugging for race triage).
 //
+//   vft sched list
+//   vft sched <scenario> [--bound K] [--mutate NAME]
+//   vft sched <scenario> --seed N [--preemptions K] [--runs R] [--mutate NAME]
+//   vft sched <scenario> --schedule 0,1,1,0 [--mutate NAME]
+//       Systematic schedule exploration of the detector hot paths
+//       (src/sched/). The three modes are exhaustive/bounded DFS, PCT
+//       randomized sampling, and exact replay of one recorded schedule -
+//       the triage loop for a VFT-SCHED-FAIL artifact line is to paste
+//       its schedule= field into --schedule (plus the same --mutate, if
+//       any). Requires a -DVFT_SCHED=ON build; exits 2 otherwise.
+//
 //   vft rules
 //       Print the Figure 2 rule names with a one-line summary each.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "kernels/all.h"
+#include "sched/explore.h"
+#include "sched/scenarios.h"
 #include "trace/feasibility.h"
 #include "trace/generator.h"
 #include "trace/hb_oracle.h"
@@ -53,6 +70,10 @@ int usage() {
                "       vft bench <kernel> [--tool NAME] [--threads T]"
                " [--scale S] [--shadow inline|table|space|packed]\n"
                "       vft minimize <trace|@file>\n"
+               "       vft sched list\n"
+               "       vft sched <scenario> [--bound K] [--seed N"
+               " [--preemptions K] [--runs R]] [--schedule CSV]"
+               " [--mutate NAME]\n"
                "       vft rules\n"
                "tools: v1 v1.5 v2 ft-mutex ft-cas djit (default v2)\n");
   return 2;
@@ -271,6 +292,107 @@ int cmd_rules() {
   return 0;
 }
 
+void print_sched_artifacts(const std::vector<sched::FailureArtifact>& all,
+                           const char* scenario) {
+  for (sched::FailureArtifact a : all) {
+    a.scenario = scenario;
+    std::printf("%s\n", sched::format_artifact(a).c_str());
+  }
+}
+
+int cmd_sched(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string what = argv[0];
+  if (what == "list") {
+    for (const sched::Scenario& s : sched::scenarios()) {
+      std::printf("%-22s %s%s\n", s.name, s.summary,
+                  s.expect_deadlocks ? " (deadlocks expected)" : "");
+    }
+    std::printf("mutations (--mutate): volatile-value-before-arm"
+                " escalate-publish-before-inject\n");
+    return 0;
+  }
+  if (!sched::kEnabled) {
+    std::fprintf(stderr,
+                 "vft sched needs a -DVFT_SCHED=ON build; in this one the "
+                 "hot-path schedule points compile to no-ops, so there is "
+                 "nothing to explore\n");
+    return 2;
+  }
+  const sched::Scenario* sc = sched::find_scenario(what);
+  if (sc == nullptr) {
+    std::fprintf(stderr, "unknown scenario %s (try `vft sched list`)\n",
+                 what.c_str());
+    return 2;
+  }
+
+  const std::string mutate = arg_value(argc, argv, "--mutate", "");
+  std::unique_ptr<sched::ScopedMutation> armed;
+  if (!mutate.empty()) {
+    std::atomic<bool>* knob = sched::find_mutation(mutate);
+    if (knob == nullptr) {
+      std::fprintf(stderr, "unknown mutation %s (try `vft sched list`)\n",
+                   mutate.c_str());
+      return 2;
+    }
+    armed = std::make_unique<sched::ScopedMutation>(*knob);
+  }
+
+  const std::string schedule_csv = arg_value(argc, argv, "--schedule", "");
+  if (!schedule_csv.empty()) {
+    const std::optional<sched::Schedule> plan =
+        sched::parse_schedule(schedule_csv);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "--schedule wants comma-separated thread "
+                           "indices, e.g. 0,1,1,0\n");
+      return 2;
+    }
+    const sched::ReplayOutcome out = sched::replay(sc->make, *plan);
+    if (out.error.has_value()) {
+      std::printf("replay: FAIL (%s)\n", out.error->c_str());
+      return 1;
+    }
+    std::printf("replay: schedule completes and every oracle agrees\n");
+    return 0;
+  }
+
+  const std::string seed = arg_value(argc, argv, "--seed", "");
+  if (!seed.empty()) {
+    sched::PctConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(std::atoll(seed.c_str()));
+    cfg.preemptions =
+        std::atoi(arg_value(argc, argv, "--preemptions", "3").c_str());
+    cfg.runs = static_cast<std::size_t>(
+        std::atoll(arg_value(argc, argv, "--runs", "200").c_str()));
+    cfg.length_hint = static_cast<std::size_t>(
+        std::atoll(arg_value(argc, argv, "--length-hint", "32").c_str()));
+    const sched::PctResult r = sched::explore_pct(sc->make, cfg);
+    std::printf("%s: pct seed=%llu d=%d runs=%zu failures=%zu "
+                "deadlocks=%zu livelocks=%zu\n",
+                sc->name, static_cast<unsigned long long>(cfg.seed),
+                cfg.preemptions, r.runs, r.failures, r.deadlocks,
+                r.livelocks);
+    print_sched_artifacts(r.artifacts, sc->name);
+    return r.failures == 0 ? 0 : 1;
+  }
+
+  sched::ExploreConfig cfg;
+  cfg.preemption_bound =
+      std::atoi(arg_value(argc, argv, "--bound", "-1").c_str());
+  const sched::ExploreResult r = sched::explore_dfs(sc->make, cfg);
+  std::printf("%s: schedules=%zu sleep_blocked=%zu bound_blocked=%zu "
+              "deadlocks=%zu livelocks=%zu failures=%zu%s\n",
+              sc->name, r.schedules, r.sleep_blocked, r.bound_blocked,
+              r.deadlocks, r.livelocks, r.failures,
+              r.capped ? " (CAPPED)" : "");
+  print_sched_artifacts(r.artifacts, sc->name);
+  const bool deadlocks_ok =
+      sc->expect_deadlocks ? r.deadlocks > 0 : r.deadlocks == 0;
+  return r.failures == 0 && r.livelocks == 0 && !r.capped && deadlocks_ok
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -280,6 +402,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
   if (cmd == "bench") return cmd_bench(argc - 2, argv + 2);
   if (cmd == "minimize") return cmd_minimize(argc - 2, argv + 2);
+  if (cmd == "sched") return cmd_sched(argc - 2, argv + 2);
   if (cmd == "rules") return cmd_rules();
   return usage();
 }
