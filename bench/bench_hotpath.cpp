@@ -15,6 +15,10 @@
 //                     64-bit cell fast path vs the ShadowSpace + detector
 //                     call path, small and >= 4 MiB-shadow working sets.
 //                     Acceptance: packed read >= 3x on the large sweep.
+//   abi_dispatch      vft_read8 through the C ABI (TLS session lookup +
+//                     reentrancy guard + SessionBackend vtable) vs the
+//                     inlined wrapper path reaching the same tool handler;
+//                     the delta is the per-access interposition tax.
 //   volatile_load     rt::Volatile load with the same-epoch fast path on
 //                     vs off (always-locked join), 1..max threads hammering
 //                     one volatile after a single publication.
@@ -31,8 +35,10 @@
 #include <cstdlib>
 #include <vector>
 
+#include "abi/vft_abi.h"
 #include "harness.h"
 #include "kernels/kernel.h"
+#include "runtime/session.h"
 
 namespace {
 
@@ -299,6 +305,72 @@ void packed_section(JsonReport& json, std::size_t scale) {
 }
 
 // ---------------------------------------------------------------------------
+// Section: C-ABI dispatch cost (vft_read8 vs the inlined wrapper path).
+// ---------------------------------------------------------------------------
+
+/// What a real binary pays per access through the interposition stack:
+/// vft_read8 crosses the TLS session lookup, the reentrancy guard, the
+/// size/alignment split, and the SessionBackend vtable before reaching
+/// the same Runtime<VftV2> tool handler the inlined wrapper path calls
+/// directly. Both runs are single-threaded pure same-epoch sweeps over a
+/// cache-resident buffer, so the delta is exactly the dispatch overhead.
+void abi_section(JsonReport& json, std::size_t scale) {
+  const std::size_t words = std::size_t{1} << 12;
+  const std::size_t sweeps = 2048 * scale;
+  std::vector<std::uint64_t> buf(words, 1);
+
+  // ABI path: the process-global session, thread attached implicitly by
+  // the first event (as under LD_PRELOAD).
+  rt::ambient::Session::instance().configure("v2");
+  rt::ambient::Session::instance().reset();
+  for (const std::uint64_t& w : buf) vft_write8(&w);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    for (const std::uint64_t& w : buf) vft_read8(&w);
+  }
+  const double abi_ns = 1e9 * now_minus(t0) /
+                        (static_cast<double>(sweeps) *
+                         static_cast<double>(words));
+  VFT_CHECK(vft_race_count() == 0);
+  vft_detach();
+  rt::ambient::Session::instance().reset();
+
+  // Inlined wrapper path: same traffic on a private runtime, the tool
+  // handler reached without any erased dispatch.
+  RaceCollector races;
+  rt::Runtime<VftV2> R{VftV2(&races)};
+  rt::Runtime<VftV2>::MainScope scope(R);
+  auto& vspace = R.shadow_space();
+  for (const std::uint64_t& w : buf) {
+    rt::instrumented_write(R, vspace, &w);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  std::uint64_t sink = 0;
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    for (const std::uint64_t& w : buf) {
+      sink += rt::instrumented_read(R, vspace, &w);
+    }
+  }
+  g_sink.fetch_add(sink, std::memory_order_relaxed);
+  const double inl_ns = 1e9 * now_minus(t1) /
+                        (static_cast<double>(sweeps) *
+                         static_cast<double>(words));
+  VFT_CHECK(races.empty());
+
+  std::printf("C-ABI dispatch (vft_read8) vs inlined wrapper, "
+              "same-epoch reads\n");
+  std::printf("%8s %12s %12s %14s\n", "", "abi ns/op", "inline ns/op",
+              "overhead ns");
+  std::printf("%8s %12.2f %12.2f %14.2f\n\n", "read8", abi_ns, inl_ns,
+              abi_ns - inl_ns);
+  json.add("abi_dispatch", "read8",
+           {{"abi_ns", abi_ns},
+            {"inline_ns", inl_ns},
+            {"overhead_ns", abi_ns - inl_ns},
+            {"ratio", abi_ns / inl_ns}});
+}
+
+// ---------------------------------------------------------------------------
 // Section 3: Volatile load fast path on vs off.
 // ---------------------------------------------------------------------------
 
@@ -390,6 +462,7 @@ int main() {
   vc_kernel_section(json, scale);
   shadow_cache_section(json, max_threads, scale);
   packed_section(json, scale);
+  abi_section(json, scale);
   volatile_section(json, max_threads, scale);
   barrier_section(json, max_threads, scale);
 

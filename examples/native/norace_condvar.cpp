@@ -1,0 +1,40 @@
+// Native corpus: producer/consumer handoff through a condition
+// variable. The producer fills `data` *outside* any critical section,
+// then publishes readiness under the mutex; the consumer waits on the
+// condvar and reads `data` *after* leaving the critical section. The
+// only thing ordering the bare write against the bare read is the
+// release->acquire edge through the mutex that pthread_cond_wait
+// re-acquires - precisely the interposer rule that a condvar wait is a
+// release before blocking and an acquire after waking.
+//
+// Expected verdict: NO RACE.
+#include <pthread.h>
+
+namespace {
+
+long data = 0;
+bool ready = false;
+pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+pthread_cond_t cv = PTHREAD_COND_INITIALIZER;
+
+void* producer(void*) {
+  data = 42;  // bare write, ordered only by the handshake below
+  pthread_mutex_lock(&mu);
+  ready = true;
+  pthread_cond_signal(&cv);
+  pthread_mutex_unlock(&mu);
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_t p;
+  pthread_create(&p, nullptr, producer, nullptr);
+  pthread_mutex_lock(&mu);
+  while (!ready) pthread_cond_wait(&cv, &mu);
+  pthread_mutex_unlock(&mu);
+  const long seen = data;  // bare read, after the reacquire edge
+  pthread_join(p, nullptr);
+  return seen == 42 ? 0 : 1;
+}

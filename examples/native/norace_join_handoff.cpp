@@ -1,0 +1,30 @@
+// Native corpus: ownership handoff through fork and join edges alone.
+// The parent writes before creating the child (fork edge orders it),
+// the child mutates, the parent joins and mutates again (join edge
+// orders that). No locks anywhere; the thread lifecycle is the only
+// synchronization, so this exercises the interposer's create/join
+// handler placement (fork *before* the native create, join *after* the
+// native join) end to end.
+//
+// Expected verdict: NO RACE.
+#include <pthread.h>
+
+namespace {
+
+long value = 0;
+
+void* child_fn(void*) {
+  value = value + 1;
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  value = 1;
+  pthread_t t;
+  pthread_create(&t, nullptr, child_fn, nullptr);
+  pthread_join(t, nullptr);
+  value = value + 1;
+  return value == 3 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// Native corpus: the same two-incrementer shape as
+// race_plain_write_write, but with every access inside a critical
+// section on one mutex (the mambo_ts `no_race_write_write` shape). The
+// lock's release->acquire edges order the critical sections, so the
+// analysis must stay quiet.
+//
+// Expected verdict: NO RACE.
+#include <pthread.h>
+
+namespace {
+
+long counter = 0;
+pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+
+void* bump(void*) {
+  for (int i = 0; i < 1000; ++i) {
+    pthread_mutex_lock(&mu);
+    counter = counter + 1;
+    pthread_mutex_unlock(&mu);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_t a, b;
+  pthread_create(&a, nullptr, bump, nullptr);
+  pthread_create(&b, nullptr, bump, nullptr);
+  pthread_join(a, nullptr);
+  pthread_join(b, nullptr);
+  return counter == 2000 ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Native corpus: a *detached* thread races with a joinable one. The
+// detached thread writes the shared counter and then announces
+// completion through a mutex-protected flag; a joinable thread writes
+// the same counter; main waits for the announcement and joins the
+// joinable thread. The flag handshake orders the detached thread
+// against *main*, but nothing orders its write against the joinable
+// thread's - a race in every schedule.
+//
+// Lifecycle-wise this is the interposer's hard case: the detached
+// thread exits without a join, so its tid slot must retire from its
+// end-of-thread event (pthread key destructor), exactly once, with no
+// registry aborts - while the joinable thread retires from the join
+// path as usual.
+//
+// Creation order matters for determinism: the joinable thread is
+// created FIRST. Its slot stays live until the final join, so the
+// detached thread always gets a distinct slot - if it were created
+// first, it could finish and retire before the joinable thread exists,
+// whose reused slot would then continue the detached clock and order
+// the two writes (the sound slot-reuse tradeoff hiding the race on
+// some schedules).
+//
+// Expected verdict: RACE.
+#include <pthread.h>
+
+namespace {
+
+long counter = 0;
+pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+pthread_cond_t cv = PTHREAD_COND_INITIALIZER;
+bool detached_done = false;
+
+void* detached_fn(void*) {
+  counter = 1;
+  pthread_mutex_lock(&mu);
+  detached_done = true;
+  pthread_cond_signal(&cv);
+  pthread_mutex_unlock(&mu);
+  return nullptr;
+}
+
+void* joinable_fn(void*) {
+  counter = 2;
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_attr_t attr;
+  pthread_attr_init(&attr);
+  pthread_attr_setdetachstate(&attr, PTHREAD_CREATE_DETACHED);
+  pthread_t d, j;
+  pthread_create(&j, nullptr, joinable_fn, nullptr);
+  pthread_create(&d, &attr, detached_fn, nullptr);
+  pthread_attr_destroy(&attr);
+
+  pthread_mutex_lock(&mu);
+  while (!detached_done) pthread_cond_wait(&cv, &mu);
+  pthread_mutex_unlock(&mu);
+  pthread_join(j, nullptr);
+  return counter > 0 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Native corpus: two unordered children increment a shared counter with
+// no synchronization at all - the textbook write-write race (the
+// mambo_ts `race_write_write` shape).
+//
+// This program is an *unmodified* pthread program: no vft headers, no
+// wrappers. It is compiled with `-fsanitize=thread` (compile-only) so
+// the compiler emits __tsan_* access events, and the interposition
+// library supplies those plus the pthread synchronization events.
+//
+// Expected verdict: RACE (the children's writes are unordered no matter
+// how the scheduler interleaves them).
+#include <pthread.h>
+
+namespace {
+
+long counter = 0;
+
+void* bump(void*) {
+  for (int i = 0; i < 1000; ++i) counter = counter + 1;
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_t a, b;
+  pthread_create(&a, nullptr, bump, nullptr);
+  pthread_create(&b, nullptr, bump, nullptr);
+  pthread_join(a, nullptr);
+  pthread_join(b, nullptr);
+  return counter > 0 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Native corpus: physical timing is not synchronization. The main
+// thread sleeps long enough that the child's write "always" happens
+// first in wall-clock time (the mambo_ts `race_write_write_time`
+// shape) - but sleeping creates no happens-before edge, so a *precise*
+// detector must still report the write-write race. This is exactly the
+// schedule-independence property vector-clock analyses have over
+// happened-to-work testing.
+//
+// Expected verdict: RACE (in every schedule, including the "ordered"
+// one the sleep enforces).
+#include <pthread.h>
+#include <unistd.h>
+
+namespace {
+
+long counter = 0;
+
+void* early_writer(void*) {
+  counter += 10;
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_t t;
+  pthread_create(&t, nullptr, early_writer, nullptr);
+  usleep(50 * 1000);  // "surely the child is done by now"
+  counter += 20;      // unordered with the child's write regardless
+  pthread_join(t, nullptr);
+  return counter > 0 ? 0 : 1;
+}

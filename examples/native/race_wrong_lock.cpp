@@ -1,0 +1,45 @@
+// Native corpus: both threads lock - but not the *same* lock. Each
+// increments the shared counter inside a critical section on its own
+// private mutex, so every access is "protected" and yet nothing orders
+// the two threads. A lockset-style analysis might need heuristics here;
+// a vector-clock analysis simply sees no release->acquire edge between
+// the conflicting writes. Also exercises the address-keyed lock
+// registry with more than one native mutex in flight.
+//
+// Expected verdict: RACE.
+#include <pthread.h>
+
+namespace {
+
+long counter = 0;
+pthread_mutex_t mu_a = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t mu_b = PTHREAD_MUTEX_INITIALIZER;
+
+void* bump_a(void*) {
+  for (int i = 0; i < 100; ++i) {
+    pthread_mutex_lock(&mu_a);
+    counter = counter + 1;
+    pthread_mutex_unlock(&mu_a);
+  }
+  return nullptr;
+}
+
+void* bump_b(void*) {
+  for (int i = 0; i < 100; ++i) {
+    pthread_mutex_lock(&mu_b);
+    counter = counter + 1;
+    pthread_mutex_unlock(&mu_b);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_t a, b;
+  pthread_create(&a, nullptr, bump_a, nullptr);
+  pthread_create(&b, nullptr, bump_b, nullptr);
+  pthread_join(a, nullptr);
+  pthread_join(b, nullptr);
+  return counter > 0 ? 0 : 1;
+}

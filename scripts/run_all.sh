@@ -11,3 +11,19 @@ ctest --test-dir build --output-on-failure
 for b in build/bench/bench_*; do
   [ -x "$b" ] && "$b"
 done
+
+# Native interposition corpus: every unmodified pthread program through
+# the real `vft run` launcher, verdict asserted from the name prefix
+# (race_* must report, norace_* must stay quiet). Absent in sanitizer
+# configurations, where VFT_BUILD_INTERPOSE is OFF.
+if [ -d build/examples/native ]; then
+  for prog in build/examples/native/native_race_* \
+              build/examples/native/native_norace_*; do
+    [ -x "$prog" ] || continue
+    case "$(basename "$prog")" in
+      native_race_*) verdict=race ;;
+      *) verdict=none ;;
+    esac
+    ./build/tools/vft run --expect "$verdict" -- "$prog"
+  done
+fi

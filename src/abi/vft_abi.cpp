@@ -1,0 +1,216 @@
+// C ABI implementation: a thin, reentrancy-guarded shim from the extern
+// "C" surface onto the process-global ambient::Session backend.
+//
+// The guard matters because the analysis runs *inside* the target
+// process: a free() performed by the runtime's own allocations while a
+// free-hint is being processed, or a mutex the session takes while a
+// lock event is in flight, would otherwise recurse through the interposer
+// back into this layer. Nested events on the same thread are dropped -
+// they describe the analysis, not the target.
+#include "abi/vft_abi.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "runtime/session.h"
+#include "vft/report.h"
+
+namespace {
+
+using vft::rt::ambient::Session;
+using vft::rt::ambient::SessionBackend;
+
+thread_local bool tl_in_abi = false;
+
+/// RAII reentrancy guard; `entered()` is false for a nested call.
+class AbiScope {
+ public:
+  AbiScope() : entered_(!tl_in_abi) { tl_in_abi = true; }
+  ~AbiScope() {
+    if (entered_) tl_in_abi = false;
+  }
+  AbiScope(const AbiScope&) = delete;
+  AbiScope& operator=(const AbiScope&) = delete;
+
+  bool entered() const { return entered_; }
+
+ private:
+  bool entered_;
+};
+
+SessionBackend& backend() { return Session::instance().backend(); }
+
+void report_text(std::FILE* out) {
+  auto& session = Session::instance();
+  const auto reports = session.races().all();
+  std::fprintf(out, "== VerifiedFT report (detector %s) ==\n",
+               backend().detector_name());
+  for (const auto& r : reports) {
+    std::fprintf(out, "race: %s\n", session.races().describe(r).c_str());
+  }
+  std::fprintf(out,
+               "summary: races=%zu suppressed=%zu threads=%zu locks=%zu "
+               "shadow-words=%zu\n",
+               reports.size(), session.races().suppressed(),
+               backend().threads_seen(), backend().locks_seen(),
+               backend().shadow_words());
+}
+
+void json_escape(std::FILE* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      std::fprintf(out, "\\%c", c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(out, "\\u%04x", c);
+    } else {
+      std::fputc(c, out);
+    }
+  }
+}
+
+void report_json(std::FILE* out) {
+  auto& session = Session::instance();
+  const auto reports = session.races().all();
+  std::fprintf(out, "{\n  \"detector\": \"");
+  json_escape(out, backend().detector_name());
+  std::fprintf(out, "\",\n  \"races\": [\n");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    std::fprintf(out,
+                 "    {\"kind\": \"%s\", \"var\": \"0x%" PRIx64
+                 "\", \"current_tid\": %u, "
+                 "\"prior_epoch\": \"%s\", \"current_epoch\": \"%s\"}%s\n",
+                 vft::race_kind_name(r.kind), r.var,
+                 static_cast<unsigned>(r.current_tid), r.prior.str().c_str(),
+                 r.current.str().c_str(),
+                 i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"summary\": {\"races\": %zu, \"suppressed\": %zu, "
+               "\"threads\": %zu, \"locks\": %zu, \"shadow_words\": %zu}\n}\n",
+               reports.size(), session.races().suppressed(),
+               backend().threads_seen(), backend().locks_seen(),
+               backend().shadow_words());
+}
+
+}  // namespace
+
+extern "C" {
+
+int vft_attach(void) {
+  AbiScope guard;
+  if (!guard.entered()) return 0;
+  return backend().attach() ? 1 : 0;
+}
+
+void vft_detach(void) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  backend().detach();
+}
+
+uint64_t vft_thread_create(void) {
+  AbiScope guard;
+  if (!guard.entered()) return 0;
+  return backend().thread_create();
+}
+
+void vft_thread_begin(uint64_t token) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  backend().thread_begin(token);
+}
+
+void vft_thread_join(uint64_t token) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  backend().thread_join(token);
+}
+
+void vft_thread_detach(uint64_t token) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  backend().thread_detach(token);
+}
+
+#define VFT_ABI_ACCESS(name, method, size)        \
+  void name(const void* addr) {                   \
+    AbiScope guard;                               \
+    if (!guard.entered()) return;                 \
+    backend().method(addr, (size));               \
+  }
+
+VFT_ABI_ACCESS(vft_read1, read, 1)
+VFT_ABI_ACCESS(vft_read2, read, 2)
+VFT_ABI_ACCESS(vft_read4, read, 4)
+VFT_ABI_ACCESS(vft_read8, read, 8)
+VFT_ABI_ACCESS(vft_write1, write, 1)
+VFT_ABI_ACCESS(vft_write2, write, 2)
+VFT_ABI_ACCESS(vft_write4, write, 4)
+VFT_ABI_ACCESS(vft_write8, write, 8)
+
+#undef VFT_ABI_ACCESS
+
+void vft_range_read(const void* addr, size_t size) {
+  AbiScope guard;
+  if (!guard.entered() || size == 0) return;
+  backend().range_read(addr, size);
+}
+
+void vft_range_write(const void* addr, size_t size) {
+  AbiScope guard;
+  if (!guard.entered() || size == 0) return;
+  backend().range_write(addr, size);
+}
+
+void vft_mutex_lock(const void* m) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  backend().mutex_lock(m);
+}
+
+void vft_mutex_unlock(const void* m) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  backend().mutex_unlock(m);
+}
+
+void vft_free_hint(const void* addr, size_t size) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  backend().free_hint(addr, size);
+}
+
+size_t vft_race_count(void) {
+  AbiScope guard;
+  if (!guard.entered()) return 0;
+  return Session::instance().races().count();
+}
+
+int vft_report_write(const char* path, int json) {
+  AbiScope guard;
+  if (!guard.entered()) return -1;
+  std::FILE* out = stderr;
+  bool owned = false;
+  if (path != nullptr && std::strcmp(path, "-") != 0) {
+    out = std::fopen(path, "w");
+    if (out == nullptr) return -1;
+    owned = true;
+  }
+  if (json != 0) {
+    report_json(out);
+  } else {
+    report_text(out);
+  }
+  if (owned) std::fclose(out);
+  return 0;
+}
+
+const char* vft_detector_name(void) {
+  AbiScope guard;
+  return backend().detector_name();
+}
+
+}  // extern "C"

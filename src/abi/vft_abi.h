@@ -1,0 +1,124 @@
+/* The narrow C ABI over the analysis session: every entry point an
+ * interposition layer (LD_PRELOAD, a compiler pass, a DBI tool, or a
+ * foreign-language binding) needs, and nothing else.
+ *
+ * The whole C++ runtime stack - detector, shadow memory, thread registry,
+ * native-lock registry - sits behind these ~20 plain functions; the
+ * detector is fixed per process but selectable at launch (VFT_DETECTOR
+ * environment variable: v1 v1.5 v2 ft-mutex ft-cas djit; default v2).
+ *
+ * Threading model: every entry point may be called from any OS thread.
+ * The calling thread is attached to the analysis implicitly on its first
+ * event (vft_attach exists to make that explicit and observable). When
+ * the registry's tid space is exhausted (more than Epoch::kMaxTid+1
+ * concurrently-live threads) further threads degrade to *unmonitored* -
+ * their events become no-ops after a one-time warning - rather than
+ * aborting the target.
+ *
+ * Ordering discipline (ALGORITHM.md Section 4): the caller invokes
+ *   - vft_mutex_lock   *after* the native acquire succeeded,
+ *   - vft_thread_join  *after* the native join returned success,
+ *   - everything else  *before* the corresponding target operation.
+ *
+ * Reentrancy: entry points are self-guarded. If the analysis itself
+ * triggers a nested event in the same thread (e.g. a free() performed by
+ * the runtime while a free-hint is being processed), the nested call is
+ * dropped instead of recursing.
+ */
+#ifndef VFT_ABI_VFT_ABI_H_
+#define VFT_ABI_VFT_ABI_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* --- thread lifecycle ------------------------------------------------- */
+
+/* Attach the calling OS thread to the analysis as a fresh target thread
+ * (implicitly detached: its slot retires at vft_detach). Idempotent; a
+ * thread bound via vft_thread_begin keeps that binding. Returns 1 when
+ * the thread is monitored after the call, 0 when it runs unmonitored
+ * (registry exhausted). */
+int vft_attach(void);
+
+/* End-of-thread event for the calling thread. Retires the thread's tid
+ * slot if no joiner will (detached or implicitly attached threads);
+ * always safe to call, also for unmonitored or never-attached threads. */
+void vft_detach(void);
+
+/* Parent side of thread creation, *before* the native create: runs the
+ * fork handler and reserves the child's ThreadState. Returns an opaque
+ * nonzero token identifying the child, or 0 when the child cannot be
+ * monitored (exhausted registry / unmonitored parent); 0 is safe to pass
+ * to the other vft_thread_* calls (they no-op). */
+uint64_t vft_thread_create(void);
+
+/* Child side: bind the calling OS thread to the token's ThreadState.
+ * Must be the child's first analysis-visible action. */
+void vft_thread_begin(uint64_t token);
+
+/* Joiner side, *after* the native join returned success: runs the join
+ * handler and retires the child's slot (unless already retired by a
+ * detach). Consumes the token. */
+void vft_thread_join(uint64_t token);
+
+/* pthread_detach equivalent: no one will join this child; its slot
+ * retires at its vft_detach (immediately, if it already ended). */
+void vft_thread_detach(uint64_t token);
+
+/* --- memory accesses -------------------------------------------------- */
+
+/* Pre-access events, sized like the TSan instrumentation surface. An
+ * access contained in one 8-byte shadow word is a single-word event; a
+ * straddling access degrades to the range path. */
+void vft_read1(const void* addr);
+void vft_read2(const void* addr);
+void vft_read4(const void* addr);
+void vft_read8(const void* addr);
+void vft_write1(const void* addr);
+void vft_write2(const void* addr);
+void vft_write4(const void* addr);
+void vft_write8(const void* addr);
+
+/* memcpy-style sized accesses: one event per overlapped shadow word. */
+void vft_range_read(const void* addr, size_t size);
+void vft_range_write(const void* addr, size_t size);
+
+/* --- native locks ------------------------------------------------------ */
+
+/* Acquire/release events for a native lock identified by its address
+ * (e.g. a pthread_mutex_t*). States are created on first use in the
+ * session's lock registry; vft_free_hint drops states whose addresses
+ * die, so recycled addresses start from scratch. */
+void vft_mutex_lock(const void* m);
+void vft_mutex_unlock(const void* m);
+
+/* --- memory lifetime --------------------------------------------------- */
+
+/* The target freed [addr, addr+size) (free, munmap, ...): clear the
+ * covered shadow words and drop dead lock states so a recycled address
+ * cannot inherit stale analysis state. */
+void vft_free_hint(const void* addr, size_t size);
+
+/* --- reporting --------------------------------------------------------- */
+
+/* Number of race reports collected so far (suppressed reports not
+ * included; vft_report_write's summary counts them). */
+size_t vft_race_count(void);
+
+/* Write the end-of-run race report to `path` ("-" or NULL: stderr).
+ * `json` nonzero selects the machine-readable JSON form, else text.
+ * Returns 0 on success, -1 when the file cannot be written. */
+int vft_report_write(const char* path, int json);
+
+/* The active detector's name (e.g. "VerifiedFT-v2"). */
+const char* vft_detector_name(void);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* VFT_ABI_VFT_ABI_H_ */

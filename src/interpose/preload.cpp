@@ -1,0 +1,359 @@
+// libvft_preload: run the analysis under an *unmodified* target binary.
+//
+// Two event sources feed the C ABI (src/abi/vft_abi.h):
+//
+//   Synchronization - this library defines the pthread entry points the
+//   target calls (pthread_create/join/detach, mutex lock/trylock/unlock,
+//   condvar waits) and forwards to the real libc implementation resolved
+//   with dlsym(RTLD_NEXT). Works both via LD_PRELOAD (the `vft run`
+//   launcher) and by linking the target against this library directly.
+//
+//   Memory accesses - an OS-level wrapper cannot see plain loads and
+//   stores, so the target is compiled with GCC/Clang's
+//   `-fsanitize=thread` *compile-only* instrumentation (no -fsanitize at
+//   link, so libtsan never enters the process) and this library provides
+//   the __tsan_* surface those compilers emit, mapping it onto
+//   vft_read*/vft_write*. This is the substitution for RoadRunner's
+//   bytecode instrumentation at the native level: the compiler inserts
+//   the event calls, we supply the tool behind them.
+//
+// Ordering discipline (ALGORITHM.md Section 4) is enforced here, at the
+// boundary where target operations actually happen:
+//   - the acquire handler runs *after* the native lock call succeeded
+//     (only a successful acquire orders the critical section);
+//   - the join handler runs *after* the native join returned (only then
+//     is the child's final clock stable);
+//   - release, fork, and access handlers run *before* their operation.
+//
+// Thread exit is observed with a pthread_key destructor: it fires during
+// thread termination after C++ thread_locals are destroyed, whether the
+// thread returned from its start routine or called pthread_exit. The
+// library constructor attaches the main thread; its destructor detaches
+// it and writes the end-of-run report (VFT_REPORT=<path>, JSON when the
+// path ends in ".json"; always a one-line summary to stderr).
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE
+#endif
+
+#include <dlfcn.h>
+#include <malloc.h>
+#include <pthread.h>
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/mman.h>
+
+#include "abi/vft_abi.h"
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Real-function resolution. Eager where possible (library constructor);
+// free() additionally resolves lazily because the dynamic linker can
+// call it before our constructor runs.
+// ---------------------------------------------------------------------
+
+template <typename Fn>
+Fn resolve(const char* name) {
+  return reinterpret_cast<Fn>(dlsym(RTLD_NEXT, name));
+}
+
+using CreateFn = int (*)(pthread_t*, const pthread_attr_t*, void* (*)(void*),
+                         void*);
+using JoinFn = int (*)(pthread_t, void**);
+using DetachFn = int (*)(pthread_t);
+using MutexFn = int (*)(pthread_mutex_t*);
+using CondWaitFn = int (*)(pthread_cond_t*, pthread_mutex_t*);
+using CondTimedWaitFn = int (*)(pthread_cond_t*, pthread_mutex_t*,
+                                const struct timespec*);
+using FreeFn = void (*)(void*);
+using MunmapFn = int (*)(void*, size_t);
+
+CreateFn real_create;
+JoinFn real_join;
+DetachFn real_detach;
+MutexFn real_mutex_lock;
+MutexFn real_mutex_trylock;
+MutexFn real_mutex_unlock;
+CondWaitFn real_cond_wait;
+CondTimedWaitFn real_cond_timedwait;
+FreeFn real_free;
+MunmapFn real_munmap;
+
+void resolve_all() {
+  real_create = resolve<CreateFn>("pthread_create");
+  real_join = resolve<JoinFn>("pthread_join");
+  real_detach = resolve<DetachFn>("pthread_detach");
+  real_mutex_lock = resolve<MutexFn>("pthread_mutex_lock");
+  real_mutex_trylock = resolve<MutexFn>("pthread_mutex_trylock");
+  real_mutex_unlock = resolve<MutexFn>("pthread_mutex_unlock");
+  real_cond_wait = resolve<CondWaitFn>("pthread_cond_wait");
+  real_cond_timedwait = resolve<CondTimedWaitFn>("pthread_cond_timedwait");
+  real_free = resolve<FreeFn>("free");
+  real_munmap = resolve<MunmapFn>("munmap");
+}
+
+// ---------------------------------------------------------------------
+// Thread-exit observation: a key whose destructor runs as the thread
+// terminates. Set for every thread we trampoline (and the main thread
+// is covered by the library destructor instead).
+// ---------------------------------------------------------------------
+
+pthread_key_t g_end_key;
+pthread_once_t g_end_key_once = PTHREAD_ONCE_INIT;
+
+void on_thread_end(void*) { vft_detach(); }
+
+void make_end_key() { pthread_key_create(&g_end_key, on_thread_end); }
+
+void arm_thread_end() {
+  pthread_once(&g_end_key_once, make_end_key);
+  pthread_setspecific(g_end_key, reinterpret_cast<void*>(1));
+}
+
+// ---------------------------------------------------------------------
+// pthread_t -> analysis token map, for routing join/detach. A plain
+// open-addressed table under a libc mutex (no C++ containers here: this
+// code runs inside malloc/free interposition paths).
+// ---------------------------------------------------------------------
+
+struct TokenEntry {
+  pthread_t tid;
+  uint64_t token;
+  int used;
+};
+
+constexpr size_t kTokenSlots = 1024;  // concurrent unjoined threads
+TokenEntry g_tokens[kTokenSlots];
+pthread_mutex_t g_tokens_mu = PTHREAD_MUTEX_INITIALIZER;
+
+void token_put(pthread_t tid, uint64_t token) {
+  real_mutex_lock(&g_tokens_mu);
+  for (size_t i = 0; i < kTokenSlots; ++i) {
+    if (!g_tokens[i].used) {
+      g_tokens[i] = TokenEntry{tid, token, 1};
+      real_mutex_unlock(&g_tokens_mu);
+      return;
+    }
+  }
+  real_mutex_unlock(&g_tokens_mu);
+  // Table full: the thread stays monitored but its join edge is lost
+  // (conservative for false negatives only on > kTokenSlots unjoined
+  // threads, which a reasonable target never accumulates).
+}
+
+uint64_t token_take(pthread_t tid) {
+  real_mutex_lock(&g_tokens_mu);
+  for (size_t i = 0; i < kTokenSlots; ++i) {
+    if (g_tokens[i].used && pthread_equal(g_tokens[i].tid, tid)) {
+      g_tokens[i].used = 0;
+      const uint64_t token = g_tokens[i].token;
+      real_mutex_unlock(&g_tokens_mu);
+      return token;
+    }
+  }
+  real_mutex_unlock(&g_tokens_mu);
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// Thread trampoline: binds the child to its pre-created ThreadState
+// before a single target instruction runs in it.
+// ---------------------------------------------------------------------
+
+struct StartPack {
+  void* (*fn)(void*);
+  void* arg;
+  uint64_t token;
+};
+
+void* trampoline(void* raw) {
+  StartPack* heap_pack = static_cast<StartPack*>(raw);
+  StartPack pack = *heap_pack;
+  if (real_free != nullptr) real_free(heap_pack);
+  vft_thread_begin(pack.token);
+  arm_thread_end();
+  return pack.fn(pack.arg);
+}
+
+bool attr_is_detached(const pthread_attr_t* attr) {
+  if (attr == nullptr) return false;
+  int state = PTHREAD_CREATE_JOINABLE;
+  pthread_attr_getdetachstate(attr, &state);
+  return state == PTHREAD_CREATE_DETACHED;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Interposed pthread surface.
+// ---------------------------------------------------------------------
+
+extern "C" {
+
+int pthread_create(pthread_t* tid, const pthread_attr_t* attr,
+                   void* (*fn)(void*), void* arg) {
+  if (real_create == nullptr) resolve_all();
+  const uint64_t token = vft_thread_create();  // fork handler: before create
+  StartPack* pack = static_cast<StartPack*>(malloc(sizeof(StartPack)));
+  if (pack == nullptr) return real_create(tid, attr, fn, arg);
+  *pack = StartPack{fn, arg, token};
+  const int rc = real_create(tid, attr, trampoline, pack);
+  if (rc != 0) {
+    if (real_free != nullptr) real_free(pack);
+    vft_thread_join(token);  // child never existed: reclaim its slot
+    return rc;
+  }
+  if (token != 0) {
+    if (attr_is_detached(attr)) {
+      vft_thread_detach(token);
+    } else {
+      token_put(*tid, token);
+    }
+  }
+  return rc;
+}
+
+int pthread_join(pthread_t tid, void** retval) {
+  if (real_join == nullptr) resolve_all();
+  const int rc = real_join(tid, retval);
+  if (rc == 0) {
+    vft_thread_join(token_take(tid));  // join handler: after native join
+  }
+  return rc;
+}
+
+int pthread_detach(pthread_t tid) {
+  if (real_detach == nullptr) resolve_all();
+  const int rc = real_detach(tid);
+  if (rc == 0) vft_thread_detach(token_take(tid));
+  return rc;
+}
+
+int pthread_mutex_lock(pthread_mutex_t* m) {
+  if (real_mutex_lock == nullptr) resolve_all();
+  const int rc = real_mutex_lock(m);
+  if (rc == 0) vft_mutex_lock(m);  // acquire handler: after the acquire
+  return rc;
+}
+
+int pthread_mutex_trylock(pthread_mutex_t* m) {
+  if (real_mutex_trylock == nullptr) resolve_all();
+  const int rc = real_mutex_trylock(m);
+  if (rc == 0) vft_mutex_lock(m);  // only a successful trylock acquires
+  return rc;
+}
+
+int pthread_mutex_unlock(pthread_mutex_t* m) {
+  if (real_mutex_unlock == nullptr) resolve_all();
+  vft_mutex_unlock(m);  // release handler: before the release
+  return real_mutex_unlock(m);
+}
+
+// A condvar wait releases the mutex, blocks, and reacquires: model it as
+// exactly that - release handler before the wait, acquire handler after
+// the (always reacquiring) return, timeout or not.
+int pthread_cond_wait(pthread_cond_t* c, pthread_mutex_t* m) {
+  if (real_cond_wait == nullptr) resolve_all();
+  vft_mutex_unlock(m);
+  const int rc = real_cond_wait(c, m);
+  vft_mutex_lock(m);
+  return rc;
+}
+
+int pthread_cond_timedwait(pthread_cond_t* c, pthread_mutex_t* m,
+                           const struct timespec* abstime) {
+  if (real_cond_timedwait == nullptr) resolve_all();
+  vft_mutex_unlock(m);
+  const int rc = real_cond_timedwait(c, m, abstime);
+  vft_mutex_lock(m);
+  return rc;
+}
+
+// ---------------------------------------------------------------------
+// Memory-lifetime interposition: freed ranges reset their shadow and
+// lock state so recycled addresses start from bottom.
+// ---------------------------------------------------------------------
+
+void free(void* p) {
+  if (real_free == nullptr) {
+    real_free = resolve<FreeFn>("free");
+    if (real_free == nullptr) return;  // dlsym bootstrap: leak, don't crash
+  }
+  if (p != nullptr) vft_free_hint(p, malloc_usable_size(p));
+  real_free(p);
+}
+
+int munmap(void* addr, size_t len) {
+  if (real_munmap == nullptr) resolve_all();
+  vft_free_hint(addr, len);
+  return real_munmap(addr, len);
+}
+
+// ---------------------------------------------------------------------
+// The __tsan_* surface `-fsanitize=thread` compilation emits; mapped
+// onto the sized ABI events. Unaligned and 16-byte forms degrade to the
+// range path inside the session when they straddle a shadow word.
+// ---------------------------------------------------------------------
+
+void __tsan_init(void) {}
+void __tsan_func_entry(void*) {}
+void __tsan_func_exit(void) {}
+
+void __tsan_read1(void* a) { vft_read1(a); }
+void __tsan_read2(void* a) { vft_read2(a); }
+void __tsan_read4(void* a) { vft_read4(a); }
+void __tsan_read8(void* a) { vft_read8(a); }
+void __tsan_read16(void* a) { vft_range_read(a, 16); }
+void __tsan_write1(void* a) { vft_write1(a); }
+void __tsan_write2(void* a) { vft_write2(a); }
+void __tsan_write4(void* a) { vft_write4(a); }
+void __tsan_write8(void* a) { vft_write8(a); }
+void __tsan_write16(void* a) { vft_range_write(a, 16); }
+
+void __tsan_unaligned_read2(void* a) { vft_read2(a); }
+void __tsan_unaligned_read4(void* a) { vft_read4(a); }
+void __tsan_unaligned_read8(void* a) { vft_read8(a); }
+void __tsan_unaligned_read16(void* a) { vft_range_read(a, 16); }
+void __tsan_unaligned_write2(void* a) { vft_write2(a); }
+void __tsan_unaligned_write4(void* a) { vft_write4(a); }
+void __tsan_unaligned_write8(void* a) { vft_write8(a); }
+void __tsan_unaligned_write16(void* a) { vft_range_write(a, 16); }
+
+void __tsan_read_range(void* a, unsigned long size) {
+  vft_range_read(a, size);
+}
+void __tsan_write_range(void* a, unsigned long size) {
+  vft_range_write(a, size);
+}
+
+void __tsan_vptr_read(void** a) { vft_read8(a); }
+void __tsan_vptr_update(void** a, void*) { vft_write8(a); }
+
+// ---------------------------------------------------------------------
+// Process lifecycle.
+// ---------------------------------------------------------------------
+
+__attribute__((constructor)) static void vft_preload_init(void) {
+  resolve_all();
+  pthread_once(&g_end_key_once, make_end_key);
+  vft_attach();  // the main thread is target thread 0
+}
+
+__attribute__((destructor)) static void vft_preload_fini(void) {
+  vft_detach();
+  const size_t races = vft_race_count();
+  const char* report = getenv("VFT_REPORT");
+  if (report != nullptr && report[0] != '\0') {
+    const size_t n = strlen(report);
+    const int json = n >= 5 && strcmp(report + n - 5, ".json") == 0;
+    if (vft_report_write(report, json) != 0) {
+      fprintf(stderr, "vft: cannot write report to %s\n", report);
+    }
+  }
+  fprintf(stderr, "vft: %s: %zu race report(s)\n", vft_detector_name(),
+          races);
+}
+
+}  // extern "C"

@@ -1,56 +1,33 @@
-// Ambient instrumentation: a process-wide analysis session plus free
-// functions keyed by raw addresses - the call interface a compiler
-// instrumentation pass (TSan-style __tsan_read/__tsan_write) would emit,
-// for code that cannot be rewritten against the rt:: wrappers.
+// Ambient instrumentation: free functions keyed by raw addresses - the
+// call interface a compiler instrumentation pass (TSan-style
+// __tsan_read/__tsan_write) would emit, for code that cannot be rewritten
+// against the rt:: wrappers.
 //
 // The VFT_AMBIENT_READ/WRITE macros annotate accesses to *existing* data
 // structures; the ambient::Thread/Lock wrappers supply the fork/join and
-// acquire/release events. One session per process (reset() for tests).
+// acquire/release events. One Session per process (see session.h; reset()
+// for tests); every event routes through its detector-erased backend, the
+// same entry point the C ABI (src/abi/vft_abi.h) uses, so annotated code
+// and interposed binaries share one analysis state.
 //
-// The ambient detector is VerifiedFT-v2 and the ambient shadow backend is
-// the lock-free two-level ShadowSpace - the configuration a production
-// deployment would pick. Shadow is word-granular: accesses within the
-// same 8-byte word map to one VarState (see shadow_space.h).
+// The default ambient detector is VerifiedFT-v2 over the lock-free
+// two-level ShadowSpace - the configuration a production deployment would
+// pick; VFT_DETECTOR selects another at launch. The typed wrappers below
+// (Thread, Lock, MainScope) are v2-only and fatal under a different
+// detector. Shadow is word-granular: accesses within the same 8-byte word
+// map to one VarState (see shadow_space.h).
 #pragma once
 
-#include <functional>
-
 #include "runtime/instrument.h"
+#include "runtime/session.h"
 #include "vft/vft_v2.h"
 
 namespace vft::rt::ambient {
 
-/// The process-wide analysis session.
-class Session {
- public:
-  static Session& instance() {
-    static Session session;
-    return session;
-  }
-
-  RaceCollector& races() { return races_; }
-  Runtime<VftV2>& runtime() { return *runtime_; }
-  ShadowSpace<VftV2>& shadow() { return runtime_->shadow_space(); }
-
-  /// Drops all analysis state (shadow, reports, thread registry). Only
-  /// safe while no ambient threads are live; intended for tests.
-  void reset() {
-    runtime_ = std::make_unique<Runtime<VftV2>>(VftV2(&races_));
-    races_.clear();
-  }
-
- private:
-  Session() : runtime_(std::make_unique<Runtime<VftV2>>(VftV2(&races_))) {}
-
-  RaceCollector races_;
-  std::unique_ptr<Runtime<VftV2>> runtime_;
-};
-
-}  // namespace vft::rt::ambient
-
-namespace vft::rt::ambient {
-
-// Reference-forwarding accessors that survive reset().
+// Reference-forwarding accessors that survive reset(). runtime()/shadow()
+// are the typed v2 views; backend() is the detector-erased session every
+// event below routes through.
+inline SessionBackend& backend() { return Session::instance().backend(); }
 inline ShadowSpace<VftV2>& shadow() { return Session::instance().shadow(); }
 inline Runtime<VftV2>& runtime() { return Session::instance().runtime(); }
 inline RaceCollector& races() { return Session::instance().races(); }
@@ -65,23 +42,19 @@ class MainScope {
 };
 
 /// The event a compiler pass emits before a load of *addr.
-inline void on_read(const void* addr) {
-  instrumented_read(runtime(), shadow(), addr);
-}
+inline void on_read(const void* addr) { backend().read(addr, 1); }
 
 /// The event a compiler pass emits before a store to *addr.
-inline void on_write(const void* addr) {
-  instrumented_write(runtime(), shadow(), addr);
-}
+inline void on_write(const void* addr) { backend().write(addr, 1); }
 
 /// The events a pass emits before a sized access (memcpy-style or a
 /// whole-struct read/write): one event per overlapped shadow word.
 inline void on_range_read(const void* addr, std::size_t size) {
-  instrumented_range_read(runtime(), shadow(), addr, size);
+  backend().range_read(addr, size);
 }
 
 inline void on_range_write(const void* addr, std::size_t size) {
-  instrumented_range_write(runtime(), shadow(), addr, size);
+  backend().range_write(addr, size);
 }
 
 /// Instrumented thread over the ambient session.

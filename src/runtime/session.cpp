@@ -1,0 +1,93 @@
+#include "runtime/session.h"
+
+#include <cstdlib>
+
+namespace vft::rt::ambient {
+namespace {
+
+/// Map a launch-time detector name (CLI / VFT_DETECTOR spelling) to a
+/// backend. Returns nullptr for an unknown name.
+std::unique_ptr<SessionBackend> make_backend(const std::string& name,
+                                             RaceCollector* races,
+                                             RuleStats* stats,
+                                             std::uint64_t generation) {
+  if (name == "v1") {
+    return std::make_unique<SessionImpl<VftV1>>(races, stats, generation);
+  }
+  if (name == "v1.5") {
+    return std::make_unique<SessionImpl<VftV15>>(races, stats, generation);
+  }
+  if (name == "v2") {
+    return std::make_unique<SessionImpl<VftV2>>(races, stats, generation);
+  }
+  if (name == "ft-mutex") {
+    return std::make_unique<SessionImpl<FtMutex>>(races, stats, generation);
+  }
+  if (name == "ft-cas") {
+    return std::make_unique<SessionImpl<FtCas>>(races, stats, generation);
+  }
+  if (name == "djit") {
+    return std::make_unique<SessionImpl<Djit>>(races, stats, generation);
+  }
+  return nullptr;
+}
+
+std::string detector_from_env() {
+  if (const char* env = std::getenv("VFT_DETECTOR"); env != nullptr &&
+      env[0] != '\0') {
+    return env;
+  }
+  return "v2";
+}
+
+}  // namespace
+
+bool Session::configure(const std::string& name) {
+  // Validate against the factory without constructing a backend: a dry
+  // probe would allocate a whole runtime just to throw it away.
+  static constexpr const char* kNames[] = {"v1",       "v1.5",   "v2",
+                                           "ft-mutex", "ft-cas", "djit"};
+  bool known = false;
+  for (const char* n : kNames) known = known || name == n;
+  if (!known) return false;
+  std::scoped_lock lk(mu_);
+  detector_ = name;
+  return true;
+}
+
+SessionBackend& Session::create_backend() {
+  std::scoped_lock lk(mu_);
+  if (backend_ == nullptr) {
+    if (detector_.empty()) detector_ = detector_from_env();
+    const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+    backend_ = make_backend(detector_, &races_, &stats_, gen);
+    if (backend_ == nullptr) {
+      detail::fatal(
+          "unknown detector '%s' (from VFT_DETECTOR); expected one of "
+          "v1 v1.5 v2 ft-mutex ft-cas djit",
+          detector_.c_str());
+    }
+    v2_ = detector_ == "v2"
+              ? static_cast<SessionImpl<VftV2>*>(backend_.get())
+              : nullptr;
+    backend_ptr_.store(backend_.get(), std::memory_order_release);
+  }
+  return *backend_;
+}
+
+void Session::reset() {
+  std::scoped_lock lk(mu_);
+  // Invalidate every thread's session binding before tearing the backend
+  // down: the generation tag makes stale SessionTls records unreachable,
+  // and the calling thread drops its registry binding explicitly.
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  Registry::bind(nullptr);
+  tl_session = SessionTls{};
+  backend_ptr_.store(nullptr, std::memory_order_release);
+  v2_ = nullptr;
+  backend_.reset();
+  races_.clear();
+  stats_.reset();
+}
+
+}  // namespace vft::rt::ambient

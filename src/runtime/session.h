@@ -1,0 +1,423 @@
+// The process-global analysis session: the single entry point the C ABI
+// (src/abi/vft_abi.h) and the LD_PRELOAD interposer (src/interpose/)
+// route through, and the backing store of the ambient annotation macros.
+//
+// Layering (the RoadRunner substitution, one level lower than ambient.h):
+//
+//   target binary ──pthread/tsan events──> interposer ──C ABI──> Session
+//                                                                  │
+//                                               SessionBackend (virtual)
+//                                                                  │
+//                                  SessionImpl<D>: Runtime<D> + ShadowSpace
+//                                                + LockRegistry + lifecycle
+//
+// The detector D is fixed for the whole process but selectable at launch
+// (VFT_DETECTOR environment variable, or Session::configure before first
+// use): the ABI entry points are plain C functions, so the detector
+// dispatch happens once per event through SessionBackend's vtable instead
+// of per call-site templates. bench_hotpath's `abi_dispatch` section
+// tracks exactly what that indirection costs against the inlined wrapper
+// path.
+//
+// Implicit thread lifecycle: any thread is attached on its first event
+// (OS-thread identity lives in Registry's thread_local binding). Threads
+// created through the interposer get the explicit §4 protocol instead -
+// fork handler in the parent *before* the native create, join handler in
+// the joiner *after* the native join - via create/begin/join/detach
+// tokens. A thread that exits unjoined, or detached, retires its tid slot
+// exactly once (see ThreadRecord below); registry exhaustion degrades to
+// an unmonitored thread with a one-time warning instead of aborting the
+// target.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/lock_registry.h"
+#include "runtime/tool.h"
+#include "vft/detector.h"
+
+namespace vft::rt::ambient {
+
+/// The detector-erased session surface. One virtual hop per event; the
+/// handlers behind it are the same template-inlined fast paths the
+/// wrappers use.
+class SessionBackend {
+ public:
+  virtual ~SessionBackend() = default;
+
+  virtual const char* detector_name() const = 0;
+
+  // --- memory accesses (word-granular; an access spilling over its
+  // 8-byte shadow word takes the range path). Handlers run *before* the
+  // target access, per the §4 ordering discipline.
+  virtual void read(const void* addr, std::size_t size) = 0;
+  virtual void write(const void* addr, std::size_t size) = 0;
+  virtual void range_read(const void* addr, std::size_t size) = 0;
+  virtual void range_write(const void* addr, std::size_t size) = 0;
+
+  // --- native locks, keyed by address (pthread_mutex_t*). Per §4 the
+  // caller invokes mutex_lock *after* the native acquire succeeded and
+  // mutex_unlock *before* the native release.
+  virtual void mutex_lock(const void* m) = 0;
+  virtual void mutex_unlock(const void* m) = 0;
+
+  // --- thread lifecycle. attach() binds the calling OS thread to a fresh
+  // (implicitly detached) target thread; detach() is its end-of-thread
+  // event. The token protocol maps pthread_create/join/detach 1:1.
+  virtual bool attach() = 0;
+  virtual void detach() = 0;
+  virtual std::uint64_t thread_create() = 0;
+  virtual void thread_begin(std::uint64_t token) = 0;
+  virtual void thread_join(std::uint64_t token) = 0;
+  virtual void thread_detach(std::uint64_t token) = 0;
+
+  /// The target freed [addr, addr+size): clear shadow words and drop
+  /// dead locks so recycled addresses start from bottom state.
+  virtual void free_hint(const void* addr, std::size_t size) = 0;
+
+  // --- introspection for end-of-run reports.
+  virtual std::size_t threads_seen() const = 0;
+  virtual std::size_t locks_seen() const = 0;
+  virtual std::size_t shadow_words() const = 0;
+};
+
+/// Per-OS-thread session state, tagged with the backend generation so a
+/// Session::reset() (tests) can never resurrect a stale record.
+struct SessionTls {
+  void* record = nullptr;        ///< ThreadRecord* of the owning backend
+  std::uint64_t generation = 0;  ///< Session generation the fields belong to
+  bool unmonitored = false;      ///< registry exhausted: events are no-ops
+};
+inline thread_local SessionTls tl_session{};
+
+template <Detector D>
+class SessionImpl final : public SessionBackend {
+ public:
+  SessionImpl(RaceCollector* races, RuleStats* stats,
+              std::uint64_t generation)
+      : rt_(D(races, stats)), generation_(generation) {}
+
+  /// The typed runtime, for same-detector callers (ambient wrappers,
+  /// benches) that want the inlined path next to the erased one.
+  Runtime<D>& runtime() { return rt_; }
+  LockRegistry& locks() { return locks_; }
+
+  const char* detector_name() const override { return D::kName; }
+
+  void read(const void* addr, std::size_t size) override {
+    ThreadState* ts = self_or_attach();
+    if (ts == nullptr) return;
+    auto& shadow = rt_.shadow_space();
+    if (one_word(addr, size)) {
+      rt_.tool().read(*ts, shadow.of(addr));
+    } else {
+      instrumented_range_read(rt_, shadow, addr, size);
+    }
+  }
+
+  void write(const void* addr, std::size_t size) override {
+    ThreadState* ts = self_or_attach();
+    if (ts == nullptr) return;
+    auto& shadow = rt_.shadow_space();
+    if (one_word(addr, size)) {
+      rt_.tool().write(*ts, shadow.of(addr));
+    } else {
+      instrumented_range_write(rt_, shadow, addr, size);
+    }
+  }
+
+  void range_read(const void* addr, std::size_t size) override {
+    if (self_or_attach() == nullptr) return;
+    instrumented_range_read(rt_, rt_.shadow_space(), addr, size);
+  }
+
+  void range_write(const void* addr, std::size_t size) override {
+    if (self_or_attach() == nullptr) return;
+    instrumented_range_write(rt_, rt_.shadow_space(), addr, size);
+  }
+
+  void mutex_lock(const void* m) override {
+    ThreadState* ts = self_or_attach();
+    if (ts == nullptr) return;
+    rt_.tool().acquire(*ts, locks_.of(m));
+  }
+
+  void mutex_unlock(const void* m) override {
+    ThreadState* ts = self_or_attach();
+    if (ts == nullptr) return;
+    rt_.tool().release(*ts, locks_.of(m));
+  }
+
+  bool attach() override { return self_or_attach() != nullptr; }
+
+  /// End-of-thread event for the calling thread (interposer: pthread key
+  /// destructor; tests: explicit call). Detached and implicitly-attached
+  /// threads retire their slot here; a joinable thread's slot instead
+  /// stays live until its join handler has consumed the final clock.
+  void detach() override {
+    SessionTls& tls = tl_session;
+    if (tls.generation == generation_ && tls.record != nullptr) {
+      std::scoped_lock lk(mu_);
+      auto* rec = static_cast<ThreadRecord*>(tls.record);
+      rec->ended = true;
+      retire_if_due(*rec);
+    }
+    Registry::bind(nullptr);
+    tl_session = SessionTls{};
+  }
+
+  /// Parent-side half of pthread_create, called *before* the native
+  /// create (§4: the fork handler runs while the child state is still
+  /// parent-local). Returns the child's token, or 0 when the registry is
+  /// exhausted (the child then runs unmonitored).
+  std::uint64_t thread_create() override {
+    ThreadState* parent = self_or_attach();
+    if (parent == nullptr) return 0;
+    std::scoped_lock lk(mu_);
+    ThreadState* child = rt_.registry().try_create();
+    if (child == nullptr) {
+      warn_exhausted();
+      return 0;
+    }
+    rt_.tool().fork(*parent, *child);
+    ++threads_seen_;
+    const std::uint64_t token = next_token_++;
+    records_.emplace(token, ThreadRecord{child, token});
+    return token;
+  }
+
+  /// Child-side: bind the calling OS thread to its pre-created state.
+  /// Must be the child's first action (the interposer's thread trampoline
+  /// guarantees it).
+  void thread_begin(std::uint64_t token) override {
+    if (token == 0) {
+      tl_session = SessionTls{nullptr, generation_, /*unmonitored=*/true};
+      return;
+    }
+    std::scoped_lock lk(mu_);
+    auto it = records_.find(token);
+    if (it == records_.end()) return;
+    Registry::bind(it->second.ts);
+    tl_session = SessionTls{&it->second, generation_, false};
+  }
+
+  /// Joiner-side half of pthread_join, called *after* the native join
+  /// returned success (§4: the join handler runs when the child state is
+  /// read-only). Consumes the token; the child's slot retires here unless
+  /// a detach already retired it.
+  void thread_join(std::uint64_t token) override {
+    if (token == 0) return;
+    ThreadState* joiner = self_or_attach();
+    std::scoped_lock lk(mu_);
+    auto it = records_.find(token);
+    if (it == records_.end()) return;
+    ThreadRecord& rec = it->second;
+    if (!rec.retired) {
+      // The child may still be between "end of user code" and its key
+      // destructor only in hand-driven tests; real pthread_join returns
+      // after the child fully terminated.
+      if (joiner != nullptr) rt_.tool().join(*joiner, *rec.ts);
+      rt_.registry().retire(*rec.ts);
+      rec.retired = true;
+    }
+    records_.erase(it);
+  }
+
+  /// pthread_detach: no one will join this thread, so its end-of-thread
+  /// event retires the slot (immediately, if it already ended).
+  void thread_detach(std::uint64_t token) override {
+    if (token == 0) return;
+    std::scoped_lock lk(mu_);
+    auto it = records_.find(token);
+    if (it == records_.end()) return;
+    it->second.detached = true;
+    retire_if_due(it->second);
+  }
+
+  void free_hint(const void* addr, std::size_t size) override {
+    if (size == 0) return;
+    if (rt_.has_shadow_space()) rt_.shadow_space().reset_range(addr, size);
+    locks_.reset_range(addr, size);
+  }
+
+  std::size_t threads_seen() const override {
+    std::scoped_lock lk(mu_);
+    return threads_seen_;
+  }
+
+  std::size_t locks_seen() const override { return locks_.size(); }
+
+  std::size_t shadow_words() const override {
+    return rt_.has_shadow_space()
+               ? const_cast<Runtime<D>&>(rt_).shadow_space().size()
+               : 0;
+  }
+
+ private:
+  /// One target thread's lifecycle. The invariant behind "slot retired
+  /// exactly once": retirement happens at exactly one of
+  ///   - thread_join (joinable thread, whether or not it already ended),
+  ///   - retire_if_due on end (detached or implicitly attached thread),
+  ///   - retire_if_due on thread_detach (thread already ended),
+  /// guarded by `retired` under mu_. A joinable thread that ends and is
+  /// never joined keeps its slot (still consistent - just not reusable,
+  /// exactly like a leaked pthread).
+  struct ThreadRecord {
+    ThreadState* ts;
+    std::uint64_t token = 0;  ///< 0: implicit attach (not joinable)
+    bool detached = false;
+    bool ended = false;
+    bool retired = false;
+  };
+
+  static bool one_word(const void* addr, std::size_t size) {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    return (a & (ShadowGeometry::kGranularity - 1)) + size <=
+           ShadowGeometry::kGranularity;
+  }
+
+  /// The calling thread's state, attaching implicitly on first contact.
+  /// A wrapper-style ThreadScope binding (tests mixing APIs) wins; an
+  /// exhausted registry leaves the thread unmonitored (nullptr).
+  ThreadState* self_or_attach() {
+    if (ThreadState* ts = Registry::current()) return ts;
+    SessionTls& tls = tl_session;
+    if (tls.generation == generation_ && tls.unmonitored) return nullptr;
+    std::scoped_lock lk(mu_);
+    ThreadState* ts = rt_.registry().try_create();
+    if (ts == nullptr) {
+      warn_exhausted();
+      tl_session = SessionTls{nullptr, generation_, /*unmonitored=*/true};
+      return nullptr;
+    }
+    ++threads_seen_;
+    // Implicit threads have no joiner, so they behave as detached:
+    // end-of-thread retires the slot.
+    auto rec = std::make_unique<ThreadRecord>(ts, std::uint64_t{0});
+    rec->detached = true;
+    ThreadRecord* r = rec.get();
+    implicit_records_.push_back(std::move(rec));
+    Registry::bind(ts);
+    tl_session = SessionTls{r, generation_, false};
+    return ts;
+  }
+
+  /// Retire the slot if this record's lifecycle is complete. Caller holds
+  /// mu_. The `retired` flag makes retirement idempotent across the
+  /// end/detach/join paths; Registry::retire itself rejects a double
+  /// retire as a backstop.
+  void retire_if_due(ThreadRecord& rec) {
+    if (rec.ended && rec.detached && !rec.retired) {
+      rt_.registry().retire(*rec.ts);
+      rec.retired = true;
+    }
+  }
+
+  void warn_exhausted() {
+    if (warned_exhausted_) return;
+    warned_exhausted_ = true;
+    std::fprintf(
+        stderr,
+        "vft: warning: thread registry exhausted (%u concurrently-live "
+        "target threads, the Epoch::kMaxTid limit); further threads run "
+        "unmonitored and their accesses are invisible to the race "
+        "analysis. Join or detach finished threads so tid slots can be "
+        "reused.\n",
+        static_cast<unsigned>(Epoch::kMaxTid) + 1);
+  }
+
+  Runtime<D> rt_;
+  LockRegistry locks_;
+  const std::uint64_t generation_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, ThreadRecord> records_;
+  std::vector<std::unique_ptr<ThreadRecord>> implicit_records_;
+  std::uint64_t next_token_ = 1;
+  std::size_t threads_seen_ = 0;
+  bool warned_exhausted_ = false;
+};
+
+/// The process-wide analysis session. The instance is intentionally
+/// leaked: under the interposer, detached target threads can outlive
+/// main(), and events arriving during static destruction must still find
+/// a live session.
+class Session {
+ public:
+  static Session& instance() {
+    static Session* session = new Session();
+    return *session;
+  }
+
+  /// Select the detector for the next backend creation (first use, or the
+  /// next reset()). Accepts the CLI names: v1 v1.5 v2 ft-mutex ft-cas
+  /// djit. Returns false (and changes nothing) for an unknown name; has
+  /// no effect on an already-created backend until reset().
+  bool configure(const std::string& name);
+
+  /// The erased backend, created on first use from configure()'s choice
+  /// or the VFT_DETECTOR environment variable (default v2).
+  SessionBackend& backend() {
+    if (SessionBackend* b = backend_ptr_.load(std::memory_order_acquire)) {
+      return *b;
+    }
+    return create_backend();
+  }
+
+  RaceCollector& races() { return races_; }
+  RuleStats& rule_stats() { return stats_; }
+
+  /// Typed access for the default configuration, used by the ambient
+  /// wrappers (ambient::Thread/Lock) and same-detector fast paths. Fatal
+  /// with a pointer at VFT_DETECTOR if the session runs another detector:
+  /// mixing a typed v2 handler with, say, ft-cas state would corrupt both.
+  Runtime<VftV2>& runtime() {
+    backend();
+    if (v2_ == nullptr) {
+      detail::fatal(
+          "this session was launched with detector '%s', but a caller "
+          "asked for the typed VerifiedFT-v2 runtime (ambient wrappers "
+          "and VFT_AMBIENT_* macros are v2-only). Launch with "
+          "VFT_DETECTOR=v2 (the default), or route everything through "
+          "the detector-erased ABI instead.",
+          backend().detector_name());
+    }
+    return v2_->runtime();
+  }
+
+  ShadowSpace<VftV2>& shadow() { return runtime().shadow_space(); }
+
+  /// Monotone session generation; bumped by reset() so thread-local
+  /// bindings from a previous backend can never be mistaken for live.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all analysis state (shadow, reports, thread registry, lock
+  /// registry) and re-creates the backend with the configured detector.
+  /// Only safe while no ambient/ABI threads are live; intended for tests.
+  void reset();
+
+ private:
+  Session() = default;
+
+  SessionBackend& create_backend();
+
+  std::mutex mu_;
+  std::string detector_;  ///< empty: resolve from env at creation
+  std::unique_ptr<SessionBackend> backend_;
+  std::atomic<SessionBackend*> backend_ptr_{nullptr};
+  SessionImpl<VftV2>* v2_ = nullptr;
+  std::atomic<std::uint64_t> generation_{1};
+  RaceCollector races_;
+  RuleStats stats_;
+};
+
+}  // namespace vft::rt::ambient

@@ -29,8 +29,13 @@ std::string str(const ShadowSpaceStats& s) {
                         static_cast<double>(s.bytes) / (1024.0 * 1024.0),
                         s.collisions, s.cache_misses);
   if (s.spilled > 0 && n > 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                       " spilled=%zu", s.spilled);
+  }
+  if (s.words_reset > 0 && n > 0 &&
+      static_cast<std::size_t>(n) < sizeof(buf)) {
     std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
-                  " spilled=%zu", s.spilled);
+                  " words-reset=%zu", s.words_reset);
   }
   return buf;
 }

@@ -112,6 +112,7 @@ struct ShadowSpaceStats {
   std::size_t collisions = 0;  ///< bucket chains longer than one + CAS races
   std::size_t cache_misses = 0;  ///< lookups that fell past the TL cache
   std::size_t spilled = 0;  ///< packed cells escalated to full VarStates
+  std::size_t words_reset = 0;  ///< shadow words cleared by reset_range
 };
 
 /// "pages=N slots=N mem=N.NMiB collisions=N ..." (shadow_space.cpp).
@@ -161,6 +162,18 @@ class PageDirectory {
       return *c.page;
     }
     return page_miss(base);
+  }
+
+  /// The page for `base` if it was ever touched, else nullptr - a lookup
+  /// that never allocates. reset_range walks existing pages with this so
+  /// clearing the shadow of freed memory cannot materialize new pages.
+  PageT* find_page(std::uintptr_t base) {
+    std::atomic<PageT*>& head = buckets_[Geometry::bucket_of(base)];
+    for (PageT* p = head.load(std::memory_order_acquire); p != nullptr;
+         p = p->next.load(std::memory_order_acquire)) {
+      if (p->base == base) return p;
+    }
+    return nullptr;
   }
 
   /// The pre-cache lookup path (hash + chain walk), kept callable so
@@ -259,11 +272,53 @@ class ShadowSpace {
     return dir_.page_uncached(Geometry::base_of(a)).slot(a);
   }
 
+  /// Reset every shadow word overlapping [addr, addr+size) to its initial
+  /// (bottom) VarState, keeping the word's report id. This is the shadow
+  /// half of free()/munmap() interposition: without it, memory the
+  /// allocator recycles would inherit the dead object's access history and
+  /// report false races against its previous life (docs/ALGORITHM.md s8).
+  ///
+  /// Only pages that already exist are touched - clearing never allocates.
+  /// The caller must guarantee no thread concurrently accesses the range
+  /// being cleared; for the free() path that is the target's own
+  /// correctness obligation (freeing memory another thread still uses is a
+  /// bug this very tool exists to find).
+  void reset_range(const void* addr, std::size_t size) {
+    if (size == 0) return;
+    const auto lo = reinterpret_cast<std::uintptr_t>(addr);
+    const std::uintptr_t hi = lo + size;
+    for (std::uintptr_t base = Geometry::base_of(lo); base < hi;
+         base += Geometry::kPageSpan) {
+      Page* p = dir_.find_page(base);
+      if (p == nullptr) continue;
+      const std::uintptr_t first = base < lo ? lo : base;
+      const std::uintptr_t last =
+          base + Geometry::kPageSpan < hi ? base + Geometry::kPageSpan : hi;
+      std::size_t i = Geometry::slot_index(first);
+      const std::size_t end =
+          ((last - 1 - base) >> Geometry::kGranularityLog2) + 1;
+      for (; i < end; ++i) {
+        auto& vs = p->slots[i];
+        const std::uint64_t id = vs.id;
+        std::destroy_at(&vs);
+        std::construct_at(&vs);
+        vs.id = id;
+      }
+      words_reset_.fetch_add(end - Geometry::slot_index(first),
+                             std::memory_order_relaxed);
+    }
+  }
+
   /// Pages allocated so far (racy snapshot).
   std::size_t pages() const { return dir_.pages(); }
 
   /// VarState slots materialized so far (pages * slots-per-page).
   std::size_t size() const { return pages() * Geometry::kSlotsPerPage; }
+
+  /// Shadow words cleared by reset_range so far.
+  std::size_t words_reset() const {
+    return words_reset_.load(std::memory_order_relaxed);
+  }
 
   ShadowSpaceStats stats() const {
     ShadowSpaceStats s;
@@ -273,6 +328,7 @@ class ShadowSpace {
               s.pages * sizeof(Page);
     s.collisions = dir_.collisions();
     s.cache_misses = dir_.cache_misses();
+    s.words_reset = words_reset();
     return s;
   }
 
@@ -294,6 +350,7 @@ class ShadowSpace {
   };
 
   PageDirectory<Page> dir_;
+  std::atomic<std::size_t> words_reset_{0};
 };
 
 /// Packed-cell shadow space: 16 bytes of page payload per target word (an

@@ -90,10 +90,20 @@ class Runtime {
   bool has_packed_space() const { return packed_ != nullptr; }
 
   /// The calling thread's state; the thread must be inside a ThreadScope
-  /// (MainScope or a runtime-spawned Thread).
+  /// (MainScope or a runtime-spawned Thread) or persistently bound by the
+  /// ABI attach path. Failing that is target-integration misuse, so the
+  /// diagnostic says how to register the thread rather than just aborting.
   ThreadState& self() {
     ThreadState* ts = Registry::current();
-    VFT_CHECK(ts != nullptr);
+    if (ts == nullptr) {
+      detail::fatal(
+          "analysis event from an unregistered thread: this OS thread has "
+          "no ThreadState bound. Register the program's first thread with "
+          "a MainScope, spawn workers through rt::Thread, or - for "
+          "unmodified binaries - route events through the C ABI "
+          "(src/abi/vft_abi.h), whose entry points attach the calling "
+          "thread implicitly.");
+    }
     return *ts;
   }
 

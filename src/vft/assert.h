@@ -12,6 +12,7 @@
 // expected outcomes and flow through vft::RaceReport.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,6 +21,27 @@ namespace vft::detail {
 [[noreturn]] inline void assert_fail(const char* kind, const char* expr,
                                      const char* file, int line) {
   std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+/// Actionable fatal diagnostic for API misuse the caller can fix: unlike a
+/// bare VFT_CHECK, the message says what happened *and* what to do about
+/// it. Used where target programs (not this library) drive the runtime
+/// into a wall - thread-registry exhaustion, events from unregistered
+/// threads, double retire - so the abort reads like a tool diagnostic, not
+/// an internal assertion.
+[[noreturn]]
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline void
+fatal(const char* fmt, ...) {
+  std::fprintf(stderr, "vft: fatal: ");
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
   std::abort();
 }
 

@@ -34,6 +34,15 @@
 //       its schedule= field into --schedule (plus the same --mutate, if
 //       any). Requires a -DVFT_SCHED=ON build; exits 2 otherwise.
 //
+//   vft run [--detector NAME] [--report PATH] [--expect race|none]
+//           [--preload LIB] -- <program> [args...]
+//       Run an *unmodified* binary under the analysis: LD_PRELOAD the
+//       interposition library (src/interpose/), select the detector via
+//       VFT_DETECTOR, collect the end-of-run report (text, or JSON when
+//       the path ends in .json), and print the verdict. With --expect the
+//       exit code asserts the verdict (0 iff it matches), which is how
+//       the examples/native corpus runs under ctest and CI.
+//
 //   vft rules
 //       Print the Figure 2 rule names with a one-line summary each.
 #include <atomic>
@@ -47,6 +56,9 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "kernels/all.h"
 #include "sched/explore.h"
@@ -74,6 +86,9 @@ int usage() {
                "       vft sched <scenario> [--bound K] [--seed N"
                " [--preemptions K] [--runs R]] [--schedule CSV]"
                " [--mutate NAME]\n"
+               "       vft run [--detector NAME] [--report PATH]"
+               " [--expect race|none] [--preload LIB] -- <program>"
+               " [args...]\n"
                "       vft rules\n"
                "tools: v1 v1.5 v2 ft-mutex ft-cas djit (default v2)\n");
   return 2;
@@ -274,6 +289,121 @@ int cmd_minimize(int argc, char** argv) {
   return 0;
 }
 
+/// Race count from a report the interposer wrote: the number after
+/// "races" inside the summary, in either the text form
+/// ("summary: races=N ...") or the JSON form ("\"summary\": {\"races\": N").
+/// -1 when the report is missing or unparsable (e.g. the target crashed
+/// before the library destructor could run).
+long parse_race_count(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return -1;
+  std::ostringstream all;
+  all << in.rdbuf();
+  const std::string text = all.str();
+  const std::size_t sum = text.find("summary");
+  if (sum == std::string::npos) return -1;
+  const std::size_t key = text.find("races", sum);
+  if (key == std::string::npos) return -1;
+  std::size_t i = key + 5;
+  while (i < text.size() && (text[i] == '"' || text[i] == ':' ||
+                             text[i] == '=' || text[i] == ' ')) {
+    ++i;
+  }
+  if (i >= text.size() || text[i] < '0' || text[i] > '9') return -1;
+  return std::atol(text.c_str() + i);
+}
+
+int cmd_run(int argc, char** argv) {
+  int sep = -1;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--") == 0) {
+      sep = i;
+      break;
+    }
+  }
+  if (sep < 0 || sep + 1 >= argc) {
+    std::fprintf(stderr, "vft run: missing `-- <program> [args...]`\n");
+    return usage();
+  }
+
+  const std::string detector = arg_value(sep, argv, "--detector", "v2");
+  const std::string expect = arg_value(sep, argv, "--expect", "");
+  if (!expect.empty() && expect != "race" && expect != "none") {
+    std::fprintf(stderr, "vft run: --expect wants `race` or `none`\n");
+    return 2;
+  }
+
+  std::string preload = arg_value(sep, argv, "--preload", "");
+  if (preload.empty()) {
+    if (const char* env = std::getenv("VFT_PRELOAD")) preload = env;
+  }
+#ifdef VFT_PRELOAD_DEFAULT
+  if (preload.empty()) preload = VFT_PRELOAD_DEFAULT;
+#endif
+  if (preload.empty()) {
+    std::fprintf(stderr,
+                 "vft run: no interposition library available in this build "
+                 "(sanitizer configurations do not build it); pass "
+                 "--preload <libvft_preload.so> or set VFT_PRELOAD\n");
+    return 2;
+  }
+
+  std::string report = arg_value(sep, argv, "--report", "");
+  bool temp_report = false;
+  if (report.empty()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "/tmp/vft-report-%d.json",
+                  static_cast<int>(getpid()));
+    report = buf;
+    temp_report = true;
+  }
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("vft run: fork");
+    return 2;
+  }
+  if (pid == 0) {
+    setenv("LD_PRELOAD", preload.c_str(), 1);
+    setenv("VFT_DETECTOR", detector.c_str(), 1);
+    setenv("VFT_REPORT", report.c_str(), 1);
+    execvp(argv[sep + 1], argv + sep + 1);
+    std::perror("vft run: exec");
+    _exit(127);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  const int target_rc = WIFEXITED(status) ? WEXITSTATUS(status)
+                                          : 128 + WTERMSIG(status);
+
+  const long races = parse_race_count(report);
+  if (races < 0) {
+    std::fprintf(stderr,
+                 "vft run: no report from the target (exit %d) - it may "
+                 "have crashed before the interposer could write %s\n",
+                 target_rc, report.c_str());
+    if (temp_report) std::remove(report.c_str());
+    return expect.empty() ? target_rc : 1;
+  }
+  std::printf("vft run: detector=%s races=%ld target-exit=%d%s%s\n",
+              detector.c_str(), races, target_rc,
+              temp_report ? "" : " report=",
+              temp_report ? "" : report.c_str());
+  if (temp_report) std::remove(report.c_str());
+
+  if (expect == "race") {
+    if (races > 0) return 0;
+    std::fprintf(stderr, "vft run: expected a race, found none\n");
+    return 1;
+  }
+  if (expect == "none") {
+    if (races == 0) return 0;
+    std::fprintf(stderr, "vft run: expected race-free, found %ld\n", races);
+    return 1;
+  }
+  return target_rc;
+}
+
 int cmd_rules() {
   std::printf(
       "Figure 2 analysis rules (VerifiedFT):\n"
@@ -403,6 +533,7 @@ int main(int argc, char** argv) {
   if (cmd == "bench") return cmd_bench(argc - 2, argv + 2);
   if (cmd == "minimize") return cmd_minimize(argc - 2, argv + 2);
   if (cmd == "sched") return cmd_sched(argc - 2, argv + 2);
+  if (cmd == "run") return cmd_run(argc - 2, argv + 2);
   if (cmd == "rules") return cmd_rules();
   return usage();
 }
