@@ -19,6 +19,12 @@
 //                     reentrancy guard + SessionBackend vtable) vs the
 //                     inlined wrapper path reaching the same tool handler;
 //                     the delta is the per-access interposition tax.
+//   report_ctx        ISSUE-6 A/B: the same vft_read8 sweep with the
+//                     stack-capture event context armed per access (the
+//                     two TLS stores every __tsan_* wrapper pays) vs left
+//                     unarmed. Stack walking fires only when a race does,
+//                     so the race-free delta must be ~0 (acceptance: the
+//                     hook adds no measurable fast-path cost).
 //   volatile_load     rt::Volatile load with the same-epoch fast path on
 //                     vs off (always-locked join), 1..max threads hammering
 //                     one volatile after a single publication.
@@ -371,6 +377,61 @@ void abi_section(JsonReport& json, std::size_t scale) {
 }
 
 // ---------------------------------------------------------------------------
+// Section: event-context arming cost (the report pipeline's fast-path tax).
+// ---------------------------------------------------------------------------
+
+/// What ISSUE-6 added to the race-free access path: the interposition
+/// boundary stores its caller's return address and frame address into
+/// `vft_tl_event_ctx` before every forwarded event (two thread-local
+/// stores), and the ABI clears the context afterwards (one store, present
+/// in both runs here). Everything else - the frame-pointer walk, dladdr,
+/// dedup, suppression matching - runs only when a race actually fires, so
+/// an armed race-free sweep must cost the same as an unarmed one.
+void report_ctx_section(JsonReport& json, std::size_t scale) {
+  const std::size_t words = std::size_t{1} << 12;
+  const std::size_t sweeps = 2048 * scale;
+  std::vector<std::uint64_t> buf(words, 1);
+
+  rt::ambient::Session::instance().configure("v2");
+  rt::ambient::Session::instance().reset();
+  for (const std::uint64_t& w : buf) vft_write8(&w);
+
+  auto sweep = [&](bool armed) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < sweeps; ++s) {
+      for (const std::uint64_t& w : buf) {
+        if (armed) {
+          // Exactly the interposer's VFT_ARM_EVENT_CTX: two TLS stores.
+          vft_tl_event_ctx.pc = __builtin_return_address(0);
+          vft_tl_event_ctx.fp = __builtin_frame_address(0);
+        }
+        vft_read8(&w);
+      }
+    }
+    return 1e9 * now_minus(t0) /
+           (static_cast<double>(sweeps) * static_cast<double>(words));
+  };
+
+  const double bare_ns = sweep(false);
+  const double armed_ns = sweep(true);
+  VFT_CHECK(vft_race_count() == 0);
+  vft_detach();
+  rt::ambient::Session::instance().reset();
+
+  std::printf("event-context arming (stack-capture hook) on vft_read8, "
+              "race-free same-epoch reads\n");
+  std::printf("%8s %12s %12s %14s\n", "", "bare ns/op", "armed ns/op",
+              "overhead ns");
+  std::printf("%8s %12.2f %12.2f %14.2f\n\n", "read8", bare_ns, armed_ns,
+              armed_ns - bare_ns);
+  json.add("report_ctx", "read8",
+           {{"bare_ns", bare_ns},
+            {"armed_ns", armed_ns},
+            {"overhead_ns", armed_ns - bare_ns},
+            {"ratio", armed_ns / bare_ns}});
+}
+
+// ---------------------------------------------------------------------------
 // Section 3: Volatile load fast path on vs off.
 // ---------------------------------------------------------------------------
 
@@ -463,6 +524,7 @@ int main() {
   shadow_cache_section(json, max_threads, scale);
   packed_section(json, scale);
   abi_section(json, scale);
+  report_ctx_section(json, scale);
   volatile_section(json, max_threads, scale);
   barrier_section(json, max_threads, scale);
 

@@ -1,0 +1,36 @@
+// Native corpus: a target that races and THEN crashes - the salvage
+// path's test case. The two children run the plain write-write race
+// shape; after both are joined, main dereferences null and dies with
+// SIGSEGV before the interposer's library destructor (the normal report
+// writer) can ever run.
+//
+// The interposer's crash handler must salvage a partial report
+// (clean_exit=false) on the way down, and `vft run` must still give the
+// RACE verdict from it - flagging the run as partial, not silently
+// reporting "no report from the target".
+//
+// Expected verdict: RACE (from the salvaged report; target exit is
+// 128+SIGSEGV).
+#include <pthread.h>
+
+namespace {
+
+long counter = 0;
+
+void* bump(void*) {
+  for (int i = 0; i < 100; ++i) counter = counter + 1;
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_t a, b;
+  pthread_create(&a, nullptr, bump, nullptr);
+  pthread_create(&b, nullptr, bump, nullptr);
+  pthread_join(a, nullptr);
+  pthread_join(b, nullptr);
+  volatile int* die = nullptr;
+  *die = static_cast<int>(counter);  // SIGSEGV with races on the books
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Native corpus: ONE race site firing over a thousand times - the dedup
+// pipeline's stress shape. A writer thread stores the flag once,
+// unordered with a reader thread that then reads it 1100 times, each
+// read in a fresh epoch (its private mutex bumps the reader's clock
+// every iteration, and release-epoch bumps defeat the same-epoch
+// fast path), so every read re-detects the same write-read race
+// at the same source line.
+//
+// What the report must show (scripts/check_report_pipeline.sh asserts
+// it): exactly ONE error context with count >= 1000 - not a thousand
+// report lines - keyed by the racing access's call stack. This is the
+// valgrind error-context discipline at race scale.
+//
+// Determinism: the reader spins until it observes the writer's store
+// before starting its counted loop, so every iteration races
+// regardless of scheduling. The spin reads race too, but from a
+// different source line - a separate, small context that never reaches
+// the 1000 threshold.
+//
+// Expected verdict: RACE.
+#include <pthread.h>
+#include <sched.h>
+
+namespace {
+
+volatile long flag = 0;  // volatile: the spin must re-load every pass
+long sink = 0;
+pthread_mutex_t reader_mu = PTHREAD_MUTEX_INITIALIZER;
+
+void* writer(void*) {
+  flag = 42;  // unordered with every read below: the one racy write
+  return nullptr;
+}
+
+void* reader(void*) {
+  while (flag == 0) sched_yield();  // small side context (separate line)
+  // 1100, not 1000: the first counted read lands in the same epoch as
+  // the final spin read, whose race already force-updated the read
+  // epoch (Section 7 fail-over), so it folds into that no-op. The
+  // asserted threshold is >= 1000 occurrences in the loop's context.
+  for (int i = 0; i < 1100; ++i) {
+    // The private mutex orders nothing (no other thread touches it);
+    // its release bumps this thread's epoch so iteration i+1 cannot
+    // hide behind iteration i's same-epoch no-op.
+    pthread_mutex_lock(&reader_mu);
+    sink += flag;  // the hot race site: fires once per iteration
+    pthread_mutex_unlock(&reader_mu);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_t w, r;
+  pthread_create(&r, nullptr, reader, nullptr);
+  pthread_create(&w, nullptr, writer, nullptr);
+  pthread_join(w, nullptr);
+  pthread_join(r, nullptr);
+  return sink > 0 ? 0 : 1;
+}

@@ -9,12 +9,13 @@
 // they describe the analysis, not the target.
 #include "abi/vft_abi.h"
 
-#include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "runtime/session.h"
 #include "vft/report.h"
+#include "vft/report_io.h"
 
 namespace {
 
@@ -41,58 +42,28 @@ class AbiScope {
 
 SessionBackend& backend() { return Session::instance().backend(); }
 
-void report_text(std::FILE* out) {
-  auto& session = Session::instance();
-  const auto reports = session.races().all();
-  std::fprintf(out, "== VerifiedFT report (detector %s) ==\n",
-               backend().detector_name());
-  for (const auto& r : reports) {
-    std::fprintf(out, "race: %s\n", session.races().describe(r).c_str());
+int write_report(const char* path, int json, int clean) {
+  // Snapshot first, open the file second: on the crash path the document
+  // is built before any stdio state is trusted with it.
+  const vft::reportio::ReportDoc doc =
+      Session::instance().report_doc(clean != 0);
+  const std::string text = json != 0 ? vft::reportio::render_json(doc)
+                                     : vft::reportio::render_plain(doc);
+  std::FILE* out = stderr;
+  bool owned = false;
+  if (path != nullptr && std::strcmp(path, "-") != 0) {
+    out = std::fopen(path, "w");
+    if (out == nullptr) return -1;
+    owned = true;
   }
-  std::fprintf(out,
-               "summary: races=%zu suppressed=%zu threads=%zu locks=%zu "
-               "shadow-words=%zu\n",
-               reports.size(), session.races().suppressed(),
-               backend().threads_seen(), backend().locks_seen(),
-               backend().shadow_words());
-}
-
-void json_escape(std::FILE* out, const char* s) {
-  for (; *s != '\0'; ++s) {
-    const char c = *s;
-    if (c == '"' || c == '\\') {
-      std::fprintf(out, "\\%c", c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      std::fprintf(out, "\\u%04x", c);
-    } else {
-      std::fputc(c, out);
-    }
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  if (owned) {
+    if (std::fclose(out) != 0) return -1;
+  } else {
+    std::fflush(out);
   }
-}
-
-void report_json(std::FILE* out) {
-  auto& session = Session::instance();
-  const auto reports = session.races().all();
-  std::fprintf(out, "{\n  \"detector\": \"");
-  json_escape(out, backend().detector_name());
-  std::fprintf(out, "\",\n  \"races\": [\n");
-  for (std::size_t i = 0; i < reports.size(); ++i) {
-    const auto& r = reports[i];
-    std::fprintf(out,
-                 "    {\"kind\": \"%s\", \"var\": \"0x%" PRIx64
-                 "\", \"current_tid\": %u, "
-                 "\"prior_epoch\": \"%s\", \"current_epoch\": \"%s\"}%s\n",
-                 vft::race_kind_name(r.kind), r.var,
-                 static_cast<unsigned>(r.current_tid), r.prior.str().c_str(),
-                 r.current.str().c_str(),
-                 i + 1 < reports.size() ? "," : "");
-  }
-  std::fprintf(out,
-               "  ],\n  \"summary\": {\"races\": %zu, \"suppressed\": %zu, "
-               "\"threads\": %zu, \"locks\": %zu, \"shadow_words\": %zu}\n}\n",
-               reports.size(), session.races().suppressed(),
-               backend().threads_seen(), backend().locks_seen(),
-               backend().shadow_words());
+  return ok ? 0 : -1;
 }
 
 }  // namespace
@@ -135,11 +106,16 @@ void vft_thread_detach(uint64_t token) {
   backend().thread_detach(token);
 }
 
+/// Access events consume the interposition boundary: the armed event
+/// context describes exactly this access, so it is cleared on the way
+/// out - a later race on a *different* path (ambient wrappers mixed into
+/// an interposed process) must not inherit this access's stack.
 #define VFT_ABI_ACCESS(name, method, size)        \
   void name(const void* addr) {                   \
     AbiScope guard;                               \
     if (!guard.entered()) return;                 \
     backend().method(addr, (size));               \
+    vft_tl_event_ctx.pc = nullptr;                \
   }
 
 VFT_ABI_ACCESS(vft_read1, read, 1)
@@ -157,12 +133,14 @@ void vft_range_read(const void* addr, size_t size) {
   AbiScope guard;
   if (!guard.entered() || size == 0) return;
   backend().range_read(addr, size);
+  vft_tl_event_ctx.pc = nullptr;
 }
 
 void vft_range_write(const void* addr, size_t size) {
   AbiScope guard;
   if (!guard.entered() || size == 0) return;
   backend().range_write(addr, size);
+  vft_tl_event_ctx.pc = nullptr;
 }
 
 void vft_mutex_lock(const void* m) {
@@ -189,23 +167,33 @@ size_t vft_race_count(void) {
   return Session::instance().races().count();
 }
 
+size_t vft_suppressed_count(void) {
+  AbiScope guard;
+  if (!guard.entered()) return 0;
+  return Session::instance().races().suppressed();
+}
+
+int vft_suppressions_load(const char* path) {
+  AbiScope guard;
+  if (!guard.entered() || path == nullptr) return -1;
+  std::string err;
+  if (!Session::instance().races().load_suppressions(path, &err)) {
+    std::fprintf(stderr, "vft: %s\n", err.c_str());
+    return -1;
+  }
+  return 0;
+}
+
 int vft_report_write(const char* path, int json) {
   AbiScope guard;
   if (!guard.entered()) return -1;
-  std::FILE* out = stderr;
-  bool owned = false;
-  if (path != nullptr && std::strcmp(path, "-") != 0) {
-    out = std::fopen(path, "w");
-    if (out == nullptr) return -1;
-    owned = true;
-  }
-  if (json != 0) {
-    report_json(out);
-  } else {
-    report_text(out);
-  }
-  if (owned) std::fclose(out);
-  return 0;
+  return write_report(path, json, /*clean=*/1);
+}
+
+int vft_report_write_ex(const char* path, int json, int clean) {
+  AbiScope guard;
+  if (!guard.entered()) return -1;
+  return write_report(path, json, clean);
 }
 
 const char* vft_detector_name(void) {

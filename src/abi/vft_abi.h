@@ -31,6 +31,8 @@
 #include <stddef.h>
 #include <stdint.h>
 
+#include "vft/event_ctx.h"
+
 #ifdef __cplusplus
 extern "C" {
 #endif
@@ -103,16 +105,55 @@ void vft_mutex_unlock(const void* m);
  * cannot inherit stale analysis state. */
 void vft_free_hint(const void* addr, size_t size);
 
+/* --- event context (stack capture) ------------------------------------- */
+
+/* Per-thread capture boundary for race call stacks (vft/event_ctx.h: the
+ * `vft_tl_event_ctx` thread-local). An interposition layer stores the
+ * instrumented call site's return address (`pc`) and its own frame
+ * pointer (`fp`) there immediately before forwarding an access event; if
+ * that event detects a race, the runtime walks the frame-pointer chain
+ * upward from `fp` to reconstruct the *target's* stack (capped by
+ * VFT_STACK_DEPTH, default 16, max 32). Cost on the non-racing path: the
+ * two stores. Left unset, races are recorded without stacks and
+ * deduplicate by variable instead. Cleared by the runtime after each
+ * event so a stale boundary can never describe the wrong access. */
+
 /* --- reporting --------------------------------------------------------- */
 
-/* Number of race reports collected so far (suppressed reports not
- * included; vft_report_write's summary counts them). */
+/* Number of *visible* race occurrences collected so far (occurrences
+ * hidden by suppression rules or report limits are counted separately;
+ * see vft_suppressed_count and the report summary). */
 size_t vft_race_count(void);
 
+/* Occurrences hidden from the report: suppression-rule matches plus
+ * over-limit drops. racy run := vft_race_count() + vft_suppressed_count()
+ * > 0. */
+size_t vft_suppressed_count(void);
+
+/* Load a valgrind-style suppression file (see docs: `vft:<kind-glob>`,
+ * `fun:`/`obj:` frame globs, `...` ellipsis) into the session's engine.
+ * Files named by the VFT_SUPPRESSIONS environment variable (colon-
+ * separated list) are loaded automatically at session creation; this
+ * entry point adds more at runtime. Rules apply to contexts created
+ * after the load. Returns 0 on success, -1 on a missing/malformed file
+ * (a diagnostic goes to stderr; previously loaded rules are kept). */
+int vft_suppressions_load(const char* path);
+
 /* Write the end-of-run race report to `path` ("-" or NULL: stderr).
- * `json` nonzero selects the machine-readable JSON form, else text.
+ * `json` nonzero selects the machine-readable "vft-report-v2" JSON
+ * schema - deduplicated error contexts with call stacks (module+offset
+ * frames for offline symbolization via `vft report symbolize`), per-
+ * context occurrence counts, and suppression statistics; `vft report
+ * merge` fuses such files across a fleet of runs. `json` zero writes the
+ * flat pre-v2 text form (compatibility mode).
  * Returns 0 on success, -1 when the file cannot be written. */
 int vft_report_write(const char* path, int json);
+
+/* vft_report_write with an explicit exit disposition: `clean` zero marks
+ * the report as written from a crash/signal path ("clean_exit": false),
+ * letting offline consumers distinguish a complete run from a salvaged
+ * one. vft_report_write(path, json) == vft_report_write_ex(path, json, 1). */
+int vft_report_write_ex(const char* path, int json, int clean);
 
 /* The active detector's name (e.g. "VerifiedFT-v2"). */
 const char* vft_detector_name(void);

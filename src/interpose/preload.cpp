@@ -38,6 +38,7 @@
 #include <dlfcn.h>
 #include <malloc.h>
 #include <pthread.h>
+#include <signal.h>
 #include <stdint.h>
 #include <stdio.h>
 #include <stdlib.h>
@@ -295,65 +296,162 @@ int munmap(void* addr, size_t len) {
 // The __tsan_* surface `-fsanitize=thread` compilation emits; mapped
 // onto the sized ABI events. Unaligned and 16-byte forms degrade to the
 // range path inside the session when they straddle a shadow word.
+//
+// Each access wrapper first arms the per-thread capture boundary
+// (vft/event_ctx.h): its return address is the instrumented access site
+// in the target, and its frame address anchors the frame-pointer walk
+// that reconstructs the target's stack *if* this access races. On the
+// non-racing path these two stores are the entire cost (the bench's
+// `report_ctx` section measures them); the ABI clears the boundary on
+// the way out.
 // ---------------------------------------------------------------------
+
+#define VFT_ARM_EVENT_CTX()                              \
+  do {                                                   \
+    vft_tl_event_ctx.pc = __builtin_return_address(0);   \
+    vft_tl_event_ctx.fp = __builtin_frame_address(0);    \
+  } while (0)
 
 void __tsan_init(void) {}
 void __tsan_func_entry(void*) {}
 void __tsan_func_exit(void) {}
 
-void __tsan_read1(void* a) { vft_read1(a); }
-void __tsan_read2(void* a) { vft_read2(a); }
-void __tsan_read4(void* a) { vft_read4(a); }
-void __tsan_read8(void* a) { vft_read8(a); }
-void __tsan_read16(void* a) { vft_range_read(a, 16); }
-void __tsan_write1(void* a) { vft_write1(a); }
-void __tsan_write2(void* a) { vft_write2(a); }
-void __tsan_write4(void* a) { vft_write4(a); }
-void __tsan_write8(void* a) { vft_write8(a); }
-void __tsan_write16(void* a) { vft_range_write(a, 16); }
+// The trailing barrier keeps `fwd` out of tail position: a sibling-call
+// would pop this frame (and the armed fp anchor) before the detector
+// runs, so a race would walk freed stack instead of the caller chain.
+#define VFT_TSAN_ACCESS(name, fwd)     \
+  void name(void* a) {                 \
+    VFT_ARM_EVENT_CTX();               \
+    fwd;                               \
+    asm volatile("" ::: "memory");     \
+  }
 
-void __tsan_unaligned_read2(void* a) { vft_read2(a); }
-void __tsan_unaligned_read4(void* a) { vft_read4(a); }
-void __tsan_unaligned_read8(void* a) { vft_read8(a); }
-void __tsan_unaligned_read16(void* a) { vft_range_read(a, 16); }
-void __tsan_unaligned_write2(void* a) { vft_write2(a); }
-void __tsan_unaligned_write4(void* a) { vft_write4(a); }
-void __tsan_unaligned_write8(void* a) { vft_write8(a); }
-void __tsan_unaligned_write16(void* a) { vft_range_write(a, 16); }
+VFT_TSAN_ACCESS(__tsan_read1, vft_read1(a))
+VFT_TSAN_ACCESS(__tsan_read2, vft_read2(a))
+VFT_TSAN_ACCESS(__tsan_read4, vft_read4(a))
+VFT_TSAN_ACCESS(__tsan_read8, vft_read8(a))
+VFT_TSAN_ACCESS(__tsan_read16, vft_range_read(a, 16))
+VFT_TSAN_ACCESS(__tsan_write1, vft_write1(a))
+VFT_TSAN_ACCESS(__tsan_write2, vft_write2(a))
+VFT_TSAN_ACCESS(__tsan_write4, vft_write4(a))
+VFT_TSAN_ACCESS(__tsan_write8, vft_write8(a))
+VFT_TSAN_ACCESS(__tsan_write16, vft_range_write(a, 16))
+
+VFT_TSAN_ACCESS(__tsan_unaligned_read2, vft_read2(a))
+VFT_TSAN_ACCESS(__tsan_unaligned_read4, vft_read4(a))
+VFT_TSAN_ACCESS(__tsan_unaligned_read8, vft_read8(a))
+VFT_TSAN_ACCESS(__tsan_unaligned_read16, vft_range_read(a, 16))
+VFT_TSAN_ACCESS(__tsan_unaligned_write2, vft_write2(a))
+VFT_TSAN_ACCESS(__tsan_unaligned_write4, vft_write4(a))
+VFT_TSAN_ACCESS(__tsan_unaligned_write8, vft_write8(a))
+VFT_TSAN_ACCESS(__tsan_unaligned_write16, vft_range_write(a, 16))
+
+#undef VFT_TSAN_ACCESS
 
 void __tsan_read_range(void* a, unsigned long size) {
+  VFT_ARM_EVENT_CTX();
   vft_range_read(a, size);
 }
 void __tsan_write_range(void* a, unsigned long size) {
+  VFT_ARM_EVENT_CTX();
   vft_range_write(a, size);
 }
 
-void __tsan_vptr_read(void** a) { vft_read8(a); }
-void __tsan_vptr_update(void** a, void*) { vft_write8(a); }
+void __tsan_vptr_read(void** a) {
+  VFT_ARM_EVENT_CTX();
+  vft_read8(a);
+}
+void __tsan_vptr_update(void** a, void*) {
+  VFT_ARM_EVENT_CTX();
+  vft_write8(a);
+}
 
 // ---------------------------------------------------------------------
 // Process lifecycle.
 // ---------------------------------------------------------------------
 
+static int report_path_is_json(const char* report) {
+  const size_t n = strlen(report);
+  return n >= 5 && strcmp(report + n - 5, ".json") == 0;
+}
+
+// Crash-path report salvage: on a fatal signal, write the report with
+// clean_exit=false before the process dies, so `vft run` can still give
+// a verdict for everything detected up to the crash. Best-effort by
+// nature (the write is not async-signal-safe; a second fault inside it
+// just kills the process the way it was already dying) - the tolerant
+// parser on the consumer side finishes the job if the file is cut short.
+static struct sigaction g_prev_sig[32];
+
+static void vft_crash_handler(int signo, siginfo_t* info, void* uctx) {
+  static volatile sig_atomic_t in_handler = 0;
+  if (!in_handler) {
+    in_handler = 1;
+    const char* report = getenv("VFT_REPORT");
+    if (report != nullptr && report[0] != '\0') {
+      vft_report_write_ex(report, report_path_is_json(report), /*clean=*/0);
+    }
+    fprintf(stderr, "vft: target received fatal signal %d; report %s\n",
+            signo,
+            report != nullptr && report[0] != '\0' ? "salvaged" : "lost");
+  }
+  // Re-deliver with the original disposition so the exit status (and any
+  // chained handler, e.g. a sanitizer's) is exactly what it would have
+  // been without us.
+  struct sigaction* prev =
+      signo > 0 && signo < 32 ? &g_prev_sig[signo] : nullptr;
+  if (prev != nullptr && (prev->sa_flags & SA_SIGINFO) != 0 &&
+      prev->sa_sigaction != nullptr) {
+    prev->sa_sigaction(signo, info, uctx);
+    return;
+  }
+  if (prev != nullptr && (prev->sa_flags & SA_SIGINFO) == 0 &&
+      prev->sa_handler != SIG_DFL && prev->sa_handler != SIG_IGN &&
+      prev->sa_handler != nullptr) {
+    prev->sa_handler(signo);
+    return;
+  }
+  signal(signo, SIG_DFL);
+  raise(signo);
+}
+
+static void install_crash_handlers(void) {
+  static const int kFatal[] = {SIGSEGV, SIGBUS, SIGABRT, SIGILL, SIGFPE};
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = vft_crash_handler;
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  for (size_t i = 0; i < sizeof(kFatal) / sizeof(kFatal[0]); ++i) {
+    const int signo = kFatal[i];
+    sigaction(signo, &sa, &g_prev_sig[signo]);
+  }
+}
+
 __attribute__((constructor)) static void vft_preload_init(void) {
   resolve_all();
   pthread_once(&g_end_key_once, make_end_key);
+  install_crash_handlers();
   vft_attach();  // the main thread is target thread 0
 }
 
 __attribute__((destructor)) static void vft_preload_fini(void) {
   vft_detach();
   const size_t races = vft_race_count();
+  const size_t suppressed = vft_suppressed_count();
   const char* report = getenv("VFT_REPORT");
   if (report != nullptr && report[0] != '\0') {
-    const size_t n = strlen(report);
-    const int json = n >= 5 && strcmp(report + n - 5, ".json") == 0;
-    if (vft_report_write(report, json) != 0) {
+    if (vft_report_write(report, report_path_is_json(report)) != 0) {
       fprintf(stderr, "vft: cannot write report to %s\n", report);
     }
   }
-  fprintf(stderr, "vft: %s: %zu race report(s)\n", vft_detector_name(),
-          races);
+  if (suppressed != 0) {
+    fprintf(stderr, "vft: %s: %zu race report(s), %zu suppressed\n",
+            vft_detector_name(), races, suppressed);
+  } else {
+    fprintf(stderr, "vft: %s: %zu race report(s)\n", vft_detector_name(),
+            races);
+  }
 }
 
 }  // extern "C"

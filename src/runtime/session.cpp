@@ -59,6 +59,15 @@ SessionBackend& Session::create_backend() {
   std::scoped_lock lk(mu_);
   if (backend_ == nullptr) {
     if (detector_.empty()) detector_ = detector_from_env();
+    // Suppression rules ride the same launch-time configuration surface
+    // as the detector choice; load_suppressions_env warns (and skips the
+    // file) on parse errors rather than failing the target's launch.
+    // Loaded once per process: rules survive a reset() (the collector's
+    // clear() keeps them), so a re-created backend must not double-load.
+    if (!suppressions_loaded_) {
+      suppressions_loaded_ = true;
+      races_.load_suppressions_env(std::getenv("VFT_SUPPRESSIONS"));
+    }
     const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
     backend_ = make_backend(detector_, &races_, &stats_, gen);
     if (backend_ == nullptr) {

@@ -42,6 +42,7 @@
 #include "runtime/lock_registry.h"
 #include "runtime/tool.h"
 #include "vft/detector.h"
+#include "vft/report_io.h"
 
 namespace vft::rt::ambient {
 
@@ -374,6 +375,17 @@ class Session {
   RaceCollector& races() { return races_; }
   RuleStats& rule_stats() { return stats_; }
 
+  /// Snapshot the end-of-run report document: the collector's error
+  /// contexts plus the backend's process stats (report_io renders it as
+  /// vft-report-v2 JSON or the plain compatibility format). clean_exit
+  /// false marks a report written from a crash path.
+  reportio::ReportDoc report_doc(bool clean_exit = true) {
+    SessionBackend& b = backend();
+    return reportio::build_report_doc(races_, b.detector_name(),
+                                      b.threads_seen(), b.locks_seen(),
+                                      b.shadow_words(), clean_exit);
+  }
+
   /// Typed access for the default configuration, used by the ambient
   /// wrappers (ambient::Thread/Lock) and same-detector fast paths. Fatal
   /// with a pointer at VFT_DETECTOR if the session runs another detector:
@@ -416,6 +428,7 @@ class Session {
   std::atomic<SessionBackend*> backend_ptr_{nullptr};
   SessionImpl<VftV2>* v2_ = nullptr;
   std::atomic<std::uint64_t> generation_{1};
+  bool suppressions_loaded_ = false;  ///< VFT_SUPPRESSIONS: once per process
   RaceCollector races_;
   RuleStats stats_;
 };

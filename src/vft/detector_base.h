@@ -76,7 +76,12 @@ class DetectorBase {
       case RaceKind::kSharedWrite: count(Rule::kSharedWriteRace); break;
     }
     if (races_ != nullptr) {
-      races_->report(RaceReport{kind, var, st.t, prior, st.epoch()});
+      RaceReport r{kind, var, st.t, prior, st.epoch(), CallStack{}};
+      // Stack capture is fire-on-race only: the race-free fast path never
+      // reaches this line. Yields an empty stack unless an interposition
+      // boundary armed the per-thread event context (vft/stack.h).
+      r.stack = capture_event_stack();
+      races_->report(r);
     }
   }
 

@@ -1,6 +1,34 @@
 #include "vft/report.h"
 
+#include <cstdio>
+
 namespace vft {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv_bytes(h, &v, sizeof(v));
+}
+
+std::uint64_t fnv_str(std::uint64_t h, const std::string& s) {
+  h = fnv_bytes(h, s.data(), s.size());
+  return fnv_bytes(h, "\0", 1);  // delimiter: "ab","c" != "a","bc"
+}
+
+constexpr std::size_t kFlatCap = 65536;
+
+}  // namespace
 
 const char* race_kind_name(RaceKind k) {
   switch (k) {
@@ -10,6 +38,169 @@ const char* race_kind_name(RaceKind k) {
     case RaceKind::kSharedWrite: return "shared-write race";
   }
   return "unknown race";
+}
+
+std::string RaceReport::str() const {
+  return std::string(race_kind_name(kind)) + " on var " + std::to_string(var) +
+         ": thread " + std::to_string(current_tid) + " at " + current.str() +
+         " conflicts with prior access at " + prior.str();
+}
+
+std::uint64_t RaceCollector::raw_key(const RaceReport& r) const {
+  std::uint64_t h = fnv_u64(kFnvOffset, static_cast<std::uint64_t>(r.kind));
+  if (r.stack.empty()) {
+    // No capture boundary: the variable id is the only locality signal
+    // (and the historical per-variable behaviour the unit suites pin).
+    h = fnv_u64(h, 0xA11);  // domain-separate the two key shapes
+    h = fnv_u64(h, r.var);
+  } else {
+    for (std::uint8_t i = 0; i < r.stack.depth; ++i) {
+      h = fnv_u64(h, static_cast<std::uint64_t>(r.stack.pc[i]));
+    }
+  }
+  return h;
+}
+
+std::uint64_t RaceCollector::stable_key(
+    const RaceReport& r, const std::vector<ResolvedFrame>& frames) const {
+  std::uint64_t h = fnv_str(kFnvOffset, race_kind_name(r.kind));
+  if (frames.empty()) {
+    h = fnv_u64(h, 0xA11);
+    h = fnv_u64(h, r.var);
+    return h;
+  }
+  for (const ResolvedFrame& f : frames) {
+    if (f.module.empty()) {
+      // Unresolvable frame: the raw pc is all we have. Not ASLR-stable;
+      // merge treats contexts containing such frames as distinct per run
+      // unless the binary is loaded at a fixed address.
+      h = fnv_u64(h, f.pc);
+    } else {
+      h = fnv_str(h, module_basename(f.module));
+      h = fnv_u64(h, f.offset);
+    }
+  }
+  return h;
+}
+
+void RaceCollector::report(const RaceReport& r) {
+  std::scoped_lock lk(mu_);
+  const std::uint64_t raw = raw_key(r);
+  if (auto it = index_.find(raw); it != index_.end()) {
+    RaceContext& ctx = contexts_[it->second];
+    ++ctx.count;
+    if (ctx.hidden()) {
+      ++suppressed_;
+      if (ctx.suppressed_by != nullptr) {
+        suppressions_.count_match(*ctx.suppressed_by, 1);
+      }
+    } else if (flat_.size() < kFlatCap) {
+      flat_.push_back(r);
+    }
+    return;
+  }
+
+  RaceContext ctx;
+  ctx.first = r;
+  ctx.count = 1;
+  ctx.frames.reserve(r.stack.depth);
+  for (std::uint8_t i = 0; i < r.stack.depth; ++i) {
+    ctx.frames.push_back(resolve_frame(r.stack.pc[i]));
+  }
+  ctx.key = stable_key(r, ctx.frames);
+  ctx.suppressed_by = suppressions_.match(race_kind_name(r.kind), ctx.frames);
+  if (ctx.suppressed_by == nullptr &&
+      (visible_contexts_ >= total_limit_ ||
+       per_var_contexts_[r.var] >= per_var_limit_)) {
+    ctx.limit_dropped = true;
+  }
+  if (ctx.hidden()) {
+    ++suppressed_;
+    if (ctx.suppressed_by != nullptr) {
+      suppressions_.count_match(*ctx.suppressed_by, 1);
+    }
+  } else {
+    ++visible_contexts_;
+    ++per_var_contexts_[r.var];
+    if (flat_.size() < kFlatCap) flat_.push_back(r);
+  }
+  index_.emplace(raw, contexts_.size());
+  contexts_.push_back(std::move(ctx));
+}
+
+std::size_t RaceCollector::count() const {
+  std::scoped_lock lk(mu_);
+  std::size_t n = 0;
+  for (const RaceContext& c : contexts_) {
+    if (!c.hidden()) n += c.count;
+  }
+  return n;
+}
+
+std::size_t RaceCollector::context_count() const {
+  std::scoped_lock lk(mu_);
+  return visible_contexts_;
+}
+
+std::size_t RaceCollector::suppressed() const {
+  std::scoped_lock lk(mu_);
+  return suppressed_;
+}
+
+std::vector<RaceContext> RaceCollector::contexts() const {
+  std::scoped_lock lk(mu_);
+  return contexts_;
+}
+
+std::vector<RaceReport> RaceCollector::all() const {
+  std::scoped_lock lk(mu_);
+  return flat_;
+}
+
+std::optional<RaceReport> RaceCollector::first() const {
+  std::scoped_lock lk(mu_);
+  for (const RaceContext& c : contexts_) {
+    if (!c.hidden()) return c.first;
+  }
+  return std::nullopt;
+}
+
+bool RaceCollector::empty() const {
+  std::scoped_lock lk(mu_);
+  return contexts_.empty() && suppressed_ == 0;
+}
+
+void RaceCollector::clear() {
+  std::scoped_lock lk(mu_);
+  contexts_.clear();
+  flat_.clear();
+  index_.clear();
+  per_var_contexts_.clear();
+  visible_contexts_ = 0;
+  suppressed_ = 0;
+  for (const SuppressionRule& r : suppressions_.rules()) r.matched = 0;
+}
+
+void RaceCollector::set_per_var_limit(std::size_t k) {
+  std::scoped_lock lk(mu_);
+  per_var_limit_ = k;
+}
+
+void RaceCollector::set_total_limit(std::size_t n) {
+  std::scoped_lock lk(mu_);
+  total_limit_ = n;
+}
+
+void RaceCollector::name_var(std::uint64_t var, std::string name) {
+  std::scoped_lock lk(mu_);
+  names_[var] = std::move(name);
+}
+
+std::optional<std::string> RaceCollector::var_name(std::uint64_t var) const {
+  std::scoped_lock lk(mu_);
+  const auto it = names_.find(var);
+  if (it == names_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::string RaceCollector::describe(const RaceReport& r) const {
@@ -23,10 +214,57 @@ std::string RaceCollector::describe(const RaceReport& r) const {
          r.prior.str();
 }
 
-std::string RaceReport::str() const {
-  return std::string(race_kind_name(kind)) + " on var " + std::to_string(var) +
-         ": thread " + std::to_string(current_tid) + " at " + current.str() +
-         " conflicts with prior access at " + prior.str();
+bool RaceCollector::load_suppressions(const std::string& path,
+                                      std::string* err) {
+  std::scoped_lock lk(mu_);
+  return suppressions_.load_file(path, err);
+}
+
+bool RaceCollector::load_suppressions_text(const std::string& text,
+                                           const std::string& origin,
+                                           std::string* err) {
+  std::scoped_lock lk(mu_);
+  return suppressions_.load_text(text, origin, err);
+}
+
+int RaceCollector::load_suppressions_env(const char* paths) {
+  if (paths == nullptr || paths[0] == '\0') return 0;
+  int loaded = 0;
+  std::string list(paths);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t colon = list.find(':', start);
+    const std::string path =
+        list.substr(start, colon == std::string::npos ? std::string::npos
+                                                      : colon - start);
+    if (!path.empty()) {
+      std::string err;
+      if (load_suppressions(path, &err)) {
+        ++loaded;
+      } else {
+        std::fprintf(stderr, "vft: warning: %s (VFT_SUPPRESSIONS)\n",
+                     err.c_str());
+      }
+    }
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return loaded;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+RaceCollector::suppression_stats() const {
+  std::scoped_lock lk(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const SuppressionRule& r : suppressions_.rules()) {
+    out.emplace_back(r.name, r.matched);
+  }
+  return out;
+}
+
+std::size_t RaceCollector::suppression_rule_count() const {
+  std::scoped_lock lk(mu_);
+  return suppressions_.rules().size();
 }
 
 }  // namespace vft

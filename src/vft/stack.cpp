@@ -1,0 +1,138 @@
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE
+#endif
+
+#include "vft/stack.h"
+
+#include <dlfcn.h>
+#include <pthread.h>
+
+#include <cstdlib>
+
+extern "C" {
+thread_local vft_event_ctx_s vft_tl_event_ctx = {nullptr, nullptr};
+}
+
+namespace vft {
+namespace {
+
+/// The calling thread's stack mapping [lo, hi), from pthread_getattr_np,
+/// resolved lazily and cached per thread. Queried only on the race path.
+struct StackBounds {
+  std::uintptr_t lo = 0;
+  std::uintptr_t hi = 0;
+  bool resolved = false;
+};
+thread_local StackBounds tl_bounds;
+
+StackBounds thread_stack_bounds() {
+  StackBounds& b = tl_bounds;
+  if (!b.resolved) {
+    b.resolved = true;
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+      void* addr = nullptr;
+      std::size_t size = 0;
+      if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+        b.lo = reinterpret_cast<std::uintptr_t>(addr);
+        b.hi = b.lo + size;
+      }
+      pthread_attr_destroy(&attr);
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+int stack_depth_limit() {
+  static const int limit = [] {
+    int d = 16;
+    if (const char* env = std::getenv("VFT_STACK_DEPTH");
+        env != nullptr && env[0] != '\0') {
+      d = std::atoi(env);
+    }
+    if (d < 1) d = 1;
+    if (d > kMaxStackDepth) d = kMaxStackDepth;
+    return d;
+  }();
+  return limit;
+}
+
+std::uint64_t hash_stack(const CallStack& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint8_t i = 0; i < s.depth; ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(s.pc[i]);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+CallStack capture_event_stack() {
+  CallStack cs;
+  const vft_event_ctx_s ctx = vft_tl_event_ctx;
+  if (ctx.pc == nullptr) return cs;
+  const int limit = stack_depth_limit();
+  cs.push(reinterpret_cast<std::uintptr_t>(ctx.pc));
+  if (ctx.fp == nullptr) return cs;
+
+  // Walk caller frames from the boundary wrapper's frame. Every frame
+  // address must stay inside this thread's stack mapping and strictly
+  // increase, so each dereference is of live, mapped stack memory even
+  // when a non-frame-pointer target left garbage in the chain.
+  StackBounds bounds = thread_stack_bounds();
+  std::uintptr_t fp = reinterpret_cast<std::uintptr_t>(ctx.fp);
+  if (bounds.hi == 0) {
+    // No mapping info: allow a tight window above the known-live frame.
+    bounds.lo = fp;
+    bounds.hi = fp + (64u << 10);
+  }
+  auto valid = [&bounds](std::uintptr_t p) {
+    return p >= bounds.lo && p + 2 * sizeof(std::uintptr_t) <= bounds.hi &&
+           (p & (sizeof(std::uintptr_t) - 1)) == 0;
+  };
+  if (!valid(fp)) return cs;
+  // [fp+8] here is the return into the target - ctx.pc again - so only
+  // the *next* frame up contributes a new caller PC.
+  fp = reinterpret_cast<const std::uintptr_t*>(fp)[0];
+  std::uintptr_t prev = reinterpret_cast<std::uintptr_t>(ctx.fp);
+  while (cs.depth < limit && valid(fp) && fp > prev) {
+    const auto* frame = reinterpret_cast<const std::uintptr_t*>(fp);
+    const std::uintptr_t ret = frame[1];
+    if (ret < 4096) break;  // null page: end of chain / garbage
+    cs.push(ret);
+    prev = fp;
+    fp = frame[0];
+  }
+  return cs;
+}
+
+ResolvedFrame resolve_frame(std::uintptr_t pc) {
+  ResolvedFrame f;
+  f.pc = pc;
+  f.offset = pc;
+  Dl_info info;
+  // Resolve pc-1: a captured frame is a *return* address, one past the
+  // call; the byte before it is inside the calling instruction and
+  // therefore inside the right module/symbol even at function tails.
+  if (pc != 0 && dladdr(reinterpret_cast<void*>(pc - 1), &info) != 0 &&
+      info.dli_fname != nullptr) {
+    f.module = info.dli_fname;
+    f.offset = pc - reinterpret_cast<std::uintptr_t>(info.dli_fbase);
+    if (info.dli_sname != nullptr) {
+      f.symbol = info.dli_sname;
+      f.sym_offset = pc - reinterpret_cast<std::uintptr_t>(info.dli_saddr);
+    }
+  }
+  return f;
+}
+
+std::string module_basename(const std::string& module) {
+  const std::size_t slash = module.find_last_of('/');
+  return slash == std::string::npos ? module : module.substr(slash + 1);
+}
+
+}  // namespace vft

@@ -1,0 +1,157 @@
+#include "vft/suppress.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace vft {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Frames from position fi onward match pattern tokens from position pi
+/// onward, with `...` absorbing zero or more frames. Patterns match a
+/// stack *prefix*: running out of pattern is success. Stacks are <= 32
+/// frames and rules a handful of tokens, so plain recursion is fine.
+bool match_frames(const std::vector<SuppressionFrame>& pat, std::size_t pi,
+                  const std::vector<ResolvedFrame>& stack, std::size_t fi) {
+  if (pi == pat.size()) return true;
+  const SuppressionFrame& p = pat[pi];
+  if (p.kind == SuppressionFrame::kEllipsis) {
+    for (std::size_t skip = fi; skip <= stack.size(); ++skip) {
+      if (match_frames(pat, pi + 1, stack, skip)) return true;
+    }
+    return false;
+  }
+  if (fi >= stack.size()) return false;
+  const ResolvedFrame& f = stack[fi];
+  const bool hit = p.kind == SuppressionFrame::kFun
+                       ? !f.symbol.empty() && glob_match(p.glob, f.symbol)
+                       : !f.module.empty() && glob_match(p.glob, f.module);
+  return hit && match_frames(pat, pi + 1, stack, fi + 1);
+}
+
+}  // namespace
+
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative star-backtracking matcher (the classic two-pointer form).
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool SuppressionEngine::load_text(const std::string& text,
+                                  const std::string& origin,
+                                  std::string* err) {
+  std::vector<SuppressionRule> parsed;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  bool in_block = false;
+  SuppressionRule rule;
+  bool have_name = false;
+
+  auto fail = [&](const std::string& what) {
+    if (err != nullptr) {
+      *err = origin + ":" + std::to_string(lineno) + ": " + what;
+    }
+    return false;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string s = trim(line);
+    if (s.empty() || s[0] == '#') continue;
+    if (!in_block) {
+      if (s != "{") return fail("expected '{' opening a suppression block");
+      in_block = true;
+      rule = SuppressionRule{};
+      have_name = false;
+      continue;
+    }
+    if (s == "}") {
+      if (!have_name) return fail("suppression block has no name");
+      if (rule.kind_glob.empty()) {
+        return fail("suppression '" + rule.name + "' has no vft: line");
+      }
+      parsed.push_back(std::move(rule));
+      in_block = false;
+      continue;
+    }
+    if (!have_name) {
+      rule.name = s;
+      have_name = true;
+      continue;
+    }
+    if (s.rfind("vft:", 0) == 0) {
+      if (!rule.kind_glob.empty()) return fail("duplicate vft: line");
+      rule.kind_glob = trim(s.substr(4));
+      if (rule.kind_glob.empty()) return fail("empty vft: kind glob");
+      continue;
+    }
+    if (s == "...") {
+      rule.frames.push_back({SuppressionFrame::kEllipsis, ""});
+      continue;
+    }
+    if (s.rfind("fun:", 0) == 0) {
+      rule.frames.push_back({SuppressionFrame::kFun, trim(s.substr(4))});
+      continue;
+    }
+    if (s.rfind("obj:", 0) == 0) {
+      rule.frames.push_back({SuppressionFrame::kObj, trim(s.substr(4))});
+      continue;
+    }
+    return fail("unrecognized suppression line '" + s + "'");
+  }
+  if (in_block) return fail("unterminated suppression block");
+
+  for (auto& r : parsed) rules_.push_back(std::move(r));
+  return true;
+}
+
+bool SuppressionEngine::load_file(const std::string& path, std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err != nullptr) *err = path + ": cannot open suppression file";
+    return false;
+  }
+  std::ostringstream all;
+  all << in.rdbuf();
+  return load_text(all.str(), path, err);
+}
+
+const SuppressionRule* SuppressionEngine::match(
+    const char* kind_name, const std::vector<ResolvedFrame>& stack) const {
+  const std::string kind = kind_name == nullptr ? "" : kind_name;
+  for (const SuppressionRule& r : rules_) {
+    // `vft:race` is the conventional match-every-kind spelling; every
+    // kind name ends in "race" but a glob has to say so explicitly.
+    const bool kind_ok =
+        r.kind_glob == "race" || glob_match(r.kind_glob, kind);
+    if (!kind_ok) continue;
+    if (match_frames(r.frames, 0, stack, 0)) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace vft

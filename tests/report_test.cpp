@@ -1,4 +1,10 @@
-// RaceCollector and report formatting.
+// RaceCollector behaviour: error-context folding, report formatting,
+// limits, and the flat compatibility views.
+//
+// Reports here carry no call stack (unit-level callers never arm the
+// interposition boundary), so contexts key on (kind, var) - the
+// documented fallback - and "one context" below means one distinct
+// (kind, var) pair.
 #include "vft/report.h"
 
 #include <gtest/gtest.h>
@@ -10,13 +16,14 @@ namespace vft {
 namespace {
 
 RaceReport sample(RaceKind k, std::uint64_t var) {
-  return RaceReport{k, var, 2, Epoch::make(1, 5), Epoch::make(2, 3)};
+  return RaceReport{k, var, 2, Epoch::make(1, 5), Epoch::make(2, 3), {}};
 }
 
 TEST(RaceCollector, StartsEmpty) {
   RaceCollector c;
   EXPECT_TRUE(c.empty());
   EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.context_count(), 0u);
   EXPECT_FALSE(c.first().has_value());
 }
 
@@ -25,8 +32,26 @@ TEST(RaceCollector, RecordsInOrder) {
   c.report(sample(RaceKind::kWriteWrite, 1));
   c.report(sample(RaceKind::kReadWrite, 2));
   EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.context_count(), 2u);
   EXPECT_EQ(c.first()->var, 1u);
   EXPECT_EQ(c.all()[1].var, 2u);
+}
+
+TEST(RaceCollector, DuplicateOccurrencesFoldIntoOneContext) {
+  RaceCollector c;
+  for (int i = 0; i < 5; ++i) c.report(sample(RaceKind::kWriteWrite, 7));
+  EXPECT_EQ(c.count(), 5u);          // every occurrence still counts
+  EXPECT_EQ(c.context_count(), 1u);  // ...in one deduplicated context
+  ASSERT_EQ(c.contexts().size(), 1u);
+  EXPECT_EQ(c.contexts()[0].count, 5u);
+  EXPECT_EQ(c.all().size(), 5u);  // flat view expands the count
+}
+
+TEST(RaceCollector, DistinctKindsAreDistinctContexts) {
+  RaceCollector c;
+  c.report(sample(RaceKind::kWriteWrite, 7));
+  c.report(sample(RaceKind::kWriteRead, 7));
+  EXPECT_EQ(c.context_count(), 2u);
 }
 
 TEST(RaceCollector, ClearResets) {
@@ -52,6 +77,22 @@ TEST(RaceCollector, ConcurrentReportsAllLand) {
   EXPECT_EQ(c.count(), static_cast<std::size_t>(kThreads * kEach));
 }
 
+TEST(RaceCollector, ConcurrentSameContextCountsEveryOccurrence) {
+  RaceCollector c;
+  constexpr int kThreads = 4, kEach = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kEach; ++i) {
+        c.report(sample(RaceKind::kWriteWrite, 7));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.count(), static_cast<std::size_t>(kThreads * kEach));
+  EXPECT_EQ(c.context_count(), 1u);
+}
+
 TEST(RaceReport, StrNamesKindThreadsAndEpochs) {
   const std::string s = sample(RaceKind::kSharedWrite, 42).str();
   EXPECT_NE(s.find("shared-write race"), std::string::npos);
@@ -61,23 +102,35 @@ TEST(RaceReport, StrNamesKindThreadsAndEpochs) {
   EXPECT_NE(s.find("2@3"), std::string::npos);
 }
 
-TEST(RaceCollector, PerVarLimitSuppressesButCounts) {
+TEST(RaceCollector, PerVarLimitHidesExcessContextsButCounts) {
   RaceCollector c;
   c.set_per_var_limit(2);
-  for (int i = 0; i < 5; ++i) c.report(sample(RaceKind::kWriteWrite, 7));
+  // Three distinct contexts on var 7 (three kinds); the third arrives
+  // over the limit and is recorded hidden.
+  c.report(sample(RaceKind::kWriteWrite, 7));
+  c.report(sample(RaceKind::kWriteRead, 7));
+  c.report(sample(RaceKind::kReadWrite, 7));
   c.report(sample(RaceKind::kWriteWrite, 8));  // different var: unaffected
-  EXPECT_EQ(c.count(), 3u);       // 2 for var 7, 1 for var 8
-  EXPECT_EQ(c.suppressed(), 3u);  // the other 3 for var 7
+  EXPECT_EQ(c.count(), 3u);       // 2 visible for var 7, 1 for var 8
+  EXPECT_EQ(c.suppressed(), 1u);  // the over-limit context's occurrence
   EXPECT_FALSE(c.empty());        // suppression still means "racy run"
+  // Repeats of an already-visible context are never limited - dedup
+  // made the limits context guards, not occurrence guards.
+  c.report(sample(RaceKind::kWriteWrite, 7));
+  EXPECT_EQ(c.count(), 4u);
+  // Repeats of the hidden context keep accruing to suppressed.
+  c.report(sample(RaceKind::kReadWrite, 7));
+  EXPECT_EQ(c.suppressed(), 2u);
 }
 
-TEST(RaceCollector, TotalLimitCapsStorage) {
+TEST(RaceCollector, TotalLimitCapsVisibleContexts) {
   RaceCollector c;
   c.set_total_limit(3);
   for (std::uint64_t v = 0; v < 10; ++v) {
     c.report(sample(RaceKind::kReadWrite, v));
   }
   EXPECT_EQ(c.count(), 3u);
+  EXPECT_EQ(c.context_count(), 3u);
   EXPECT_EQ(c.suppressed(), 7u);
 }
 
@@ -85,7 +138,8 @@ TEST(RaceCollector, ClearResetsLimitsCountsAndSuppression) {
   RaceCollector c;
   c.set_per_var_limit(1);
   c.report(sample(RaceKind::kWriteRead, 1));
-  c.report(sample(RaceKind::kWriteRead, 1));
+  c.report(sample(RaceKind::kWriteWrite, 1));  // second context: hidden
+  EXPECT_EQ(c.suppressed(), 1u);
   c.clear();
   EXPECT_TRUE(c.empty());
   EXPECT_EQ(c.suppressed(), 0u);
@@ -107,6 +161,25 @@ TEST(RaceKindNames, AllDistinct) {
                race_kind_name(RaceKind::kWriteWrite));
   EXPECT_STRNE(race_kind_name(RaceKind::kReadWrite),
                race_kind_name(RaceKind::kSharedWrite));
+}
+
+TEST(RaceCollector, StackedReportsKeyByStackNotVar) {
+  RaceCollector c;
+  RaceReport a = sample(RaceKind::kWriteWrite, 1);
+  a.stack.push(0x1000);
+  a.stack.push(0x2000);
+  RaceReport b = sample(RaceKind::kWriteWrite, 2);  // different var...
+  b.stack.push(0x1000);
+  b.stack.push(0x2000);  // ...same racing call stack
+  c.report(a);
+  c.report(b);
+  EXPECT_EQ(c.context_count(), 1u);  // one access site = one context
+  EXPECT_EQ(c.count(), 2u);
+
+  RaceReport d = sample(RaceKind::kWriteWrite, 1);
+  d.stack.push(0x3000);  // same var, different site: a new context
+  c.report(d);
+  EXPECT_EQ(c.context_count(), 2u);
 }
 
 }  // namespace

@@ -35,13 +35,36 @@
 //       any). Requires a -DVFT_SCHED=ON build; exits 2 otherwise.
 //
 //   vft run [--detector NAME] [--report PATH] [--expect race|none]
-//           [--preload LIB] -- <program> [args...]
+//           [--suppressions FILE] [--preload LIB] -- <program> [args...]
 //       Run an *unmodified* binary under the analysis: LD_PRELOAD the
 //       interposition library (src/interpose/), select the detector via
 //       VFT_DETECTOR, collect the end-of-run report (text, or JSON when
-//       the path ends in .json), and print the verdict. With --expect the
+//       the path ends in .json), and print the verdict. A target that
+//       crashes or is killed mid-run still yields a verdict: the
+//       interposer's crash handler salvages a partial report
+//       (clean_exit=false) and the tolerant parser recovers every
+//       complete context even from a cut-short file. With --expect the
 //       exit code asserts the verdict (0 iff it matches), which is how
 //       the examples/native corpus runs under ctest and CI.
+//
+//   vft report merge [--out PATH] <report.json>...
+//       Fuse vft-report-v2 JSONs from a fleet of runs: contexts with the
+//       same ASLR-stable key are merged (counts summed, suppression
+//       stats summed, `runs` accumulated). Output is canonical - byte-
+//       identical regardless of input order.
+//
+//   vft report symbolize [--out PATH] [--symbolizer BIN] <report.json>
+//       Offline symbolization: resolve each frame's module+offset to
+//       function/file/line with addr2line (or llvm-symbolizer). The
+//       monitored process never touches symbol tables; this is where
+//       names come from.
+//
+//   vft report show <report.json>
+//       Render a v2 JSON report in the flat text form.
+//
+//   vft report skeleton <report.json>
+//       Print the report's structural schema (keys sorted, scalars as
+//       type tags) - what CI diffs against the checked-in golden.
 //
 //   vft rules
 //       Print the Figure 2 rule names with a one-line summary each.
@@ -51,6 +74,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -68,6 +92,7 @@
 #include "trace/hb_oracle.h"
 #include "trace/minimize.h"
 #include "trace/replay.h"
+#include "vft/report_io.h"
 
 namespace {
 
@@ -87,8 +112,13 @@ int usage() {
                " [--preemptions K] [--runs R]] [--schedule CSV]"
                " [--mutate NAME]\n"
                "       vft run [--detector NAME] [--report PATH]"
-               " [--expect race|none] [--preload LIB] -- <program>"
-               " [args...]\n"
+               " [--expect race|none] [--suppressions FILE] [--preload LIB]"
+               " -- <program> [args...]\n"
+               "       vft report merge [--out PATH] <report.json>...\n"
+               "       vft report symbolize [--out PATH] [--symbolizer BIN]"
+               " <report.json>\n"
+               "       vft report show <report.json>\n"
+               "       vft report skeleton <report.json>\n"
                "       vft rules\n"
                "tools: v1 v1.5 v2 ft-mutex ft-cas djit (default v2)\n");
   return 2;
@@ -289,17 +319,26 @@ int cmd_minimize(int argc, char** argv) {
   return 0;
 }
 
-/// Race count from a report the interposer wrote: the number after
-/// "races" inside the summary, in either the text form
-/// ("summary: races=N ...") or the JSON form ("\"summary\": {\"races\": N").
-/// -1 when the report is missing or unparsable (e.g. the target crashed
-/// before the library destructor could run).
-long parse_race_count(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return -1;
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
   std::ostringstream all;
   all << in.rdbuf();
-  const std::string text = all.str();
+  return all.str();
+}
+
+/// What `vft run` learned from the report file the target (or its crash
+/// handler) left behind.
+struct RunReport {
+  bool found = false;    ///< a report file existed and yielded a summary
+  bool partial = false;  ///< crash-path write or truncated file
+  long races = -1;
+  long suppressed = 0;
+};
+
+/// Race count scraped from the plain text form ("summary: races=N ...").
+/// -1 when there is no summary to scrape.
+long scrape_race_count(const std::string& text) {
   const std::size_t sum = text.find("summary");
   if (sum == std::string::npos) return -1;
   const std::size_t key = text.find("races", sum);
@@ -311,6 +350,32 @@ long parse_race_count(const std::string& path) {
   }
   if (i >= text.size() || text[i] < '0' || text[i] > '9') return -1;
   return std::atol(text.c_str() + i);
+}
+
+/// Parse whatever the run left at `path`: the v2 JSON schema through the
+/// tolerant parser (which salvages complete contexts from a file a dying
+/// target cut short), or the plain text form by summary-scraping.
+RunReport load_run_report(const std::string& path) {
+  RunReport r;
+  const auto text = slurp(path);
+  if (!text.has_value()) return r;
+  std::size_t first = text->find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && (*text)[first] == '{') {
+    reportio::ReportDoc doc;
+    if (reportio::parse_report(*text, &doc)) {
+      r.found = true;
+      r.partial = doc.truncated || !doc.clean_exit;
+      r.races = static_cast<long>(doc.summary.races);
+      r.suppressed = static_cast<long>(doc.summary.suppressed);
+      return r;
+    }
+  }
+  const long races = scrape_race_count(*text);
+  if (races >= 0) {
+    r.found = true;
+    r.races = races;
+  }
+  return r;
 }
 
 int cmd_run(int argc, char** argv) {
@@ -328,6 +393,8 @@ int cmd_run(int argc, char** argv) {
 
   const std::string detector = arg_value(sep, argv, "--detector", "v2");
   const std::string expect = arg_value(sep, argv, "--expect", "");
+  const std::string suppressions =
+      arg_value(sep, argv, "--suppressions", "");
   if (!expect.empty() && expect != "race" && expect != "none") {
     std::fprintf(stderr, "vft run: --expect wants `race` or `none`\n");
     return 2;
@@ -367,41 +434,282 @@ int cmd_run(int argc, char** argv) {
     setenv("LD_PRELOAD", preload.c_str(), 1);
     setenv("VFT_DETECTOR", detector.c_str(), 1);
     setenv("VFT_REPORT", report.c_str(), 1);
+    if (!suppressions.empty()) {
+      setenv("VFT_SUPPRESSIONS", suppressions.c_str(), 1);
+    }
     execvp(argv[sep + 1], argv + sep + 1);
     std::perror("vft run: exec");
     _exit(127);
   }
   int status = 0;
   waitpid(pid, &status, 0);
+  const bool signaled = WIFSIGNALED(status);
   const int target_rc = WIFEXITED(status) ? WEXITSTATUS(status)
                                           : 128 + WTERMSIG(status);
 
-  const long races = parse_race_count(report);
-  if (races < 0) {
-    std::fprintf(stderr,
-                 "vft run: no report from the target (exit %d) - it may "
-                 "have crashed before the interposer could write %s\n",
-                 target_rc, report.c_str());
+  const RunReport rr = load_run_report(report);
+  if (!rr.found) {
+    // No salvageable report at all: the target died before the interposer
+    // could write anything (e.g. SIGKILL, or a crash inside the crash
+    // handler). Still give a verdict - just an inconclusive one.
+    if (signaled) {
+      std::fprintf(stderr,
+                   "vft run: target killed by signal %d before any report "
+                   "could be written (%s); verdict: inconclusive\n",
+                   WTERMSIG(status), report.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "vft run: no report from the target (exit %d) at %s; "
+                   "verdict: inconclusive\n",
+                   target_rc, report.c_str());
+    }
     if (temp_report) std::remove(report.c_str());
     return expect.empty() ? target_rc : 1;
   }
-  std::printf("vft run: detector=%s races=%ld target-exit=%d%s%s\n",
-              detector.c_str(), races, target_rc,
+
+  std::printf("vft run: detector=%s races=%ld suppressed=%ld "
+              "target-exit=%d%s%s%s\n",
+              detector.c_str(), rr.races, rr.suppressed, target_rc,
+              rr.partial ? " (partial)" : "",
               temp_report ? "" : " report=",
               temp_report ? "" : report.c_str());
+  if (rr.partial) {
+    std::printf("vft run: verdict from a PARTIAL report: the target %s "
+                "mid-run; counts cover everything detected before that\n",
+                signaled ? "was killed" : "crashed or was killed");
+  }
   if (temp_report) std::remove(report.c_str());
 
   if (expect == "race") {
-    if (races > 0) return 0;
-    std::fprintf(stderr, "vft run: expected a race, found none\n");
+    if (rr.races > 0) return 0;
+    std::fprintf(stderr, "vft run: expected a race, found none%s\n",
+                 rr.partial ? " (partial report)" : "");
     return 1;
   }
   if (expect == "none") {
-    if (races == 0) return 0;
-    std::fprintf(stderr, "vft run: expected race-free, found %ld\n", races);
+    if (rr.races == 0 && !rr.partial) return 0;
+    if (rr.races == 0) {
+      std::fprintf(stderr,
+                   "vft run: race-free so far, but the report is partial "
+                   "(target died mid-run) - refusing a clean verdict\n");
+      return 1;
+    }
+    std::fprintf(stderr, "vft run: expected race-free, found %ld\n",
+                 rr.races);
     return 1;
   }
   return target_rc;
+}
+
+// ---------------------------------------------------------------------
+// vft report: offline triage over vft-report-v2 JSON files.
+// ---------------------------------------------------------------------
+
+bool write_out(const std::string& out_path, const std::string& text) {
+  if (out_path.empty() || out_path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "vft report: cannot write %s\n", out_path.c_str());
+    return false;
+  }
+  out << text;
+  return out.good();
+}
+
+bool load_doc(const std::string& path, reportio::ReportDoc* doc) {
+  const auto text = slurp(path);
+  if (!text.has_value()) {
+    std::fprintf(stderr, "vft report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string err;
+  if (!reportio::parse_report(*text, doc, &err)) {
+    std::fprintf(stderr, "vft report: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  if (doc->truncated) {
+    std::fprintf(stderr,
+                 "vft report: note: %s is truncated; using the %zu "
+                 "complete context(s) it still holds\n",
+                 path.c_str(), doc->contexts.size());
+  }
+  return true;
+}
+
+/// One batch of addresses through the symbolizer for one module.
+/// addr2line and llvm-symbolizer (GNU output style) agree on the shape:
+/// with -f, each address yields a function line then a file:line line.
+/// Addresses are `offset - 1`: a frame holds a *return* address, and the
+/// byte before it is inside the calling instruction - the line the call
+/// is on, not the line after it.
+std::vector<std::pair<std::string, std::string>> symbolize_module(
+    const std::string& symbolizer, const std::string& module,
+    const std::vector<std::uint64_t>& offsets) {
+  std::vector<std::pair<std::string, std::string>> out(offsets.size(),
+                                                       {"", ""});
+  const bool llvm = symbolizer.find("llvm-symbolizer") != std::string::npos;
+  std::string cmd = "'" + symbolizer + "'";
+  if (llvm) {
+    cmd += " --output-style=GNU --functions=linkage --demangle --obj='" +
+           module + "'";
+  } else {
+    cmd += " -f -C -e '" + module + "'";
+  }
+  char buf[32];
+  for (const std::uint64_t off : offsets) {
+    std::snprintf(buf, sizeof(buf), " 0x%llx",
+                  static_cast<unsigned long long>(off == 0 ? 0 : off - 1));
+    cmd += buf;
+  }
+  cmd += " 2>/dev/null";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return out;
+  std::string text;
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), pipe)) > 0) {
+    text.append(chunk, n);
+  }
+  pclose(pipe);
+
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t i = 0;
+  while (i < offsets.size() && std::getline(lines, line)) {
+    if (line.empty()) continue;  // llvm-symbolizer's blank separators
+    const std::string func = line;
+    std::string loc;
+    if (!std::getline(lines, loc)) break;
+    out[i] = {func, loc};
+    ++i;
+  }
+  return out;
+}
+
+void apply_symbolization(reportio::ReportDoc* doc,
+                         const std::string& symbolizer) {
+  // Batch per module: every unresolved (module, offset) pair goes through
+  // one symbolizer invocation per module.
+  std::map<std::string, std::vector<std::uint64_t>> batches;
+  for (const auto& c : doc->contexts) {
+    for (const auto& a : c.accesses) {
+      for (const auto& f : a.stack) {
+        if (!f.module.empty()) batches[f.module].push_back(f.offset);
+      }
+    }
+  }
+  std::map<std::string,
+           std::vector<std::pair<std::string, std::string>>> results;
+  for (const auto& [module, offsets] : batches) {
+    results[module] = symbolize_module(symbolizer, module, offsets);
+  }
+  std::map<std::string, std::size_t> cursor;
+  for (auto& c : doc->contexts) {
+    for (auto& a : c.accesses) {
+      for (auto& f : a.stack) {
+        if (f.module.empty()) continue;
+        const std::size_t i = cursor[f.module]++;
+        const auto& mod_results = results[f.module];
+        if (i >= mod_results.size()) continue;
+        const auto& [func, loc] = mod_results[i];
+        if (!func.empty() && func != "??") {
+          f.symbol = func;
+          f.symbol_offset = 0;  // line info supersedes the dladdr offset
+        }
+        // loc is "file:line" (possibly ":col" suffixed, possibly "??:0").
+        const std::size_t colon = loc.find_last_of(':');
+        std::string file = colon == std::string::npos
+                               ? loc
+                               : loc.substr(0, colon);
+        std::string line_s =
+            colon == std::string::npos ? "" : loc.substr(colon + 1);
+        // GNU style can emit file:line:col - peel a trailing column.
+        const std::size_t colon2 = file.find_last_of(':');
+        if (colon2 != std::string::npos &&
+            file.find_first_not_of("0123456789", colon2 + 1) ==
+                std::string::npos) {
+          line_s = file.substr(colon2 + 1);
+          file = file.substr(0, colon2);
+        }
+        if (!file.empty() && file != "??") {
+          f.file = file;
+          f.line = std::atoi(line_s.c_str());
+        }
+      }
+    }
+  }
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string what = argv[0];
+  const std::string out_path = arg_value(argc, argv, "--out", "");
+
+  // Positional arguments: everything that is neither a flag nor a flag's
+  // value.
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-' && argv[i][1] == '-') {
+      ++i;  // skip the flag's value
+      continue;
+    }
+    inputs.emplace_back(argv[i]);
+  }
+
+  if (what == "merge") {
+    if (inputs.empty()) {
+      std::fprintf(stderr, "vft report merge: no input reports\n");
+      return 2;
+    }
+    std::vector<reportio::ReportDoc> docs(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (!load_doc(inputs[i], &docs[i])) return 2;
+    }
+    const reportio::ReportDoc merged = reportio::merge_reports(docs);
+    return write_out(out_path, reportio::render_json(merged)) ? 0 : 2;
+  }
+
+  if (what == "symbolize") {
+    if (inputs.size() != 1) {
+      std::fprintf(stderr, "vft report symbolize: want one input report\n");
+      return 2;
+    }
+    reportio::ReportDoc doc;
+    if (!load_doc(inputs[0], &doc)) return 2;
+    const std::string symbolizer =
+        arg_value(argc, argv, "--symbolizer", "addr2line");
+    apply_symbolization(&doc, symbolizer);
+    return write_out(out_path, reportio::render_json(doc)) ? 0 : 2;
+  }
+
+  if (what == "show") {
+    if (inputs.size() != 1) {
+      std::fprintf(stderr, "vft report show: want one input report\n");
+      return 2;
+    }
+    reportio::ReportDoc doc;
+    if (!load_doc(inputs[0], &doc)) return 2;
+    return write_out(out_path, reportio::render_plain(doc)) ? 0 : 2;
+  }
+
+  if (what == "skeleton") {
+    if (inputs.size() != 1) {
+      std::fprintf(stderr, "vft report skeleton: want one input report\n");
+      return 2;
+    }
+    const auto text = slurp(inputs[0]);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "vft report: cannot read %s\n",
+                   inputs[0].c_str());
+      return 2;
+    }
+    return write_out(out_path, reportio::json_skeleton(*text)) ? 0 : 2;
+  }
+
+  return usage();
 }
 
 int cmd_rules() {
@@ -534,6 +842,7 @@ int main(int argc, char** argv) {
   if (cmd == "minimize") return cmd_minimize(argc - 2, argv + 2);
   if (cmd == "sched") return cmd_sched(argc - 2, argv + 2);
   if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+  if (cmd == "report") return cmd_report(argc - 2, argv + 2);
   if (cmd == "rules") return cmd_rules();
   return usage();
 }
