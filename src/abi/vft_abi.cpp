@@ -16,6 +16,7 @@
 #include "runtime/session.h"
 #include "vft/report.h"
 #include "vft/report_io.h"
+#include "vft/sampling.h"
 
 namespace {
 
@@ -110,12 +111,23 @@ void vft_thread_detach(uint64_t token) {
 /// context describes exactly this access, so it is cleared on the way
 /// out - a later race on a *different* path (ambient wrappers mixed into
 /// an interposed process) must not inherit this access's stack.
-#define VFT_ABI_ACCESS(name, method, size)        \
-  void name(const void* addr) {                   \
-    AbiScope guard;                               \
-    if (!guard.entered()) return;                 \
-    backend().method(addr, (size));               \
-    vft_tl_event_ctx.pc = nullptr;                \
+///
+/// The drop-policy sampling gate sits here, before even the session
+/// dispatch: a sampled-out access under `VFT_SAMPLING=policy=drop` costs
+/// one TLS countdown and returns - no virtual hop, no shadow lookup, no
+/// cell. The event context is still consumed (the skipped access owned
+/// it). The gate is null until the first event creates the session, so
+/// the first access always falls through and initializes everything.
+#define VFT_ABI_ACCESS(name, method, size)          \
+  void name(const void* addr) {                     \
+    AbiScope guard;                                 \
+    if (!guard.entered()) return;                   \
+    if (vft::sampling::drop_gate_skips(addr)) {     \
+      vft_tl_event_ctx.pc = nullptr;                \
+      return;                                       \
+    }                                               \
+    backend().method(addr, (size));                 \
+    vft_tl_event_ctx.pc = nullptr;                  \
   }
 
 VFT_ABI_ACCESS(vft_read1, read, 1)
@@ -132,6 +144,11 @@ VFT_ABI_ACCESS(vft_write8, write, 8)
 void vft_range_read(const void* addr, size_t size) {
   AbiScope guard;
   if (!guard.entered() || size == 0) return;
+  // One gate draw covers the whole range: a range is one program event.
+  if (vft::sampling::drop_gate_skips(addr)) {
+    vft_tl_event_ctx.pc = nullptr;
+    return;
+  }
   backend().range_read(addr, size);
   vft_tl_event_ctx.pc = nullptr;
 }
@@ -139,6 +156,10 @@ void vft_range_read(const void* addr, size_t size) {
 void vft_range_write(const void* addr, size_t size) {
   AbiScope guard;
   if (!guard.entered() || size == 0) return;
+  if (vft::sampling::drop_gate_skips(addr)) {
+    vft_tl_event_ctx.pc = nullptr;
+    return;
+  }
   backend().range_write(addr, size);
   vft_tl_event_ctx.pc = nullptr;
 }
@@ -199,6 +220,34 @@ int vft_report_write_ex(const char* path, int json, int clean) {
 const char* vft_detector_name(void) {
   AbiScope guard;
   return backend().detector_name();
+}
+
+const char* vft_sampling_describe(void) {
+  AbiScope guard;
+  backend();  // force session creation so the gate reflects the env
+  static std::string text;
+  vft::sampling::Gate* g = vft::sampling::Gate::active();
+  text = g != nullptr ? vft::sampling::describe(g->config()) : "off";
+  return text.c_str();
+}
+
+int vft_sampling_stats(vft_sampling_stats_s* out) {
+  AbiScope guard;
+  if (out == nullptr) return 0;
+  std::memset(out, 0, sizeof(*out));
+  vft::sampling::Gate* g = vft::sampling::Gate::active();
+  if (g == nullptr) return 0;
+  const vft::sampling::Stats s = g->snapshot();
+  out->sampled = s.sampled;
+  out->skipped = s.skipped;
+  out->cooled_out = s.cooled_out;
+  out->reheats = s.reheats;
+  out->overhead_ns = s.overhead_ns;
+  out->busy_ns = s.busy_ns;
+  out->adjustments = s.adjustments;
+  out->rate = s.rate;
+  out->overhead_pct = s.overhead_pct;
+  return 1;
 }
 
 }  // extern "C"

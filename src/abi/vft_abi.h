@@ -158,6 +158,33 @@ int vft_report_write_ex(const char* path, int json, int clean);
 /* The active detector's name (e.g. "VerifiedFT-v2"). */
 const char* vft_detector_name(void);
 
+/* --- sampling (always-on production mode) ------------------------------ */
+
+/* The effective sampling configuration as a human-readable line ("off"
+ * when sampling is disabled; otherwise e.g. "policy=cell budget=5%
+ * rate0=1 adaptive=1 seed=1"). Configuration comes from VFT_SAMPLING /
+ * VFT_BUDGET at session creation; see vft/sampling.h for the grammar.
+ * The returned storage is valid until the next call from any thread. */
+const char* vft_sampling_describe(void);
+
+/* Lifetime counters of the active sampling gate. The integer fields are
+ * monotone; rate/overhead_pct are the controller's current state. */
+typedef struct vft_sampling_stats_s {
+  uint64_t sampled;     /* accesses admitted to the analysis */
+  uint64_t skipped;     /* accesses gated out */
+  uint64_t cooled_out;  /* skips due to a cooled adaptive entry */
+  uint64_t reheats;     /* adaptive entries reset by spill/race/free */
+  uint64_t overhead_ns; /* extrapolated detector self-time */
+  uint64_t busy_ns;     /* process CPU time since gate install */
+  uint64_t adjustments; /* controller windows applied */
+  double rate;          /* current global sampling rate */
+  double overhead_pct;  /* overhead_ns / busy_ns, percent */
+} vft_sampling_stats_s;
+
+/* Snapshot the active gate's counters into *out. Returns 1 when sampling
+ * is enabled (out filled), 0 when disabled (out zeroed). */
+int vft_sampling_stats(vft_sampling_stats_s* out);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

@@ -452,6 +452,17 @@ __attribute__((destructor)) static void vft_preload_fini(void) {
     fprintf(stderr, "vft: %s: %zu race report(s)\n", vft_detector_name(),
             races);
   }
+  vft_sampling_stats_s sp;
+  if (vft_sampling_stats(&sp) != 0) {
+    const double total = (double)(sp.sampled + sp.skipped);
+    fprintf(stderr,
+            "vft: sampling [%s]: rate=%.4f (now %.4f) overhead=%.2f%% "
+            "sampled=%llu skipped=%llu reheats=%llu\n",
+            vft_sampling_describe(),
+            total > 0 ? (double)sp.sampled / total : 0.0, sp.rate,
+            sp.overhead_pct, (unsigned long long)sp.sampled,
+            (unsigned long long)sp.skipped, (unsigned long long)sp.reheats);
+  }
 }
 
 }  // extern "C"

@@ -68,6 +68,17 @@ SessionBackend& Session::create_backend() {
       suppressions_loaded_ = true;
       races_.load_suppressions_env(std::getenv("VFT_SUPPRESSIONS"));
     }
+    // Resolve the sampling configuration and publish the gate *before*
+    // the backend exists: SessionImpl snapshots Gate::active() in its
+    // constructor, so the first access event already sees the gate.
+    // Re-read on every (re-)creation - tests reconfigure via environment
+    // + reset(); replaced gates leak by design (a detached target thread
+    // may still hold one mid-access).
+    {
+      const sampling::Config scfg = sampling::config_from_env();
+      sampling::Gate::install(scfg.enabled ? new sampling::Gate(scfg)
+                                           : nullptr);
+    }
     const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
     backend_ = make_backend(detector_, &races_, &stats_, gen);
     if (backend_ == nullptr) {
@@ -97,6 +108,12 @@ void Session::reset() {
   backend_.reset();
   races_.clear();
   stats_.reset();
+  // Retract the published sampling gate with the backend it belonged to:
+  // between this reset and the next backend creation, Gate::active()
+  // consumers (the stats ABI, the drop policy's pre-dispatch check) must
+  // not see the torn-down session's gate or its counters. The first
+  // event re-reads the environment and republishes in create_backend().
+  sampling::Gate::install(nullptr);
 }
 
 }  // namespace vft::rt::ambient

@@ -43,6 +43,7 @@
 #include "runtime/tool.h"
 #include "vft/detector.h"
 #include "vft/report_io.h"
+#include "vft/sampling.h"
 
 namespace vft::rt::ambient {
 
@@ -103,7 +104,12 @@ class SessionImpl final : public SessionBackend {
  public:
   SessionImpl(RaceCollector* races, RuleStats* stats,
               std::uint64_t generation)
-      : rt_(D(races, stats)), generation_(generation) {}
+      : rt_(D(races, stats)),
+        generation_(generation),
+        gate_(sampling::Gate::active()),
+        drop_mode_(gate_ != nullptr &&
+                   gate_->config().policy ==
+                       sampling::Config::Policy::kDrop) {}
 
   /// The typed runtime, for same-detector callers (ambient wrappers,
   /// benches) that want the inlined path next to the erased one.
@@ -115,6 +121,12 @@ class SessionImpl final : public SessionBackend {
   void read(const void* addr, std::size_t size) override {
     ThreadState* ts = self_or_attach();
     if (ts == nullptr) return;
+    if constexpr (SpillableVarState<typename D::VarState>) {
+      if (gate_ != nullptr) {
+        gated_access</*IsWrite=*/false>(*ts, addr, size);
+        return;
+      }
+    }
     auto& shadow = rt_.shadow_space();
     if (one_word(addr, size)) {
       rt_.tool().read(*ts, shadow.of(addr));
@@ -126,6 +138,12 @@ class SessionImpl final : public SessionBackend {
   void write(const void* addr, std::size_t size) override {
     ThreadState* ts = self_or_attach();
     if (ts == nullptr) return;
+    if constexpr (SpillableVarState<typename D::VarState>) {
+      if (gate_ != nullptr) {
+        gated_access</*IsWrite=*/true>(*ts, addr, size);
+        return;
+      }
+    }
     auto& shadow = rt_.shadow_space();
     if (one_word(addr, size)) {
       rt_.tool().write(*ts, shadow.of(addr));
@@ -135,12 +153,26 @@ class SessionImpl final : public SessionBackend {
   }
 
   void range_read(const void* addr, std::size_t size) override {
-    if (self_or_attach() == nullptr) return;
+    ThreadState* ts = self_or_attach();
+    if (ts == nullptr) return;
+    if constexpr (SpillableVarState<typename D::VarState>) {
+      if (gate_ != nullptr) {
+        gated_access</*IsWrite=*/false>(*ts, addr, size);
+        return;
+      }
+    }
     instrumented_range_read(rt_, rt_.shadow_space(), addr, size);
   }
 
   void range_write(const void* addr, std::size_t size) override {
-    if (self_or_attach() == nullptr) return;
+    ThreadState* ts = self_or_attach();
+    if (ts == nullptr) return;
+    if constexpr (SpillableVarState<typename D::VarState>) {
+      if (gate_ != nullptr) {
+        gated_access</*IsWrite=*/true>(*ts, addr, size);
+        return;
+      }
+    }
     instrumented_range_write(rt_, rt_.shadow_space(), addr, size);
   }
 
@@ -245,7 +277,13 @@ class SessionImpl final : public SessionBackend {
   void free_hint(const void* addr, std::size_t size) override {
     if (size == 0) return;
     if (rt_.has_shadow_space()) rt_.shadow_space().reset_range(addr, size);
+    if constexpr (SpillableVarState<typename D::VarState>) {
+      if (rt_.has_packed_space()) rt_.packed_space().reset_range(addr, size);
+    }
     locks_.reset_range(addr, size);
+    // Recycled addresses are new variables: any cooled sampling state
+    // covering them goes back to full rate.
+    if (gate_ != nullptr) gate_->on_page_reset(addr, size);
   }
 
   std::size_t threads_seen() const override {
@@ -256,9 +294,13 @@ class SessionImpl final : public SessionBackend {
   std::size_t locks_seen() const override { return locks_.size(); }
 
   std::size_t shadow_words() const override {
-    return rt_.has_shadow_space()
-               ? const_cast<Runtime<D>&>(rt_).shadow_space().size()
-               : 0;
+    std::size_t n = rt_.has_shadow_space()
+                        ? const_cast<Runtime<D>&>(rt_).shadow_space().size()
+                        : 0;
+    if (rt_.has_packed_space()) {
+      n += const_cast<Runtime<D>&>(rt_).packed_space().size();
+    }
+    return n;
   }
 
  private:
@@ -282,6 +324,59 @@ class SessionImpl final : public SessionBackend {
     const auto a = reinterpret_cast<std::uintptr_t>(addr);
     return (a & (ShadowGeometry::kGranularity - 1)) + size <=
            ShadowGeometry::kGranularity;
+  }
+
+  /// The sampling route: accesses run against the packed-cell space so a
+  /// sampled-out access costs one cell fast path at most and spills feed
+  /// the gate's reheat hook. One gate decision covers a whole range
+  /// (ranges are one program event; per-word draws would just multiply
+  /// the rate by the range length). Under the drop policy the ABI entry
+  /// point already drew the gate, so every access arriving here counts as
+  /// sampled - there must be exactly one draw per event.
+  template <bool IsWrite>
+  void gated_access(ThreadState& ts, const void* addr, std::size_t size) {
+    std::uint64_t probe = 0;
+    bool sampled;
+    if (drop_mode_) {
+      sampled = true;  // the ABI entry point already drew the gate
+      probe = gate_->maybe_time_begin();
+    } else {
+      // The probe (when armed) opens inside should_sample, before the
+      // gate's own slow path, so the controller charges gate bookkeeping
+      // plus the shadow access - the true marginal cost of the rate.
+      sampled = gate_->should_sample(addr, &probe);
+    }
+    auto& packed = rt_.packed_space();
+    auto& tool = rt_.tool();
+    bool spilled = false;
+    bool ok = true;
+    if (one_word(addr, size)) {
+      if constexpr (IsWrite) {
+        ok = packed.write_gated(tool, ts, addr, sampled, &spilled);
+      } else {
+        ok = packed.read_gated(tool, ts, addr, sampled, &spilled);
+      }
+    } else {
+      std::uintptr_t a =
+          reinterpret_cast<std::uintptr_t>(addr) &
+          ~static_cast<std::uintptr_t>(ShadowGeometry::kGranularity - 1);
+      const std::uintptr_t end = reinterpret_cast<std::uintptr_t>(addr) + size;
+      for (; a < end; a += ShadowGeometry::kGranularity) {
+        bool word_spilled = false;
+        const void* wa = reinterpret_cast<const void*>(a);
+        if constexpr (IsWrite) {
+          ok &= packed.write_gated(tool, ts, wa, sampled, &word_spilled);
+        } else {
+          ok &= packed.read_gated(tool, ts, wa, sampled, &word_spilled);
+        }
+        spilled |= word_spilled;
+      }
+    }
+    if (sampled) {
+      if (spilled) gate_->on_spill(addr);
+      if (!ok) gate_->on_race(addr);
+    }
+    gate_->time_end(probe);  // 0 token (unprobed / sampled-out): no-op
   }
 
   /// The calling thread's state, attaching implicitly on first contact.
@@ -337,6 +432,8 @@ class SessionImpl final : public SessionBackend {
   Runtime<D> rt_;
   LockRegistry locks_;
   const std::uint64_t generation_;
+  sampling::Gate* const gate_;  ///< nullptr: sampling off, classic route
+  const bool drop_mode_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, ThreadRecord> records_;
@@ -381,9 +478,28 @@ class Session {
   /// false marks a report written from a crash path.
   reportio::ReportDoc report_doc(bool clean_exit = true) {
     SessionBackend& b = backend();
-    return reportio::build_report_doc(races_, b.detector_name(),
-                                      b.threads_seen(), b.locks_seen(),
-                                      b.shadow_words(), clean_exit);
+    reportio::ReportDoc doc = reportio::build_report_doc(
+        races_, b.detector_name(), b.threads_seen(), b.locks_seen(),
+        b.shadow_words(), clean_exit);
+    if (sampling::Gate* g = sampling::Gate::active()) {
+      const sampling::Config& cfg = g->config();
+      const sampling::Stats s = g->snapshot();
+      reportio::SamplingInfo& sp = doc.sampling;
+      sp.enabled = true;
+      sp.policy =
+          cfg.policy == sampling::Config::Policy::kDrop ? "drop" : "cell";
+      sp.budget_pct = cfg.budget_pct;
+      sp.rate0 = cfg.rate;
+      sp.rate_ppm = static_cast<std::uint64_t>(s.rate * 1e6 + 0.5);
+      sp.sampled = s.sampled;
+      sp.skipped = s.skipped;
+      sp.cooled_out = s.cooled_out;
+      sp.reheats = s.reheats;
+      sp.overhead_ns = s.overhead_ns;
+      sp.busy_ns = s.busy_ns;
+      sp.adjustments = s.adjustments;
+    }
+    return doc;
   }
 
   /// Typed access for the default configuration, used by the ambient

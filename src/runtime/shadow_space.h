@@ -202,8 +202,16 @@ class PageDirectory {
     std::uintptr_t base = 0;
     PageT* page = nullptr;
   };
-  inline static thread_local Cache tl_cache_{};
+  /// constinit: guarantees constant initialization, so every TU accesses
+  /// the TLS slot directly instead of through the dynamic-init wrapper
+  /// function the ABI otherwise requires for inline thread_locals. The
+  /// wrapper call was the whole cost of the cache on single-page hammer
+  /// workloads (BENCH_hotpath shadow_cache hammer_* rows).
+  inline static constinit thread_local Cache tl_cache_{};
 
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline, cold))
+#endif
   PageT& page_miss(std::uintptr_t base) {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
     std::atomic<PageT*>& head = buckets_[Geometry::bucket_of(base)];
@@ -423,10 +431,73 @@ class PackedShadowSpace {
     return escalate_cell(*s.cell, spill_make(s), spill_get(s));
   }
 
+  /// Sampling-gated accesses (vft/sampling.h): with sampled=false only the
+  /// cell fast path runs - no spill, no detector, no VarState. *spilled
+  /// reports an escalation performed by this access, the gate's reheat
+  /// signal.
+  template <typename Tool>
+  bool read_gated(Tool& tool, ThreadState& st, const void* addr, bool sampled,
+                  bool* spilled = nullptr) {
+    const Slot s = slot_of(addr);
+    return sampled_packed_read(tool, st, *s.cell, spill_make(s), spill_get(s),
+                               sampled, spilled);
+  }
+  template <typename Tool>
+  bool write_gated(Tool& tool, ThreadState& st, const void* addr, bool sampled,
+                   bool* spilled = nullptr) {
+    const Slot s = slot_of(addr);
+    return sampled_packed_write(tool, st, *s.cell, spill_make(s), spill_get(s),
+                                sampled, spilled);
+  }
+
+  /// Reset every shadow word overlapping [addr, addr+size) to bottom
+  /// state, the packed-flavor counterpart of ShadowSpace::reset_range
+  /// (same caller obligations: no concurrent access to the range). An
+  /// epoch-mode cell goes back to {bottom, bottom}; an escalated word
+  /// stays escalated and its spilled VarState is re-bottomed in place,
+  /// keeping the report id - re-entering epoch mode would need to
+  /// un-publish the VarState other threads may have cached.
+  void reset_range(const void* addr, std::size_t size) {
+    if (size == 0) return;
+    const auto lo = reinterpret_cast<std::uintptr_t>(addr);
+    const std::uintptr_t hi = lo + size;
+    for (std::uintptr_t base = Geometry::base_of(lo); base < hi;
+         base += Geometry::kPageSpan) {
+      Page* p = dir_.find_page(base);
+      if (p == nullptr) continue;
+      const std::uintptr_t first = base < lo ? lo : base;
+      const std::uintptr_t last =
+          base + Geometry::kPageSpan < hi ? base + Geometry::kPageSpan : hi;
+      std::size_t i = Geometry::slot_index(first);
+      const std::size_t end =
+          ((last - 1 - base) >> Geometry::kGranularityLog2) + 1;
+      for (; i < end; ++i) {
+        if (VarState* vs = p->spills[i].load(std::memory_order_relaxed)) {
+          const std::uint64_t id = vs->id;
+          std::destroy_at(vs);
+          std::construct_at(vs);
+          vs->id = id;
+        } else {
+          // Racing an in-flight escalation loses benignly: the loser's
+          // snapshot was the pre-free history the caller promised is quiet.
+          std::uint64_t cur = p->cells[i].bits();
+          while (!PackedCell::is_sentinel(cur) &&
+                 !p->cells[i].cas_bits(cur, 0)) {
+          }
+        }
+      }
+      words_reset_.fetch_add(end - Geometry::slot_index(first),
+                             std::memory_order_relaxed);
+    }
+  }
+
   std::size_t pages() const { return dir_.pages(); }
   std::size_t size() const { return pages() * Geometry::kSlotsPerPage; }
   std::size_t spilled() const {
     return spilled_.load(std::memory_order_relaxed);
+  }
+  std::size_t words_reset() const {
+    return words_reset_.load(std::memory_order_relaxed);
   }
 
   ShadowSpaceStats stats() const {
@@ -438,6 +509,7 @@ class PackedShadowSpace {
     s.collisions = dir_.collisions();
     s.cache_misses = dir_.cache_misses();
     s.spilled = spilled();
+    s.words_reset = words_reset();
     return s;
   }
 
@@ -475,6 +547,7 @@ class PackedShadowSpace {
 
   PageDirectory<Page> dir_;
   std::atomic<std::size_t> spilled_{0};
+  std::atomic<std::size_t> words_reset_{0};
 };
 
 /// Anything mapping addresses to stable VarStates can back the raw-pointer

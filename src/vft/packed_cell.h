@@ -239,10 +239,11 @@ inline auto& escalate_cell(PackedCell& cell, Make&& make, Get&& get,
 /// verdict (true = no race; fast-path hits are race-free by construction).
 /// Deliberately independent of rt::Runtime so trace-level differential
 /// tests can drive the exact production code with hand-managed
-/// ThreadStates.
+/// ThreadStates. Sets *spilled when this access escalated the cell (the
+/// sampling layer's reheat signal).
 template <typename Tool, typename Make, typename Get>
 inline bool packed_read(Tool& tool, ThreadState& st, PackedCell& cell,
-                        Make&& make, Get&& get) {
+                        Make&& make, Get&& get, bool* spilled = nullptr) {
   switch (cell.fast_read(st)) {
     case PackedCell::Fast::kSameEpoch:
       bump_rule(tool, Rule::kReadSameEpoch);
@@ -259,13 +260,14 @@ inline bool packed_read(Tool& tool, ThreadState& st, PackedCell& cell,
   auto& vs = escalate_cell(cell, std::forward<Make>(make),
                            std::forward<Get>(get), &won);
   if (won) bump_rule(tool, Rule::kFastSpill);
+  if (spilled != nullptr) *spilled = won;
   bump_rule(tool, Rule::kFastMiss);
   return tool.read(st, vs);
 }
 
 template <typename Tool, typename Make, typename Get>
 inline bool packed_write(Tool& tool, ThreadState& st, PackedCell& cell,
-                         Make&& make, Get&& get) {
+                         Make&& make, Get&& get, bool* spilled = nullptr) {
   switch (cell.fast_write(st)) {
     case PackedCell::Fast::kSameEpoch:
       bump_rule(tool, Rule::kWriteSameEpoch);
@@ -282,8 +284,46 @@ inline bool packed_write(Tool& tool, ThreadState& st, PackedCell& cell,
   auto& vs = escalate_cell(cell, std::forward<Make>(make),
                            std::forward<Get>(get), &won);
   if (won) bump_rule(tool, Rule::kFastSpill);
+  if (spilled != nullptr) *spilled = won;
   bump_rule(tool, Rule::kFastMiss);
   return tool.write(st, vs);
+}
+
+/// The sampling-gated variants (vft/sampling.h decides `sampled`). A
+/// sampled-out access runs *only* the fast path: a same-epoch hit leaves
+/// the cell alone and an exclusive advance commits the same single-CAS
+/// update the real access would, so the cell's last-access metadata stays
+/// fresh for later sampled accesses to race against. kSlow returns
+/// without escalating and without calling the detector - a sampled-out
+/// access never spills, never touches a VarState, and (if the cell is
+/// already ESCALATED) never advances the spilled state either. Only
+/// Rule::kSampledOut is bumped: the access-rule counters keep describing
+/// the *analyzed* access mix, which is what the Table 1 distribution and
+/// the rate=1.0 differential test compare.
+template <typename Tool, typename Make, typename Get>
+inline bool sampled_packed_read(Tool& tool, ThreadState& st, PackedCell& cell,
+                                Make&& make, Get&& get, bool sampled,
+                                bool* spilled = nullptr) {
+  if (sampled) [[likely]] {
+    return packed_read(tool, st, cell, std::forward<Make>(make),
+                       std::forward<Get>(get), spilled);
+  }
+  (void)cell.fast_read(st);  // keep last-reader metadata fresh; kSlow: no-op
+  bump_rule(tool, Rule::kSampledOut);
+  return true;
+}
+
+template <typename Tool, typename Make, typename Get>
+inline bool sampled_packed_write(Tool& tool, ThreadState& st, PackedCell& cell,
+                                 Make&& make, Get&& get, bool sampled,
+                                 bool* spilled = nullptr) {
+  if (sampled) [[likely]] {
+    return packed_write(tool, st, cell, std::forward<Make>(make),
+                        std::forward<Get>(get), spilled);
+  }
+  (void)cell.fast_write(st);  // keep last-writer metadata fresh; kSlow: no-op
+  bump_rule(tool, Rule::kSampledOut);
+  return true;
 }
 
 }  // namespace vft

@@ -487,6 +487,35 @@ std::string render_json(const ReportDoc& doc) {
   o += "  \"runs\": " + std::to_string(doc.runs) + ",\n";
   o += std::string("  \"clean_exit\": ") +
        (doc.clean_exit ? "true" : "false") + ",\n";
+  if (doc.sampling.enabled) {
+    const SamplingInfo& sp = doc.sampling;
+    const std::uint64_t total = sp.sampled + sp.skipped;
+    char buf[64];
+    o += "  \"sampling\": {\"policy\": \"" + json_escape(sp.policy) + "\"";
+    std::snprintf(buf, sizeof(buf), ", \"budget_pct\": %g", sp.budget_pct);
+    o += buf;
+    std::snprintf(buf, sizeof(buf), ", \"rate0\": %g", sp.rate0);
+    o += buf;
+    o += ", \"rate_ppm\": " + std::to_string(sp.rate_ppm);
+    o += ",\n               \"sampled\": " + std::to_string(sp.sampled);
+    o += ", \"skipped\": " + std::to_string(sp.skipped);
+    o += ", \"cooled_out\": " + std::to_string(sp.cooled_out);
+    o += ", \"reheats\": " + std::to_string(sp.reheats);
+    o += ",\n               \"overhead_ns\": " + std::to_string(sp.overhead_ns);
+    o += ", \"busy_ns\": " + std::to_string(sp.busy_ns);
+    o += ", \"adjustments\": " + std::to_string(sp.adjustments);
+    std::snprintf(buf, sizeof(buf), ",\n               \"achieved_rate\": %.6f",
+                  total > 0 ? static_cast<double>(sp.sampled) /
+                                  static_cast<double>(total)
+                            : 0.0);
+    o += buf;
+    std::snprintf(buf, sizeof(buf), ", \"overhead_pct\": %.3f",
+                  sp.busy_ns > 0 ? 100.0 * static_cast<double>(sp.overhead_ns) /
+                                       static_cast<double>(sp.busy_ns)
+                                 : 0.0);
+    o += buf;
+    o += "},\n";
+  }
   o += "  \"contexts\": [";
   for (std::size_t i = 0; i < ordered.size(); ++i) {
     const Context& c = *ordered[i];
@@ -656,6 +685,25 @@ bool parse_report(std::string_view text, ReportDoc* doc, std::string* err) {
   if (doc->runs == 0) doc->runs = 1;
   if (const Json* v = root.get("clean_exit")) doc->clean_exit = v->boolean;
   if (doc->truncated) doc->clean_exit = false;
+  if (const Json* v = root.get("sampling")) {
+    SamplingInfo& sp = doc->sampling;
+    sp.enabled = true;
+    if (const Json* t = v->get("policy")) sp.policy = t->string;
+    if (const Json* t = v->get("budget_pct")) {
+      sp.budget_pct = std::strtod(t->number.c_str(), nullptr);
+    }
+    if (const Json* t = v->get("rate0")) {
+      sp.rate0 = std::strtod(t->number.c_str(), nullptr);
+    }
+    if (const Json* t = v->get("rate_ppm")) sp.rate_ppm = t->as_u64(1000000);
+    if (const Json* t = v->get("sampled")) sp.sampled = t->as_u64();
+    if (const Json* t = v->get("skipped")) sp.skipped = t->as_u64();
+    if (const Json* t = v->get("cooled_out")) sp.cooled_out = t->as_u64();
+    if (const Json* t = v->get("reheats")) sp.reheats = t->as_u64();
+    if (const Json* t = v->get("overhead_ns")) sp.overhead_ns = t->as_u64();
+    if (const Json* t = v->get("busy_ns")) sp.busy_ns = t->as_u64();
+    if (const Json* t = v->get("adjustments")) sp.adjustments = t->as_u64();
+  }
   if (const Json* v = root.get("contexts")) {
     for (const Json& e : v->array) {
       if (auto c = context_from_json(e)) doc->contexts.push_back(*std::move(c));
@@ -730,9 +778,45 @@ ReportDoc merge_reports(const std::vector<ReportDoc>& docs) {
   std::string detector;
   bool mixed = false;
 
+  // Sampling block: integer counters sum; the weighted current-rate
+  // average and the config-equality folds below are all order-independent,
+  // keeping the merge byte-stable across input orderings.
+  bool sampling_any = false;
+  bool sampling_policy_mixed = false, sampling_cfg_mixed = false;
+  std::string sampling_policy;
+  double sampling_budget = 0.0, sampling_rate0 = 1.0;
+  bool sampling_cfg_set = false;
+  std::uint64_t rate_weighted = 0;
+
   for (const ReportDoc& d : docs) {
     out.runs += d.runs;
     out.clean_exit = out.clean_exit && d.clean_exit && !d.truncated;
+    if (d.sampling.enabled) {
+      const SamplingInfo& sp = d.sampling;
+      SamplingInfo& o = out.sampling;
+      sampling_any = true;
+      if (sampling_policy.empty()) {
+        sampling_policy = sp.policy;
+      } else if (sp.policy != sampling_policy) {
+        sampling_policy_mixed = true;
+      }
+      if (!sampling_cfg_set) {
+        sampling_cfg_set = true;
+        sampling_budget = sp.budget_pct;
+        sampling_rate0 = sp.rate0;
+      } else if (sp.budget_pct != sampling_budget ||
+                 sp.rate0 != sampling_rate0) {
+        sampling_cfg_mixed = true;
+      }
+      o.sampled += sp.sampled;
+      o.skipped += sp.skipped;
+      o.cooled_out += sp.cooled_out;
+      o.reheats += sp.reheats;
+      o.overhead_ns += sp.overhead_ns;
+      o.busy_ns += sp.busy_ns;
+      o.adjustments += sp.adjustments;
+      rate_weighted += sp.rate_ppm * (sp.busy_ns / 1000);
+    }
     if (detector.empty()) {
       detector = d.detector;
     } else if (!d.detector.empty() && d.detector != detector) {
@@ -765,6 +849,15 @@ ReportDoc merge_reports(const std::vector<ReportDoc>& docs) {
   }
   if (out.runs == 0) out.runs = 1;
   out.detector = mixed ? "mixed" : detector;
+  if (sampling_any) {
+    SamplingInfo& o = out.sampling;
+    o.enabled = true;
+    o.policy = sampling_policy_mixed ? "mixed" : sampling_policy;
+    o.budget_pct = sampling_cfg_mixed ? 0.0 : sampling_budget;
+    o.rate0 = sampling_cfg_mixed ? 1.0 : sampling_rate0;
+    const std::uint64_t busy_us = o.busy_ns / 1000;
+    o.rate_ppm = busy_us > 0 ? rate_weighted / busy_us : 1000000;
+  }
 
   for (auto& [key, slot] : by_key) {
     Context c = slot.ctx;

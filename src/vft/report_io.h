@@ -141,11 +141,35 @@ struct Summary {
   std::uint64_t shadow_words = 0;
 };
 
+/// Sampling-mode block ("sampling" object, emitted only when the run had
+/// the sampling gate enabled - reports from exact runs are unchanged, so
+/// the CI schema golden stays stable). All counters are integers so
+/// merge_reports can sum them deterministically; the ratios the object
+/// renders (achieved_rate, overhead_pct) are derived from the integers at
+/// render time. The controller's current rate travels as parts-per-million
+/// (rate_ppm) for the same reason; merge averages it weighted by busy_ns
+/// in integer arithmetic.
+struct SamplingInfo {
+  bool enabled = false;
+  std::string policy;         ///< "cell" | "drop" ("mixed" after a merge)
+  double budget_pct = 0.0;    ///< configured target overhead (0: none)
+  double rate0 = 1.0;         ///< configured initial rate
+  std::uint64_t rate_ppm = 1000000;  ///< current global rate * 1e6
+  std::uint64_t sampled = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t cooled_out = 0;
+  std::uint64_t reheats = 0;
+  std::uint64_t overhead_ns = 0;
+  std::uint64_t busy_ns = 0;  ///< process CPU ns while the gate was live
+  std::uint64_t adjustments = 0;
+};
+
 struct ReportDoc {
   std::string detector;
   std::uint64_t runs = 1;
   bool clean_exit = true;
   bool truncated = false;  ///< parse-side only: the input was cut short
+  SamplingInfo sampling;   ///< rendered only when .enabled
   std::vector<Context> contexts;
   std::vector<std::pair<std::string, std::uint64_t>> suppression_stats;
   Summary summary;

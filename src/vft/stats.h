@@ -47,6 +47,7 @@ enum class Rule : std::uint8_t {
   kFastWriteHit,  ///< write completed inline against the packed cell
   kFastSpill,     ///< escalations won: cell spilled into a full VarState
   kFastMiss,      ///< accesses that fell through to a detector call
+  kSampledOut,    ///< accesses gated out by the sampling layer
   kNumRules,
 };
 
@@ -75,6 +76,7 @@ inline const char* rule_name(Rule r) {
     case Rule::kFastWriteHit: return "[Fast Write Hit]";
     case Rule::kFastSpill: return "[Fast Spill]";
     case Rule::kFastMiss: return "[Fast Miss]";
+    case Rule::kSampledOut: return "[Sampled Out]";
     default: return "?";
   }
 }

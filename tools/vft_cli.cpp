@@ -35,7 +35,8 @@
 //       any). Requires a -DVFT_SCHED=ON build; exits 2 otherwise.
 //
 //   vft run [--detector NAME] [--report PATH] [--expect race|none]
-//           [--suppressions FILE] [--preload LIB] -- <program> [args...]
+//           [--suppressions FILE] [--preload LIB] [--budget PCT]
+//           [--sampling SPEC] -- <program> [args...]
 //       Run an *unmodified* binary under the analysis: LD_PRELOAD the
 //       interposition library (src/interpose/), select the detector via
 //       VFT_DETECTOR, collect the end-of-run report (text, or JSON when
@@ -45,7 +46,12 @@
 //       (clean_exit=false) and the tolerant parser recovers every
 //       complete context even from a cut-short file. With --expect the
 //       exit code asserts the verdict (0 iff it matches), which is how
-//       the examples/native corpus runs under ctest and CI.
+//       the examples/native corpus runs under ctest and CI. --budget PCT
+//       (VFT_BUDGET) arms the always-on sampling mode with a target
+//       overhead; --sampling SPEC (VFT_SAMPLING, e.g.
+//       "rate=0.02,policy=drop,seed=7") sets the gate directly. The
+//       effective configuration is echoed in the banner and recorded in
+//       the JSON report's "sampling" object.
 //
 //   vft report merge [--out PATH] <report.json>...
 //       Fuse vft-report-v2 JSONs from a fleet of runs: contexts with the
@@ -93,6 +99,7 @@
 #include "trace/minimize.h"
 #include "trace/replay.h"
 #include "vft/report_io.h"
+#include "vft/sampling.h"
 
 namespace {
 
@@ -113,6 +120,7 @@ int usage() {
                " [--mutate NAME]\n"
                "       vft run [--detector NAME] [--report PATH]"
                " [--expect race|none] [--suppressions FILE] [--preload LIB]"
+               "\n               [--budget PCT] [--sampling SPEC]"
                " -- <program> [args...]\n"
                "       vft report merge [--out PATH] <report.json>...\n"
                "       vft report symbolize [--out PATH] [--symbolizer BIN]"
@@ -334,6 +342,7 @@ struct RunReport {
   bool partial = false;  ///< crash-path write or truncated file
   long races = -1;
   long suppressed = 0;
+  reportio::SamplingInfo sampling;  ///< .enabled iff the run was sampled
 };
 
 /// Race count scraped from the plain text form ("summary: races=N ...").
@@ -367,6 +376,7 @@ RunReport load_run_report(const std::string& path) {
       r.partial = doc.truncated || !doc.clean_exit;
       r.races = static_cast<long>(doc.summary.races);
       r.suppressed = static_cast<long>(doc.summary.suppressed);
+      r.sampling = doc.sampling;
       return r;
     }
   }
@@ -398,6 +408,30 @@ int cmd_run(int argc, char** argv) {
   if (!expect.empty() && expect != "race" && expect != "none") {
     std::fprintf(stderr, "vft run: --expect wants `race` or `none`\n");
     return 2;
+  }
+
+  // Sampling knobs: flags win over inherited environment (and are
+  // propagated explicitly below, so the child's configuration never
+  // depends on what happens to be in vft's own env). Validate here -
+  // rejecting a bad spec in the launcher beats a warning buried in the
+  // target's stderr.
+  std::string budget = arg_value(sep, argv, "--budget", "");
+  std::string sampling_spec = arg_value(sep, argv, "--sampling", "");
+  if (budget.empty()) {
+    if (const char* env = std::getenv("VFT_BUDGET")) budget = env;
+  }
+  if (sampling_spec.empty()) {
+    if (const char* env = std::getenv("VFT_SAMPLING")) sampling_spec = env;
+  }
+  sampling::Config sampling_cfg;
+  {
+    std::string err;
+    if (!sampling::parse_config(
+            sampling_spec.empty() ? nullptr : sampling_spec.c_str(),
+            budget.empty() ? nullptr : budget.c_str(), &sampling_cfg, &err)) {
+      std::fprintf(stderr, "vft run: %s\n", err.c_str());
+      return 2;
+    }
   }
 
   std::string preload = arg_value(sep, argv, "--preload", "");
@@ -437,6 +471,8 @@ int cmd_run(int argc, char** argv) {
     if (!suppressions.empty()) {
       setenv("VFT_SUPPRESSIONS", suppressions.c_str(), 1);
     }
+    if (!budget.empty()) setenv("VFT_BUDGET", budget.c_str(), 1);
+    if (!sampling_spec.empty()) setenv("VFT_SAMPLING", sampling_spec.c_str(), 1);
     execvp(argv[sep + 1], argv + sep + 1);
     std::perror("vft run: exec");
     _exit(127);
@@ -473,6 +509,26 @@ int cmd_run(int argc, char** argv) {
               rr.partial ? " (partial)" : "",
               temp_report ? "" : " report=",
               temp_report ? "" : report.c_str());
+  if (sampling_cfg.enabled) {
+    std::printf("vft run: sampling: %s\n",
+                sampling::describe(sampling_cfg).c_str());
+  }
+  if (rr.sampling.enabled) {
+    const reportio::SamplingInfo& sp = rr.sampling;
+    const double total = static_cast<double>(sp.sampled + sp.skipped);
+    std::printf(
+        "vft run: sampling achieved: rate=%.4f (now %.4f) overhead=%.2f%% "
+        "sampled=%llu skipped=%llu reheats=%llu adjustments=%llu\n",
+        total > 0 ? static_cast<double>(sp.sampled) / total : 0.0,
+        static_cast<double>(sp.rate_ppm) / 1e6,
+        sp.busy_ns > 0 ? 100.0 * static_cast<double>(sp.overhead_ns) /
+                             static_cast<double>(sp.busy_ns)
+                       : 0.0,
+        static_cast<unsigned long long>(sp.sampled),
+        static_cast<unsigned long long>(sp.skipped),
+        static_cast<unsigned long long>(sp.reheats),
+        static_cast<unsigned long long>(sp.adjustments));
+  }
   if (rr.partial) {
     std::printf("vft run: verdict from a PARTIAL report: the target %s "
                 "mid-run; counts cover everything detected before that\n",
