@@ -1,0 +1,39 @@
+// Native corpus: bulk mem* traffic over shared buffers, strictly ordered
+// by a join - the child memsets and copies, the parent joins and then
+// reuses the very same bytes. The interposer must both *see* the libc
+// calls (range read/write events per overlapped shadow word) and order
+// them through the join edge: any report here is a false positive.
+//
+// Volatile function pointers keep the compiler from expanding the calls
+// into inline stores (see race_memcpy.cpp).
+//
+// Expected verdict: NONE.
+#include <pthread.h>
+#include <string.h>
+
+namespace {
+
+using MemcpyFn = void* (*)(void*, const void*, size_t);
+using MemsetFn = void* (*)(void*, int, size_t);
+volatile MemcpyFn do_memcpy = memcpy;
+volatile MemsetFn do_memset = memset;
+
+char scratch[8192];
+char staging[8192];
+
+void* child(void*) {
+  do_memset(scratch, 0x5a, sizeof(scratch));
+  do_memcpy(staging, scratch, sizeof(staging));
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_t t;
+  pthread_create(&t, nullptr, child, nullptr);
+  pthread_join(t, nullptr);
+  do_memset(staging, 0, sizeof(staging));  // ordered by the join
+  do_memcpy(scratch, staging, sizeof(scratch));
+  return scratch[0] == 0 ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Native corpus: two unordered children bulk-copy into the same
+// destination through libc memcpy - the textbook write-write race, but
+// arriving via the interposer's mem* range events (and the SIMD
+// packed-cell range kernel) instead of compile-time instrumentation.
+//
+// The copies go through a volatile function pointer so the compiler
+// cannot expand them into inline stores - inline stores would be
+// reported through the __tsan_* plain-access surface and this program
+// exists to pin down the libc-wrapper path.
+//
+// Expected verdict: RACE (the children's range writes are unordered no
+// matter how the scheduler interleaves them).
+#include <pthread.h>
+#include <string.h>
+
+namespace {
+
+using MemcpyFn = void* (*)(void*, const void*, size_t);
+volatile MemcpyFn do_memcpy = memcpy;
+
+char src_a[4096];
+char src_b[4096];
+char dst[4096];
+
+void* copy_a(void*) {
+  for (int i = 0; i < 200; ++i) do_memcpy(dst, src_a, sizeof(dst));
+  return nullptr;
+}
+
+void* copy_b(void*) {
+  for (int i = 0; i < 200; ++i) do_memcpy(dst, src_b, sizeof(dst));
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_t a, b;
+  pthread_create(&a, nullptr, copy_a, nullptr);
+  pthread_create(&b, nullptr, copy_b, nullptr);
+  pthread_join(a, nullptr);
+  pthread_join(b, nullptr);
+  return dst[0] == src_a[0] || dst[0] == src_b[0] ? 0 : 1;
+}

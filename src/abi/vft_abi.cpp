@@ -13,13 +13,24 @@
 #include <cstring>
 #include <string>
 
+#include "abi/vft_abi_inline.h"
 #include "runtime/session.h"
+#include "runtime/shadow_space.h"
 #include "vft/report.h"
 #include "vft/report_io.h"
 #include "vft/sampling.h"
 
+// The inline header's pointer math must agree with the shadow geometry it
+// caches pointers into.
+static_assert(VFT_FASTPATH_GRANULARITY_LOG2 ==
+              vft::rt::ShadowGeometry::kGranularityLog2);
+static_assert(VFT_FASTPATH_PAGE_SPAN == vft::rt::ShadowGeometry::kPageSpan);
+static_assert(VFT_FASTPATH_SLOT_MASK ==
+              vft::rt::ShadowGeometry::kSlotsPerPage - 1);
+
 namespace {
 
+using vft::rt::ambient::EntryTable;
 using vft::rt::ambient::Session;
 using vft::rt::ambient::SessionBackend;
 
@@ -42,6 +53,63 @@ class AbiScope {
 };
 
 SessionBackend& backend() { return Session::instance().backend(); }
+
+/// The shared slow-path body; callers hold the AbiScope. Protocol:
+///  1. Re-sync the calling thread's fast-path descriptor against the
+///     global generation (a Session::reset() since the last arm makes
+///     every cached pointer in it untrustworthy).
+///  2. Drop-policy gate: one draw per event, through admit_and_refill so
+///     the freshly drawn skip-gap lands in the descriptor and subsequent
+///     sampled-out accesses resolve entirely inline. Only the descriptor's
+///     generation+countdown half is armed here - the cell half stays
+///     disarmed under sampling so inline hits can't bypass the gate.
+///  3. Dispatch through the devirtualized entry table when its generation
+///     snapshot is current; fall back to the virtual backend otherwise
+///     (first event, mid-reset, or a table published under an older gen).
+///  4. Consume the event context exactly once, on the way out - the
+///     single clear the whole access path performs (inline hits neither
+///     read nor clear it).
+void slow_access(const void* addr, size_t size, bool is_write,
+                 bool is_range) {
+  vft_fastpath_s& fp = vft_tl_fastpath;
+  const uint64_t gen =
+      __atomic_load_n(&vft_g_fastpath_gen, __ATOMIC_ACQUIRE);
+  if (fp.gen != 0 && fp.gen != gen) fp = vft_fastpath_s{};
+  // Credit the inline path's pending hit tallies before dispatching: every
+  // slow-path entry is a quiescent point at which the rule counters must
+  // equal what the out-of-line path would have produced.
+  if (fp.gen == gen) vft_fastpath_flush_hits(&fp);
+  if (vft::sampling::Gate::drop_policy_active()) {
+    if (vft::sampling::Gate* g = vft::sampling::Gate::active()) {
+      fp.gen = gen;
+      if (!g->admit_and_refill(addr, &fp)) {
+        vft_tl_event_ctx.pc = nullptr;
+        return;
+      }
+    }
+  }
+  const EntryTable* t = Session::instance().entry_table();
+  if (t != nullptr && t->generation == gen) {
+    (is_range ? (is_write ? t->range_write : t->range_read)
+              : (is_write ? t->write : t->read))(t->self, addr, size);
+  } else {
+    SessionBackend& b = backend();
+    if (is_range) {
+      if (is_write) {
+        b.range_write(addr, size);
+      } else {
+        b.range_read(addr, size);
+      }
+    } else {
+      if (is_write) {
+        b.write(addr, size);
+      } else {
+        b.read(addr, size);
+      }
+    }
+  }
+  vft_tl_event_ctx.pc = nullptr;
+}
 
 int write_report(const char* path, int json, int clean) {
   // Snapshot first, open the file second: on the crash path the document
@@ -107,61 +175,73 @@ void vft_thread_detach(uint64_t token) {
   backend().thread_detach(token);
 }
 
-/// Access events consume the interposition boundary: the armed event
-/// context describes exactly this access, so it is cleared on the way
-/// out - a later race on a *different* path (ambient wrappers mixed into
-/// an interposed process) must not inherit this access's stack.
+/// Access entry points: the header-inlined try first (same-epoch hit or
+/// drop-policy sampled-out skip resolves with no call at all - no
+/// AbiScope, no dispatch, no event-context store), then the guarded
+/// slow path. The try-functions touch nothing but the thread's own
+/// descriptor and the cell word, so running them outside the reentrancy
+/// guard is safe; analysis-internal code never calls these sized entry
+/// points anyway.
 ///
-/// The drop-policy sampling gate sits here, before even the session
+/// The drop-policy sampling gate lives in slow_access, before the session
 /// dispatch: a sampled-out access under `VFT_SAMPLING=policy=drop` costs
-/// one TLS countdown and returns - no virtual hop, no shadow lookup, no
-/// cell. The event context is still consumed (the skipped access owned
-/// it). The gate is null until the first event creates the session, so
-/// the first access always falls through and initializes everything.
-#define VFT_ABI_ACCESS(name, method, size)          \
-  void name(const void* addr) {                     \
-    AbiScope guard;                                 \
-    if (!guard.entered()) return;                   \
-    if (vft::sampling::drop_gate_skips(addr)) {     \
-      vft_tl_event_ctx.pc = nullptr;                \
-      return;                                       \
-    }                                               \
-    backend().method(addr, (size));                 \
-    vft_tl_event_ctx.pc = nullptr;                  \
+/// one inline TLS countdown decrement once the descriptor is armed. The
+/// gate is null until the first event creates the session, so the first
+/// access always falls through and initializes everything.
+#define VFT_ABI_READ(name, size)                         \
+  void name(const void* addr) {                          \
+    if (vft_fastpath_try_read(addr, (size))) return;     \
+    AbiScope guard;                                      \
+    if (!guard.entered()) return;                        \
+    slow_access(addr, (size), /*is_write=*/false, false); \
+  }
+#define VFT_ABI_WRITE(name, size)                        \
+  void name(const void* addr) {                          \
+    if (vft_fastpath_try_write(addr, (size))) return;    \
+    AbiScope guard;                                      \
+    if (!guard.entered()) return;                        \
+    slow_access(addr, (size), /*is_write=*/true, false); \
   }
 
-VFT_ABI_ACCESS(vft_read1, read, 1)
-VFT_ABI_ACCESS(vft_read2, read, 2)
-VFT_ABI_ACCESS(vft_read4, read, 4)
-VFT_ABI_ACCESS(vft_read8, read, 8)
-VFT_ABI_ACCESS(vft_write1, write, 1)
-VFT_ABI_ACCESS(vft_write2, write, 2)
-VFT_ABI_ACCESS(vft_write4, write, 4)
-VFT_ABI_ACCESS(vft_write8, write, 8)
+VFT_ABI_READ(vft_read1, 1)
+VFT_ABI_READ(vft_read2, 2)
+VFT_ABI_READ(vft_read4, 4)
+VFT_ABI_READ(vft_read8, 8)
+VFT_ABI_WRITE(vft_write1, 1)
+VFT_ABI_WRITE(vft_write2, 2)
+VFT_ABI_WRITE(vft_write4, 4)
+VFT_ABI_WRITE(vft_write8, 8)
 
-#undef VFT_ABI_ACCESS
+#undef VFT_ABI_READ
+#undef VFT_ABI_WRITE
+
+int vft_abi_in_runtime(void) { return tl_in_abi ? 1 : 0; }
+
+void vft_abi_slow_read(const void* addr, size_t size) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  slow_access(addr, size, /*is_write=*/false, /*is_range=*/false);
+}
+
+void vft_abi_slow_write(const void* addr, size_t size) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  slow_access(addr, size, /*is_write=*/true, /*is_range=*/false);
+}
 
 void vft_range_read(const void* addr, size_t size) {
   AbiScope guard;
   if (!guard.entered() || size == 0) return;
   // One gate draw covers the whole range: a range is one program event.
-  if (vft::sampling::drop_gate_skips(addr)) {
-    vft_tl_event_ctx.pc = nullptr;
-    return;
-  }
-  backend().range_read(addr, size);
-  vft_tl_event_ctx.pc = nullptr;
+  // A drop-countdown skip the inline path prepaid also covers it (ranges
+  // and straddles arriving mid-gap consume one unit in admit_and_refill).
+  slow_access(addr, size, /*is_write=*/false, /*is_range=*/true);
 }
 
 void vft_range_write(const void* addr, size_t size) {
   AbiScope guard;
   if (!guard.entered() || size == 0) return;
-  if (vft::sampling::drop_gate_skips(addr)) {
-    vft_tl_event_ctx.pc = nullptr;
-    return;
-  }
-  backend().range_write(addr, size);
-  vft_tl_event_ctx.pc = nullptr;
+  slow_access(addr, size, /*is_write=*/true, /*is_range=*/true);
 }
 
 void vft_mutex_lock(const void* m) {

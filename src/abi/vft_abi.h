@@ -85,9 +85,27 @@ void vft_write2(const void* addr);
 void vft_write4(const void* addr);
 void vft_write8(const void* addr);
 
-/* memcpy-style sized accesses: one event per overlapped shadow word. */
+/* memcpy-style sized accesses: one event per overlapped shadow word
+ * (same-epoch runs are resolved in bulk by a SIMD prefix scan). */
 void vft_range_read(const void* addr, size_t size);
 void vft_range_write(const void* addr, size_t size);
+
+/* Out-of-line halves of the header-inlined fast path
+ * (src/abi/vft_abi_inline.h): an interposition layer that compiles the
+ * inline try-functions calls these only on an inline miss. vft_readN /
+ * vft_writeN are exactly `if (!try) slow`; callers without the header
+ * just use those. */
+void vft_abi_slow_read(const void* addr, size_t size);
+void vft_abi_slow_write(const void* addr, size_t size);
+
+/* Nonzero while the calling thread is inside an ABI entry point (the
+ * reentrancy guard is held). An interposition layer that also wraps libc
+ * routines the analysis itself uses (memcpy, strlen, ...) must consult
+ * this before arming the event context for such a wrapper: the nested
+ * range event would be dropped by the guard anyway, but the arm would
+ * overwrite the context mid-event and a second race recorded from the
+ * same enclosing access would capture an analysis-internal stack. */
+int vft_abi_in_runtime(void);
 
 /* --- native locks ------------------------------------------------------ */
 
@@ -115,8 +133,11 @@ void vft_free_hint(const void* addr, size_t size);
  * upward from `fp` to reconstruct the *target's* stack (capped by
  * VFT_STACK_DEPTH, default 16, max 32). Cost on the non-racing path: the
  * two stores. Left unset, races are recorded without stacks and
- * deduplicate by variable instead. Cleared by the runtime after each
- * event so a stale boundary can never describe the wrong access. */
+ * deduplicate by variable instead. Cleared by the runtime at each
+ * *slow-path* exit (inline fast-path hits cannot race, so they neither
+ * read nor clear the context); an interposition layer should arm it only
+ * when it is about to take the slow path, so a stale boundary can never
+ * describe the wrong access. */
 
 /* --- reporting --------------------------------------------------------- */
 

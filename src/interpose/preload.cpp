@@ -46,6 +46,7 @@
 #include <sys/mman.h>
 
 #include "abi/vft_abi.h"
+#include "abi/vft_abi_inline.h"
 
 namespace {
 
@@ -70,6 +71,14 @@ using CondTimedWaitFn = int (*)(pthread_cond_t*, pthread_mutex_t*,
                                 const struct timespec*);
 using FreeFn = void (*)(void*);
 using MunmapFn = int (*)(void*, size_t);
+using MemcpyFn = void* (*)(void*, const void*, size_t);
+using MemsetFn = void* (*)(void*, int, size_t);
+using BzeroFn = void (*)(void*, size_t);
+using StrlenFn = size_t (*)(const char*);
+using StrnlenFn = size_t (*)(const char*, size_t);
+using StrcpyFn = char* (*)(char*, const char*);
+using StrncpyFn = char* (*)(char*, const char*, size_t);
+using StrcatFn = char* (*)(char*, const char*);
 
 CreateFn real_create;
 JoinFn real_join;
@@ -81,6 +90,20 @@ CondWaitFn real_cond_wait;
 CondTimedWaitFn real_cond_timedwait;
 FreeFn real_free;
 MunmapFn real_munmap;
+MemcpyFn real_memcpy;
+MemcpyFn real_memmove;
+MemsetFn real_memset;
+BzeroFn real_bzero;
+StrlenFn real_strlen;
+StrnlenFn real_strnlen;
+StrcpyFn real_strcpy;
+StrncpyFn real_strncpy;
+StrcatFn real_strcat;
+
+/// Set at the end of the library constructor: mem*/str* calls before the
+/// analysis is up (dynamic-linker bootstrap, early libc init) forward no
+/// events - they run against memory no target thread has touched yet.
+volatile int g_mem_ready = 0;
 
 void resolve_all() {
   real_create = resolve<CreateFn>("pthread_create");
@@ -93,6 +116,15 @@ void resolve_all() {
   real_cond_timedwait = resolve<CondTimedWaitFn>("pthread_cond_timedwait");
   real_free = resolve<FreeFn>("free");
   real_munmap = resolve<MunmapFn>("munmap");
+  real_memcpy = resolve<MemcpyFn>("memcpy");
+  real_memmove = resolve<MemcpyFn>("memmove");
+  real_memset = resolve<MemsetFn>("memset");
+  real_bzero = resolve<BzeroFn>("bzero");
+  real_strlen = resolve<StrlenFn>("strlen");
+  real_strnlen = resolve<StrnlenFn>("strnlen");
+  real_strcpy = resolve<StrcpyFn>("strcpy");
+  real_strncpy = resolve<StrncpyFn>("strncpy");
+  real_strcat = resolve<StrcatFn>("strcat");
 }
 
 // ---------------------------------------------------------------------
@@ -316,37 +348,60 @@ void __tsan_init(void) {}
 void __tsan_func_entry(void*) {}
 void __tsan_func_exit(void) {}
 
-// The trailing barrier keeps `fwd` out of tail position: a sibling-call
-// would pop this frame (and the armed fp anchor) before the detector
-// runs, so a race would walk freed stack instead of the caller chain.
-#define VFT_TSAN_ACCESS(name, fwd)     \
+// Sized wrappers compile the header-inlined fast path directly into the
+// interposition boundary: a same-epoch hit (or a drop-policy sampled-out
+// skip) returns before any call, any AbiScope, and any event-context
+// store. Only an inline miss arms the capture boundary - the slow path
+// is the only consumer, and a hit cannot race.
+//
+// The trailing barrier keeps the slow call out of tail position: a
+// sibling-call would pop this frame (and the armed fp anchor) before the
+// detector runs, so a race would walk freed stack instead of the caller
+// chain.
+#define VFT_TSAN_READ(name, size)                 \
+  void name(void* a) {                            \
+    if (vft_fastpath_try_read(a, (size))) return; \
+    VFT_ARM_EVENT_CTX();                          \
+    vft_abi_slow_read(a, (size));                 \
+    asm volatile("" ::: "memory");                \
+  }
+#define VFT_TSAN_WRITE(name, size)                 \
+  void name(void* a) {                             \
+    if (vft_fastpath_try_write(a, (size))) return; \
+    VFT_ARM_EVENT_CTX();                           \
+    vft_abi_slow_write(a, (size));                 \
+    asm volatile("" ::: "memory");                 \
+  }
+#define VFT_TSAN_RANGE(name, fwd)      \
   void name(void* a) {                 \
     VFT_ARM_EVENT_CTX();               \
     fwd;                               \
     asm volatile("" ::: "memory");     \
   }
 
-VFT_TSAN_ACCESS(__tsan_read1, vft_read1(a))
-VFT_TSAN_ACCESS(__tsan_read2, vft_read2(a))
-VFT_TSAN_ACCESS(__tsan_read4, vft_read4(a))
-VFT_TSAN_ACCESS(__tsan_read8, vft_read8(a))
-VFT_TSAN_ACCESS(__tsan_read16, vft_range_read(a, 16))
-VFT_TSAN_ACCESS(__tsan_write1, vft_write1(a))
-VFT_TSAN_ACCESS(__tsan_write2, vft_write2(a))
-VFT_TSAN_ACCESS(__tsan_write4, vft_write4(a))
-VFT_TSAN_ACCESS(__tsan_write8, vft_write8(a))
-VFT_TSAN_ACCESS(__tsan_write16, vft_range_write(a, 16))
+VFT_TSAN_READ(__tsan_read1, 1)
+VFT_TSAN_READ(__tsan_read2, 2)
+VFT_TSAN_READ(__tsan_read4, 4)
+VFT_TSAN_READ(__tsan_read8, 8)
+VFT_TSAN_RANGE(__tsan_read16, vft_range_read(a, 16))
+VFT_TSAN_WRITE(__tsan_write1, 1)
+VFT_TSAN_WRITE(__tsan_write2, 2)
+VFT_TSAN_WRITE(__tsan_write4, 4)
+VFT_TSAN_WRITE(__tsan_write8, 8)
+VFT_TSAN_RANGE(__tsan_write16, vft_range_write(a, 16))
 
-VFT_TSAN_ACCESS(__tsan_unaligned_read2, vft_read2(a))
-VFT_TSAN_ACCESS(__tsan_unaligned_read4, vft_read4(a))
-VFT_TSAN_ACCESS(__tsan_unaligned_read8, vft_read8(a))
-VFT_TSAN_ACCESS(__tsan_unaligned_read16, vft_range_read(a, 16))
-VFT_TSAN_ACCESS(__tsan_unaligned_write2, vft_write2(a))
-VFT_TSAN_ACCESS(__tsan_unaligned_write4, vft_write4(a))
-VFT_TSAN_ACCESS(__tsan_unaligned_write8, vft_write8(a))
-VFT_TSAN_ACCESS(__tsan_unaligned_write16, vft_range_write(a, 16))
+VFT_TSAN_READ(__tsan_unaligned_read2, 2)
+VFT_TSAN_READ(__tsan_unaligned_read4, 4)
+VFT_TSAN_READ(__tsan_unaligned_read8, 8)
+VFT_TSAN_RANGE(__tsan_unaligned_read16, vft_range_read(a, 16))
+VFT_TSAN_WRITE(__tsan_unaligned_write2, 2)
+VFT_TSAN_WRITE(__tsan_unaligned_write4, 4)
+VFT_TSAN_WRITE(__tsan_unaligned_write8, 8)
+VFT_TSAN_RANGE(__tsan_unaligned_write16, vft_range_write(a, 16))
 
-#undef VFT_TSAN_ACCESS
+#undef VFT_TSAN_READ
+#undef VFT_TSAN_WRITE
+#undef VFT_TSAN_RANGE
 
 void __tsan_read_range(void* a, unsigned long size) {
   VFT_ARM_EVENT_CTX();
@@ -358,12 +413,197 @@ void __tsan_write_range(void* a, unsigned long size) {
 }
 
 void __tsan_vptr_read(void** a) {
+  if (vft_fastpath_try_read(a, 8)) return;
   VFT_ARM_EVENT_CTX();
-  vft_read8(a);
+  vft_abi_slow_read(a, 8);
+  asm volatile("" ::: "memory");
 }
 void __tsan_vptr_update(void** a, void*) {
+  if (vft_fastpath_try_write(a, 8)) return;
   VFT_ARM_EVENT_CTX();
-  vft_write8(a);
+  vft_abi_slow_write(a, 8);
+  asm volatile("" ::: "memory");
+}
+
+// ---------------------------------------------------------------------
+// mem*/str* interposition: libc's bulk routines are how real programs
+// touch most of their bytes, and compile-time instrumentation cannot see
+// inside libc. Each wrapper forwards one range event per side (reads of
+// the source, writes of the destination) and then calls the real
+// routine; the session resolves the range with the SIMD packed-cell
+// prefix kernels. Before the real symbol is resolved (dynamic-linker
+// bootstrap: dlsym itself calls mem*), a volatile byte loop stands in -
+// volatile so the optimizer cannot recognize the loop and emit a call
+// back into the wrapper.
+//
+// vft_abi_in_runtime() gates every event block: the analysis itself uses
+// these libc routines (report rendering, suppression matching), and while
+// the nested range event would be dropped by the ABI's reentrancy guard,
+// arming the event context here would poison the stack captured by a race
+// recorded later in the same enclosing access event.
+// ---------------------------------------------------------------------
+
+void* memcpy(void* dst, const void* src, size_t n) {
+  if (real_memcpy == nullptr) {
+    volatile unsigned char* d = static_cast<unsigned char*>(dst);
+    const volatile unsigned char* s =
+        static_cast<const unsigned char*>(src);
+    for (size_t i = 0; i < n; ++i) d[i] = s[i];
+    return dst;
+  }
+  if (g_mem_ready && n != 0 && !vft_abi_in_runtime()) {
+    VFT_ARM_EVENT_CTX();
+    vft_range_read(src, n);
+    VFT_ARM_EVENT_CTX();
+    vft_range_write(dst, n);
+  }
+  return real_memcpy(dst, src, n);
+}
+
+void* memmove(void* dst, const void* src, size_t n) {
+  if (real_memmove == nullptr) {
+    volatile unsigned char* d = static_cast<unsigned char*>(dst);
+    const volatile unsigned char* s =
+        static_cast<const unsigned char*>(src);
+    if (d < s) {
+      for (size_t i = 0; i < n; ++i) d[i] = s[i];
+    } else {
+      for (size_t i = n; i > 0; --i) d[i - 1] = s[i - 1];
+    }
+    return dst;
+  }
+  if (g_mem_ready && n != 0 && !vft_abi_in_runtime()) {
+    VFT_ARM_EVENT_CTX();
+    vft_range_read(src, n);
+    VFT_ARM_EVENT_CTX();
+    vft_range_write(dst, n);
+  }
+  return real_memmove(dst, src, n);
+}
+
+void* memset(void* dst, int c, size_t n) {
+  if (real_memset == nullptr) {
+    volatile unsigned char* d = static_cast<unsigned char*>(dst);
+    for (size_t i = 0; i < n; ++i) d[i] = static_cast<unsigned char>(c);
+    return dst;
+  }
+  if (g_mem_ready && n != 0 && !vft_abi_in_runtime()) {
+    VFT_ARM_EVENT_CTX();
+    vft_range_write(dst, n);
+  }
+  return real_memset(dst, c, n);
+}
+
+void bzero(void* dst, size_t n) {
+  if (real_bzero == nullptr) {
+    volatile unsigned char* d = static_cast<unsigned char*>(dst);
+    for (size_t i = 0; i < n; ++i) d[i] = 0;
+    return;
+  }
+  if (g_mem_ready && n != 0 && !vft_abi_in_runtime()) {
+    VFT_ARM_EVENT_CTX();
+    vft_range_write(dst, n);
+  }
+  real_bzero(dst, n);
+}
+
+size_t strlen(const char* s) {
+  if (real_strlen == nullptr) {
+    const volatile char* p = s;
+    size_t n = 0;
+    while (p[n] != '\0') ++n;
+    return n;
+  }
+  // The length is the operation's own output, so the read event (the
+  // scanned bytes including the terminator) follows the real call.
+  const size_t n = real_strlen(s);
+  if (g_mem_ready && !vft_abi_in_runtime()) {
+    VFT_ARM_EVENT_CTX();
+    vft_range_read(s, n + 1);
+  }
+  return n;
+}
+
+size_t strnlen(const char* s, size_t max) {
+  if (real_strnlen == nullptr) {
+    const volatile char* p = s;
+    size_t n = 0;
+    while (n < max && p[n] != '\0') ++n;
+    return n;
+  }
+  const size_t n = real_strnlen(s, max);
+  if (g_mem_ready && !vft_abi_in_runtime()) {
+    VFT_ARM_EVENT_CTX();
+    vft_range_read(s, n < max ? n + 1 : max);
+  }
+  return n;
+}
+
+char* strcpy(char* dst, const char* src) {  // NOLINT
+  if (real_strcpy == nullptr) {
+    volatile char* d = dst;
+    const volatile char* s = src;
+    size_t i = 0;
+    do {
+      d[i] = s[i];
+    } while (s[i++] != '\0');
+    return dst;
+  }
+  if (g_mem_ready && !vft_abi_in_runtime()) {
+    const size_t n = real_strlen != nullptr ? real_strlen(src) + 1 : 0;
+    if (n != 0) {
+      VFT_ARM_EVENT_CTX();
+      vft_range_read(src, n);
+      VFT_ARM_EVENT_CTX();
+      vft_range_write(dst, n);
+    }
+  }
+  return real_strcpy(dst, src);
+}
+
+char* strncpy(char* dst, const char* src, size_t n) {
+  if (real_strncpy == nullptr) {
+    volatile char* d = dst;
+    const volatile char* s = src;
+    size_t i = 0;
+    for (; i < n && s[i] != '\0'; ++i) d[i] = s[i];
+    for (; i < n; ++i) d[i] = '\0';
+    return dst;
+  }
+  if (g_mem_ready && n != 0 && !vft_abi_in_runtime()) {
+    const size_t len =
+        real_strnlen != nullptr ? real_strnlen(src, n) : n;
+    VFT_ARM_EVENT_CTX();
+    vft_range_read(src, len < n ? len + 1 : n);
+    VFT_ARM_EVENT_CTX();
+    vft_range_write(dst, n);  // strncpy always stores all n bytes
+  }
+  return real_strncpy(dst, src, n);
+}
+
+char* strcat(char* dst, const char* src) {
+  if (real_strcat == nullptr) {
+    volatile char* d = dst;
+    const volatile char* s = src;
+    size_t dn = 0;
+    while (d[dn] != '\0') ++dn;
+    size_t i = 0;
+    do {
+      d[dn + i] = s[i];
+    } while (s[i++] != '\0');
+    return dst;
+  }
+  if (g_mem_ready && real_strlen != nullptr && !vft_abi_in_runtime()) {
+    const size_t dn = real_strlen(dst);
+    const size_t sn = real_strlen(src) + 1;
+    VFT_ARM_EVENT_CTX();
+    vft_range_read(dst, dn + 1);
+    VFT_ARM_EVENT_CTX();
+    vft_range_read(src, sn);
+    VFT_ARM_EVENT_CTX();
+    vft_range_write(dst + dn, sn);
+  }
+  return real_strcat(dst, src);
 }
 
 // ---------------------------------------------------------------------
@@ -433,6 +673,7 @@ __attribute__((constructor)) static void vft_preload_init(void) {
   pthread_once(&g_end_key_once, make_end_key);
   install_crash_handlers();
   vft_attach();  // the main thread is target thread 0
+  g_mem_ready = 1;  // mem*/str* wrappers may forward range events now
 }
 
 __attribute__((destructor)) static void vft_preload_fini(void) {

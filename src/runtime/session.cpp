@@ -91,6 +91,7 @@ SessionBackend& Session::create_backend() {
               ? static_cast<SessionImpl<VftV2>*>(backend_.get())
               : nullptr;
     backend_ptr_.store(backend_.get(), std::memory_order_release);
+    entry_table_.store(&backend_->entries(), std::memory_order_release);
   }
   return *backend_;
 }
@@ -103,6 +104,15 @@ void Session::reset() {
   generation_.fetch_add(1, std::memory_order_relaxed);
   Registry::bind(nullptr);
   tl_session = SessionTls{};
+  // Retract every header-inlined fast-path descriptor and entry table in
+  // one shot: bumping the global generation makes all per-thread
+  // descriptors and the published EntryTable's snapshot stale before the
+  // backend they point into is destroyed. Other threads are quiescent by
+  // this function's contract; the calling thread clears its own
+  // descriptor eagerly.
+  __atomic_fetch_add(&vft_g_fastpath_gen, 1, __ATOMIC_RELEASE);
+  vft_tl_fastpath = vft_fastpath_s{};
+  entry_table_.store(nullptr, std::memory_order_release);
   backend_ptr_.store(nullptr, std::memory_order_release);
   v2_ = nullptr;
   backend_.reset();

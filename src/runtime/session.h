@@ -33,6 +33,8 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,10 +44,31 @@
 #include "runtime/lock_registry.h"
 #include "runtime/tool.h"
 #include "vft/detector.h"
+#include "vft/fastpath_ctx.h"
 #include "vft/report_io.h"
 #include "vft/sampling.h"
 
 namespace vft::rt::ambient {
+
+/// Devirtualized event dispatch for the ABI slow path. SessionImpl is
+/// `final`, so the captureless-lambda thunks below compile to direct
+/// calls into the template-inlined handlers - the C ABI pays one indirect
+/// call through this table instead of the backend() acquire-load plus a
+/// vtable hop per event. The table is built once in the SessionImpl
+/// constructor and published by Session::create_backend(); `generation`
+/// snapshots vft_g_fastpath_gen at creation, and Session::reset() bumps
+/// that global, so a consumer that checks `generation` against the
+/// current global can never dispatch into a torn-down backend.
+struct EntryTable {
+  using AccessFn = void (*)(void*, const void*, std::size_t);
+
+  void* self = nullptr;
+  AccessFn read = nullptr;
+  AccessFn write = nullptr;
+  AccessFn range_read = nullptr;
+  AccessFn range_write = nullptr;
+  std::uint64_t generation = 0;
+};
 
 /// The detector-erased session surface. One virtual hop per event; the
 /// handlers behind it are the same template-inlined fast paths the
@@ -84,6 +107,9 @@ class SessionBackend {
   /// dead locks so recycled addresses start from bottom state.
   virtual void free_hint(const void* addr, std::size_t size) = 0;
 
+  /// The backend's devirtualized access-entry table (see EntryTable).
+  virtual const EntryTable& entries() const = 0;
+
   // --- introspection for end-of-run reports.
   virtual std::size_t threads_seen() const = 0;
   virtual std::size_t locks_seen() const = 0;
@@ -109,7 +135,47 @@ class SessionImpl final : public SessionBackend {
         gate_(sampling::Gate::active()),
         drop_mode_(gate_ != nullptr &&
                    gate_->config().policy ==
-                       sampling::Config::Policy::kDrop) {}
+                       sampling::Config::Policy::kDrop) {
+    // Devirtualized dispatch thunks: SessionImpl is final, so these
+    // compile to direct calls into the handlers below.
+    entries_.self = this;
+    entries_.read = [](void* s, const void* a, std::size_t n) {
+      static_cast<SessionImpl*>(s)->read(a, n);
+    };
+    entries_.write = [](void* s, const void* a, std::size_t n) {
+      static_cast<SessionImpl*>(s)->write(a, n);
+    };
+    entries_.range_read = [](void* s, const void* a, std::size_t n) {
+      static_cast<SessionImpl*>(s)->range_read(a, n);
+    };
+    entries_.range_write = [](void* s, const void* a, std::size_t n) {
+      static_cast<SessionImpl*>(s)->range_write(a, n);
+    };
+    entries_.generation =
+        __atomic_load_n(&vft_g_fastpath_gen, __ATOMIC_ACQUIRE);
+    if constexpr (SpillableVarState<typename D::VarState>) {
+      // Header-inlined fast-path descriptor arming: ungated runs only.
+      // Under cell-policy sampling an inline hit would bypass the gate's
+      // countdown and controller probes (starving the overhead budget);
+      // under the drop policy the ABI slow path arms the countdown half
+      // of the descriptor and the cell half stays disarmed.
+      fastpath_arm_ =
+          gate_ == nullptr && stats != nullptr && fastpath_env_enabled();
+      if (stats != nullptr) {
+        static_assert(sizeof(std::atomic<std::uint64_t>) ==
+                      sizeof(std::uint64_t));
+        static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+        rule_read_hit_[0] = reinterpret_cast<std::uint64_t*>(
+            stats->counter_addr(Rule::kReadSameEpoch));
+        rule_read_hit_[1] = reinterpret_cast<std::uint64_t*>(
+            stats->counter_addr(Rule::kFastReadHit));
+        rule_write_hit_[0] = reinterpret_cast<std::uint64_t*>(
+            stats->counter_addr(Rule::kWriteSameEpoch));
+        rule_write_hit_[1] = reinterpret_cast<std::uint64_t*>(
+            stats->counter_addr(Rule::kFastWriteHit));
+      }
+    }
+  }
 
   /// The typed runtime, for same-detector callers (ambient wrappers,
   /// benches) that want the inlined path next to the erased one.
@@ -117,6 +183,16 @@ class SessionImpl final : public SessionBackend {
   LockRegistry& locks() { return locks_; }
 
   const char* detector_name() const override { return D::kName; }
+
+  const EntryTable& entries() const override { return entries_; }
+
+  // Spillable detectors (all six production ones) route every ABI access
+  // through the packed-cell space whether or not a sampling gate is
+  // installed: the packed fast path is the scalar flank of the
+  // header-inlined one, so the inline path's cached cell pointers stay
+  // the authoritative shadow and a slow-path access leaves exactly the
+  // {R, W} the next inline hit tests against. Non-spillable detectors
+  // keep the full-VarState ShadowSpace route.
 
   void read(const void* addr, std::size_t size) override {
     ThreadState* ts = self_or_attach();
@@ -126,6 +202,14 @@ class SessionImpl final : public SessionBackend {
         gated_access</*IsWrite=*/false>(*ts, addr, size);
         return;
       }
+      auto& packed = rt_.packed_space();
+      if (one_word(addr, size)) {
+        packed.read(rt_.tool(), *ts, addr);
+      } else {
+        packed.range_read(rt_.tool(), *ts, addr, size, /*sampled=*/true);
+      }
+      arm_fastpath(*ts, addr);
+      return;
     }
     auto& shadow = rt_.shadow_space();
     if (one_word(addr, size)) {
@@ -143,6 +227,14 @@ class SessionImpl final : public SessionBackend {
         gated_access</*IsWrite=*/true>(*ts, addr, size);
         return;
       }
+      auto& packed = rt_.packed_space();
+      if (one_word(addr, size)) {
+        packed.write(rt_.tool(), *ts, addr);
+      } else {
+        packed.range_write(rt_.tool(), *ts, addr, size, /*sampled=*/true);
+      }
+      arm_fastpath(*ts, addr);
+      return;
     }
     auto& shadow = rt_.shadow_space();
     if (one_word(addr, size)) {
@@ -160,6 +252,10 @@ class SessionImpl final : public SessionBackend {
         gated_access</*IsWrite=*/false>(*ts, addr, size);
         return;
       }
+      rt_.packed_space().range_read(rt_.tool(), *ts, addr, size,
+                                    /*sampled=*/true);
+      arm_fastpath(*ts, addr);
+      return;
     }
     instrumented_range_read(rt_, rt_.shadow_space(), addr, size);
   }
@@ -172,6 +268,10 @@ class SessionImpl final : public SessionBackend {
         gated_access</*IsWrite=*/true>(*ts, addr, size);
         return;
       }
+      rt_.packed_space().range_write(rt_.tool(), *ts, addr, size,
+                                     /*sampled=*/true);
+      arm_fastpath(*ts, addr);
+      return;
     }
     instrumented_range_write(rt_, rt_.shadow_space(), addr, size);
   }
@@ -195,6 +295,13 @@ class SessionImpl final : public SessionBackend {
   /// threads retire their slot here; a joinable thread's slot instead
   /// stays live until its join handler has consumed the final clock.
   void detach() override {
+    // The descriptor's epoch/cell pointers die with this binding; its tid
+    // slot may be recycled by a later thread. Pending inline-hit tallies
+    // are credited first - detach is a quiescent observation point.
+    if (vft_tl_fastpath.gen == entries_.generation) {
+      vft_fastpath_flush_hits(&vft_tl_fastpath);
+    }
+    vft_tl_fastpath = vft_fastpath_s{};
     SessionTls& tls = tl_session;
     if (tls.generation == generation_ && tls.record != nullptr) {
       std::scoped_lock lk(mu_);
@@ -230,6 +337,13 @@ class SessionImpl final : public SessionBackend {
   /// Must be the child's first action (the interposer's thread trampoline
   /// guarantees it).
   void thread_begin(std::uint64_t token) override {
+    // A fresh binding must not inherit a descriptor. Tallies a previous
+    // same-OS-thread binding left behind are still credited (the rule
+    // pointers outlive bindings - they target the Session's RuleStats).
+    if (vft_tl_fastpath.gen == entries_.generation) {
+      vft_fastpath_flush_hits(&vft_tl_fastpath);
+    }
+    vft_tl_fastpath = vft_fastpath_s{};
     if (token == 0) {
       tl_session = SessionTls{nullptr, generation_, /*unmonitored=*/true};
       return;
@@ -326,6 +440,62 @@ class SessionImpl final : public SessionBackend {
            ShadowGeometry::kGranularity;
   }
 
+  /// VFT_FASTPATH=off|0 disables descriptor arming (the differential
+  /// test's baseline half and an escape hatch). Sched builds never arm:
+  /// an inline hit would skip the access's sched points.
+  static bool fastpath_env_enabled() {
+#ifdef VFT_SCHED
+    return false;
+#else
+    const char* env = std::getenv("VFT_FASTPATH");
+    return env == nullptr || (std::strcmp(env, "off") != 0 &&
+                              std::strcmp(env, "0") != 0);
+#endif
+  }
+
+  /// Arm the calling thread's header-inlined descriptor
+  /// (vft/fastpath_ctx.h) for the page just accessed: cache the epoch
+  /// pointer, the page's cell array, and the rule counters, then
+  /// generation-stamp the descriptor live. Called after the access, so
+  /// a same-address follow-up resolves inline against the {R, W} this
+  /// access just recorded. Cheap re-arm check first: same page, same
+  /// thread binding, still-live generation.
+  void arm_fastpath(ThreadState& ts, const void* addr) {
+    if (!fastpath_arm_) return;
+    vft_fastpath_s& fp = vft_tl_fastpath;
+    const std::uintptr_t base =
+        ShadowGeometry::base_of(reinterpret_cast<std::uintptr_t>(addr));
+    if (fp.gen == entries_.generation && fp.page_base == base &&
+        fp.epoch_addr == ts.epoch_bits_addr()) {
+      return;
+    }
+    if constexpr (SpillableVarState<typename D::VarState>) {
+      if (fp.gen == entries_.generation) {
+        // Page-switch re-arm: credit pending tallies before the rewrite.
+        vft_fastpath_flush_hits(&fp);
+      } else {
+        // Stale descriptor from an older backend: its tallies were accrued
+        // against counters that have since been reset - drop them.
+        fp.hit_reads = 0;
+        fp.hit_writes = 0;
+      }
+      fp.epoch_addr = ts.epoch_bits_addr();
+      fp.page_base = base;
+      fp.cells = rt_.packed_space().page_cells(base);
+      fp.drop_countdown = 0;
+      fp.drop_pending = 0;
+      fp.rule_read[0] = rule_read_hit_[0];
+      fp.rule_read[1] = rule_read_hit_[1];
+      fp.rule_write[0] = rule_write_hit_[0];
+      fp.rule_write[1] = rule_write_hit_[1];
+      // entries_.generation snapshots the global at backend creation; if
+      // a reset bumped the global since, this stamp leaves the descriptor
+      // stale and the inline path keeps falling through - correct, since
+      // this backend is being torn down.
+      fp.gen = entries_.generation;
+    }
+  }
+
   /// The sampling route: accesses run against the packed-cell space so a
   /// sampled-out access costs one cell fast path at most and spills feed
   /// the gate's reheat hook. One gate decision covers a whole range
@@ -357,19 +527,10 @@ class SessionImpl final : public SessionBackend {
         ok = packed.read_gated(tool, ts, addr, sampled, &spilled);
       }
     } else {
-      std::uintptr_t a =
-          reinterpret_cast<std::uintptr_t>(addr) &
-          ~static_cast<std::uintptr_t>(ShadowGeometry::kGranularity - 1);
-      const std::uintptr_t end = reinterpret_cast<std::uintptr_t>(addr) + size;
-      for (; a < end; a += ShadowGeometry::kGranularity) {
-        bool word_spilled = false;
-        const void* wa = reinterpret_cast<const void*>(a);
-        if constexpr (IsWrite) {
-          ok &= packed.write_gated(tool, ts, wa, sampled, &word_spilled);
-        } else {
-          ok &= packed.read_gated(tool, ts, wa, sampled, &word_spilled);
-        }
-        spilled |= word_spilled;
+      if constexpr (IsWrite) {
+        ok = packed.range_write(tool, ts, addr, size, sampled, &spilled);
+      } else {
+        ok = packed.range_read(tool, ts, addr, size, sampled, &spilled);
       }
     }
     if (sampled) {
@@ -434,6 +595,10 @@ class SessionImpl final : public SessionBackend {
   const std::uint64_t generation_;
   sampling::Gate* const gate_;  ///< nullptr: sampling off, classic route
   const bool drop_mode_;
+  EntryTable entries_;
+  bool fastpath_arm_ = false;  ///< ungated + stats + env allow arming
+  std::uint64_t* rule_read_hit_[2] = {nullptr, nullptr};
+  std::uint64_t* rule_write_hit_[2] = {nullptr, nullptr};
 
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, ThreadRecord> records_;
@@ -471,6 +636,15 @@ class Session {
 
   RaceCollector& races() { return races_; }
   RuleStats& rule_stats() { return stats_; }
+
+  /// The live backend's devirtualized entry table, or nullptr before the
+  /// first event / after reset(). Consumers must compare the table's
+  /// generation snapshot against vft_g_fastpath_gen before dispatching
+  /// through it (src/abi/vft_abi.cpp does); a stale table may point into
+  /// a backend that reset() is about to destroy.
+  const EntryTable* entry_table() const {
+    return entry_table_.load(std::memory_order_acquire);
+  }
 
   /// Snapshot the end-of-run report document: the collector's error
   /// contexts plus the backend's process stats (report_io renders it as
@@ -542,6 +716,7 @@ class Session {
   std::string detector_;  ///< empty: resolve from env at creation
   std::unique_ptr<SessionBackend> backend_;
   std::atomic<SessionBackend*> backend_ptr_{nullptr};
+  std::atomic<const EntryTable*> entry_table_{nullptr};
   SessionImpl<VftV2>* v2_ = nullptr;
   std::atomic<std::uint64_t> generation_{1};
   bool suppressions_loaded_ = false;  ///< VFT_SUPPRESSIONS: once per process

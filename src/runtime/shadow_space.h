@@ -52,6 +52,7 @@
 
 #include "vft/detector.h"
 #include "vft/packed_cell.h"
+#include "vft/vc_simd.h"
 
 namespace vft::rt {
 
@@ -450,6 +451,39 @@ class PackedShadowSpace {
                                 sampled, spilled);
   }
 
+  /// The raw cell words of the page covering `base` (allocated on first
+  /// touch). The header-inlined ABI fast path (src/abi/vft_abi_inline.h)
+  /// caches this pointer in its per-thread descriptor and the SIMD range
+  /// kernels scan it directly; page stability makes the pointer valid for
+  /// the life of the space. The fast path only *reads* cells (a same-epoch
+  /// hit mutates nothing), hence const.
+  const std::uint64_t* page_cells(std::uintptr_t base) {
+    static_assert(sizeof(PackedCell) == sizeof(std::uint64_t));
+    static_assert(alignof(PackedCell) == alignof(std::uint64_t));
+    return reinterpret_cast<const std::uint64_t*>(dir_.page(base).cells);
+  }
+
+  /// Range accesses (the memcpy/memset/str* interposition shape): resolve
+  /// whole runs of same-epoch cells per SIMD iteration instead of one
+  /// packed fast path per word. The vc_simd prefix kernel counts leading
+  /// cells this thread's epoch already covers; those bump their rule
+  /// counters in bulk and are done (a same-epoch hit mutates nothing).
+  /// The first non-matching word takes the ordinary gated scalar path -
+  /// advance/spill/detector exactly as a single access would - and the
+  /// scan resumes after it. Counter totals are bit-identical to the
+  /// per-word loop. Returns false iff any word reported a race; *spilled
+  /// reports any escalation (the sampling gate's reheat signal).
+  template <typename Tool>
+  bool range_read(Tool& tool, ThreadState& st, const void* addr,
+                  std::size_t size, bool sampled, bool* spilled = nullptr) {
+    return range_access<false>(tool, st, addr, size, sampled, spilled);
+  }
+  template <typename Tool>
+  bool range_write(Tool& tool, ThreadState& st, const void* addr,
+                   std::size_t size, bool sampled, bool* spilled = nullptr) {
+    return range_access<true>(tool, st, addr, size, sampled, spilled);
+  }
+
   /// Reset every shadow word overlapping [addr, addr+size) to bottom
   /// state, the packed-flavor counterpart of ShadowSpace::reset_range
   /// (same caller obligations: no concurrent access to the range). An
@@ -525,9 +559,94 @@ class PackedShadowSpace {
 
     const std::uintptr_t base;
     std::atomic<Page*> next{nullptr};
+    /// The page covering base + kPageSpan, filled in by the first range
+    /// access that walks past this page. Pages live until the space dies,
+    /// so the pointer never dangles; it turns the per-page directory
+    /// lookup of a multi-page range into a single pointer chase.
+    std::atomic<Page*> adjacent{nullptr};
     PackedCell cells[Geometry::kSlotsPerPage];
     std::atomic<VarState*> spills[Geometry::kSlotsPerPage]{};
   };
+
+  template <bool IsWrite, typename Tool>
+  bool range_access(Tool& tool, ThreadState& st, const void* addr,
+                    std::size_t size, bool sampled, bool* spilled) {
+    if (size == 0) return true;
+    const std::uint32_t e = st.epoch().bits();
+    const std::uintptr_t lo =
+        reinterpret_cast<std::uintptr_t>(addr) &
+        ~static_cast<std::uintptr_t>(Geometry::kGranularity - 1);
+    const std::uintptr_t hi = reinterpret_cast<std::uintptr_t>(addr) + size;
+    bool ok = true;
+    Page* prev = nullptr;
+    // SIMD-resolved cells accumulate locally and credit their rule
+    // counters once per call - totals are identical to per-page bumps,
+    // without an atomic RMW pair on every page segment.
+    [[maybe_unused]] std::uint64_t hit_cells = 0;
+    [[maybe_unused]] std::uint64_t sampled_out_cells = 0;
+    for (std::uintptr_t base = Geometry::base_of(lo); base < hi;
+         base += Geometry::kPageSpan) {
+      // Consecutive pages ride the adjacency link instead of re-walking
+      // the directory: one acquire load per page after the first.
+      Page* pp = prev != nullptr
+                     ? prev->adjacent.load(std::memory_order_acquire)
+                     : nullptr;
+      if (pp == nullptr || pp->base != base) {
+        pp = &dir_.page(base);
+        if (prev != nullptr) {
+          prev->adjacent.store(pp, std::memory_order_release);
+        }
+      }
+      prev = pp;
+      Page& p = *pp;
+      const std::uintptr_t first = base < lo ? lo : base;
+      const std::uintptr_t last =
+          base + Geometry::kPageSpan < hi ? base + Geometry::kPageSpan : hi;
+      std::size_t i = Geometry::slot_index(first);
+      const std::size_t end =
+          ((last - 1 - base) >> Geometry::kGranularityLog2) + 1;
+      const auto* bits = reinterpret_cast<const std::uint64_t*>(p.cells);
+      while (i < end) {
+#ifndef VFT_SCHED
+        // Sched builds skip the prefix: the per-word loop below funnels
+        // through load_bits()/cas_bits(), which carry the sched points.
+        const std::size_t m =
+            IsWrite ? simd::cells_match_write_prefix(bits + i, end - i, e)
+                    : simd::cells_match_read_prefix(bits + i, end - i, e);
+        if (m > 0) {
+          if (sampled) {
+            hit_cells += m;
+          } else {
+            // Sampled-out same-epoch hits: the scalar gated path would
+            // leave the cell untouched and bump only kSampledOut too.
+            sampled_out_cells += m;
+          }
+          i += m;
+          if (i == end) break;
+        }
+#endif
+        const void* wa = reinterpret_cast<const void*>(
+            base + (i << Geometry::kGranularityLog2));
+        bool word_spilled = false;
+        ok &= IsWrite ? write_gated(tool, st, wa, sampled, &word_spilled)
+                      : read_gated(tool, st, wa, sampled, &word_spilled);
+        if (word_spilled && spilled != nullptr) *spilled = true;
+        ++i;
+      }
+    }
+#ifndef VFT_SCHED
+    if (hit_cells > 0) {
+      bump_rule(tool, IsWrite ? Rule::kWriteSameEpoch : Rule::kReadSameEpoch,
+                hit_cells);
+      bump_rule(tool, IsWrite ? Rule::kFastWriteHit : Rule::kFastReadHit,
+                hit_cells);
+    }
+    if (sampled_out_cells > 0) {
+      bump_rule(tool, Rule::kSampledOut, sampled_out_cells);
+    }
+#endif
+    return ok;
+  }
 
   /// make/get closures for escalate_cell: publication order is carried by
   /// the cell's release-store of ESCALATED, so the spill pointer itself

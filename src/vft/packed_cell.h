@@ -76,6 +76,15 @@ inline void bump_rule(Tool& tool, Rule r) {
   }
 }
 
+/// Bulk variant for the SIMD range kernels: a matched prefix of n cells
+/// bumps its rule counters once with n instead of n times.
+template <typename Tool>
+inline void bump_rule(Tool& tool, Rule r, std::uint64_t n) {
+  if constexpr (requires { tool.stats(); }) {
+    if (RuleStats* s = tool.stats()) s->bump(r, n);
+  }
+}
+
 class PackedCell {
  public:
   /// Sentinels: an epoch-mode cell never stores SHARED in its R field

@@ -221,6 +221,32 @@ void Gate::draw_gap(Tls& t) {
                             : static_cast<std::uint64_t>(gap);
 }
 
+bool Gate::admit_and_refill(const void* addr, vft_fastpath_s* fp) {
+  Tls& t = tls();
+  if (fp->drop_pending > 0) {
+    // Skips the inline path took on the gate's behalf; they fold into the
+    // thread-local tally admit_slow flushes to the global counter.
+    t.skipped += fp->drop_pending;
+    fp->drop_pending = 0;
+  }
+  // A slow-path entry can arrive mid-gap (ranges and straddling accesses
+  // bypass the inline countdown): honor the descriptor's prepaid skips
+  // here exactly as the inline path would.
+  if (fp->drop_countdown > 0) {
+    fp->drop_countdown--;
+    ++t.skipped;
+    return false;
+  }
+  const bool admitted = should_sample(addr);  // probe-less: drop policy
+  // admit_slow drew the next gap into the gate's own TLS; move it into
+  // the descriptor so the inline path owns the countdown from here.
+  if (t.gen == gen_) {
+    fp->drop_countdown = t.countdown;
+    t.countdown = 0;
+  }
+  return admitted;
+}
+
 bool Gate::admit_slow(Tls& t, const void* addr) {
   if (t.gen != gen_) {
     // First access through this gate on this thread (or the gate was

@@ -53,6 +53,8 @@
 #include <cstdint>
 #include <string>
 
+#include "vft/fastpath_ctx.h"
+
 namespace vft::sampling {
 
 struct Config {
@@ -161,6 +163,14 @@ class Gate {
     time_end(probe);
     return s;
   }
+
+  /// Drop-policy admission through the header-inlined fast path's
+  /// descriptor (vft/fastpath_ctx.h): flushes the skips the inline path
+  /// took on the gate's behalf, decides this access, and transfers the
+  /// freshly drawn geometric countdown INTO the descriptor so subsequent
+  /// sampled-out accesses resolve entirely inline. Returns true when this
+  /// access is admitted. Defined in sampling.cpp.
+  bool admit_and_refill(const void* addr, vft_fastpath_s* fp);
 
   /// Controller probe for accesses admitted without a gate decision (the
   /// drop policy's session side treats every arriving access as sampled):

@@ -48,6 +48,16 @@ struct ThreadState {
   /// The cached current epoch E_t = V[t].
   Epoch epoch() const { return e_; }
 
+  /// Address of the cached epoch's 32-bit representation, for the
+  /// header-inlined ABI fast path's descriptor: only the owning thread
+  /// mutates e_ (the Section 4 discipline), so a plain load through this
+  /// pointer from that same thread always observes the current epoch -
+  /// no invalidation protocol is needed across inc()/join().
+  const std::uint32_t* epoch_bits_addr() const {
+    static_assert(sizeof(Epoch) == sizeof(std::uint32_t));
+    return reinterpret_cast<const std::uint32_t*>(&e_);
+  }
+
   /// V := V join other. Used by the acquire and join handlers.
   void join(const VectorClock& other) {
     V.join(other);

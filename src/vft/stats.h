@@ -89,6 +89,20 @@ class RuleStats {
     counts_[static_cast<std::size_t>(r)].fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Bulk bump: n observations of the same rule in one relaxed add. Used by
+  /// the SIMD range kernels, which resolve a whole prefix of cells at once.
+  void bump(Rule r, std::uint64_t n) {
+    counts_[static_cast<std::size_t>(r)].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Address of a rule's counter, for the header-inlined ABI fast path: the
+  /// inline hit bumps the counter through this pointer (same relaxed
+  /// fetch_add the out-of-line path performs), keeping the fast/slow paths
+  /// bit-identical on every counter without a flush protocol.
+  std::atomic<std::uint64_t>* counter_addr(Rule r) {
+    return &counts_[static_cast<std::size_t>(r)];
+  }
+
   std::uint64_t count(Rule r) const {
     return counts_[static_cast<std::size_t>(r)].load(std::memory_order_relaxed);
   }

@@ -37,6 +37,32 @@ bool all_masked_zero_scalar(const std::uint32_t* a, std::size_t n,
   return true;
 }
 
+// The scalar cell kernels use the same acquire loads PackedCell::load_bits
+// performs, so they are the exactness reference (and the TSan-safe
+// dispatch target) for the vector bodies below.
+std::size_t cells_match_read_prefix_scalar(const std::uint64_t* cells,
+                                           std::size_t n,
+                                           std::uint32_t epoch_bits) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t c = __atomic_load_n(&cells[i], __ATOMIC_ACQUIRE);
+    if (static_cast<std::uint32_t>(c >> 32) != epoch_bits) return i;
+  }
+  return n;
+}
+
+std::size_t cells_match_write_prefix_scalar(const std::uint64_t* cells,
+                                            std::size_t n,
+                                            std::uint32_t epoch_bits) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t c = __atomic_load_n(&cells[i], __ATOMIC_ACQUIRE);
+    if (static_cast<std::uint32_t>(c) != epoch_bits ||
+        static_cast<std::uint32_t>(c >> 32) == 0xFFFFFFFFu) {
+      return i;
+    }
+  }
+  return n;
+}
+
 #if VFT_SIMD_X86
 
 // --- SSE2 (x86-64 baseline) -------------------------------------------------
@@ -92,6 +118,66 @@ bool all_masked_zero_sse2(const std::uint32_t* a, std::size_t n,
     if (_mm_movemask_epi8(hit) != 0xFFFF) return false;
   }
   return all_masked_zero_scalar(a + i, n - i, mask);
+}
+
+// Packed-cell prefixes, 2 cells (one xmm) per iteration. Each 64-bit cell
+// holds {R = high dword, W = low dword}; pcmpeqd gives per-dword equality,
+// and movemask_epi8 exposes it as 4 bits per dword: bits 0xF0F0 select the
+// R halves of both cells, 0x0F0F the W halves. The vector loads are plain
+// (non-atomic) on purpose - a failed block is re-resolved with the scalar
+// kernel's acquire loads, so tearing can only shorten the returned prefix
+// (see vc_simd.h).
+
+std::size_t cells_match_read_prefix_sse2(const std::uint64_t* cells,
+                                         std::size_t n,
+                                         std::uint32_t epoch_bits) {
+  const __m128i ve = _mm_set1_epi32(static_cast<int>(epoch_bits));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cells + i));
+    const __m128i eq = _mm_cmpeq_epi32(v, ve);
+    if ((_mm_movemask_epi8(eq) & 0xF0F0) != 0xF0F0) {
+      return i + cells_match_read_prefix_scalar(cells + i, 2, epoch_bits);
+    }
+  }
+  return i + cells_match_read_prefix_scalar(cells + i, n - i, epoch_bits);
+}
+
+std::size_t cells_match_write_prefix_sse2(const std::uint64_t* cells,
+                                          std::size_t n,
+                                          std::uint32_t epoch_bits) {
+  const __m128i ve = _mm_set1_epi32(static_cast<int>(epoch_bits));
+  std::size_t i = 0;
+  if (epoch_bits > 1) {
+    // The sentinel family is {ESCALATING: W = 0, ESCALATED: W = 1}, and a
+    // live W half can only collide with it when the epoch itself is 0 or
+    // 1 (tid 0 in its first clocks). For every other epoch the W-lane
+    // match alone excludes sentinels, so the per-block sentinel compare
+    // hoists out of the loop entirely.
+    for (; i + 2 <= n; i += 2) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cells + i));
+      const int eq = _mm_movemask_epi8(_mm_cmpeq_epi32(v, ve));
+      if ((eq & 0x0F0F) != 0x0F0F) {
+        return i + cells_match_write_prefix_scalar(cells + i, 2, epoch_bits);
+      }
+    }
+    return i + cells_match_write_prefix_scalar(cells + i, n - i, epoch_bits);
+  }
+  const __m128i ones = _mm_set1_epi32(-1);
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cells + i));
+    const int eq = _mm_movemask_epi8(_mm_cmpeq_epi32(v, ve));
+    // An R half of all-ones is the ESCALATING/ESCALATED sentinel family;
+    // the epoch match on W alone would accept ESCALATED (W = 1).
+    const int sent = _mm_movemask_epi8(_mm_cmpeq_epi32(v, ones));
+    if ((eq & 0x0F0F) != 0x0F0F || (sent & 0xF0F0) != 0) {
+      return i + cells_match_write_prefix_scalar(cells + i, 2, epoch_bits);
+    }
+  }
+  return i + cells_match_write_prefix_scalar(cells + i, n - i, epoch_bits);
 }
 
 // --- AVX2 (compiled via target attribute, enabled by cpuid) -----------------
@@ -155,6 +241,87 @@ __attribute__((target("avx2"))) bool all_masked_zero_avx2(
   return all_masked_zero_sse2(a + i, n - i, mask);
 }
 
+// The AVX2 kernels check 8 cells (two ymm vectors) per iteration and fold
+// the two per-vector equality masks into a single movemask with a vpand:
+// an R-lane bit survives the AND only if the lane matched in BOTH vectors,
+// so one branch covers the whole 8-cell block. On the race-free bulk-copy
+// path this halves the per-cell loop overhead versus one movemask+branch
+// per vector; a failed block is re-resolved scalar, which also pins down
+// the exact prefix length the combined mask can't express.
+
+__attribute__((target("avx2"))) std::size_t cells_match_read_prefix_avx2(
+    const std::uint64_t* cells, std::size_t n, std::uint32_t epoch_bits) {
+  const __m256i ve = _mm256_set1_epi32(static_cast<int>(epoch_bits));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm_prefetch(reinterpret_cast<const char*>(cells + i) + 512,
+                 _MM_HINT_T0);
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cells + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cells + i + 4));
+    const __m256i eq = _mm256_and_si256(_mm256_cmpeq_epi32(v0, ve),
+                                        _mm256_cmpeq_epi32(v1, ve));
+    if ((_mm256_movemask_epi8(eq) & static_cast<int>(0xF0F0F0F0u)) !=
+        static_cast<int>(0xF0F0F0F0u)) {
+      _mm256_zeroupper();
+      return i + cells_match_read_prefix_scalar(cells + i, 8, epoch_bits);
+    }
+  }
+  _mm256_zeroupper();
+  return i + cells_match_read_prefix_sse2(cells + i, n - i, epoch_bits);
+}
+
+__attribute__((target("avx2"))) std::size_t cells_match_write_prefix_avx2(
+    const std::uint64_t* cells, std::size_t n, std::uint32_t epoch_bits) {
+  const __m256i ve = _mm256_set1_epi32(static_cast<int>(epoch_bits));
+  std::size_t i = 0;
+  if (epoch_bits > 1) {
+    // Sentinel compare hoisted (see the SSE2 kernel): W in {0, 1} marks
+    // ESCALATING/ESCALATED, so for epoch_bits > 1 the W-lane match alone
+    // excludes sentinels and the loop is as lean as the read kernel's.
+    for (; i + 8 <= n; i += 8) {
+      _mm_prefetch(reinterpret_cast<const char*>(cells + i) + 512,
+                   _MM_HINT_T0);
+      const __m256i v0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cells + i));
+      const __m256i v1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cells + i + 4));
+      const __m256i eq = _mm256_and_si256(_mm256_cmpeq_epi32(v0, ve),
+                                          _mm256_cmpeq_epi32(v1, ve));
+      if ((_mm256_movemask_epi8(eq) & 0x0F0F0F0F) != 0x0F0F0F0F) {
+        _mm256_zeroupper();
+        return i + cells_match_write_prefix_scalar(cells + i, 8, epoch_bits);
+      }
+    }
+    _mm256_zeroupper();
+    return i + cells_match_write_prefix_sse2(cells + i, n - i, epoch_bits);
+  }
+  const __m256i ones = _mm256_set1_epi32(-1);
+  for (; i + 8 <= n; i += 8) {
+    _mm_prefetch(reinterpret_cast<const char*>(cells + i) + 512,
+                 _MM_HINT_T0);
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cells + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cells + i + 4));
+    // W-epoch match must hold in both vectors (AND); the sentinel R half
+    // must appear in neither (OR), since all-ones marks ESCALATING /
+    // ESCALATED and the W-only epoch match would accept ESCALATED (W = 1).
+    const int eq = _mm256_movemask_epi8(_mm256_and_si256(
+        _mm256_cmpeq_epi32(v0, ve), _mm256_cmpeq_epi32(v1, ve)));
+    const int sent = _mm256_movemask_epi8(_mm256_or_si256(
+        _mm256_cmpeq_epi32(v0, ones), _mm256_cmpeq_epi32(v1, ones)));
+    if ((eq & 0x0F0F0F0F) != 0x0F0F0F0F ||
+        (sent & static_cast<int>(0xF0F0F0F0u)) != 0) {
+      _mm256_zeroupper();
+      return i + cells_match_write_prefix_scalar(cells + i, 8, epoch_bits);
+    }
+  }
+  _mm256_zeroupper();
+  return i + cells_match_write_prefix_sse2(cells + i, n - i, epoch_bits);
+}
+
 #else  // !VFT_SIMD_X86: the SSE2/AVX2 names alias the scalar reference.
 
 bool leq_all_sse2(const std::uint32_t* a, const std::uint32_t* b,
@@ -180,6 +347,26 @@ void join_max_avx2(std::uint32_t* dst, const std::uint32_t* src,
 bool all_masked_zero_avx2(const std::uint32_t* a, std::size_t n,
                           std::uint32_t mask) {
   return all_masked_zero_scalar(a, n, mask);
+}
+std::size_t cells_match_read_prefix_sse2(const std::uint64_t* cells,
+                                         std::size_t n,
+                                         std::uint32_t epoch_bits) {
+  return cells_match_read_prefix_scalar(cells, n, epoch_bits);
+}
+std::size_t cells_match_write_prefix_sse2(const std::uint64_t* cells,
+                                          std::size_t n,
+                                          std::uint32_t epoch_bits) {
+  return cells_match_write_prefix_scalar(cells, n, epoch_bits);
+}
+std::size_t cells_match_read_prefix_avx2(const std::uint64_t* cells,
+                                         std::size_t n,
+                                         std::uint32_t epoch_bits) {
+  return cells_match_read_prefix_scalar(cells, n, epoch_bits);
+}
+std::size_t cells_match_write_prefix_avx2(const std::uint64_t* cells,
+                                          std::size_t n,
+                                          std::uint32_t epoch_bits) {
+  return cells_match_write_prefix_scalar(cells, n, epoch_bits);
 }
 
 #endif  // VFT_SIMD_X86
@@ -233,9 +420,46 @@ MaskFn pick_mask() {
   }
 }
 
+// The packed cells live in a std::atomic<uint64_t> array; the vector
+// bodies read them with plain loads. That is by design (vc_simd.h), but
+// TSan instruments the atomic array and would flag every vector load, so
+// sanitized builds pin the cell kernels to the scalar acquire-load path.
+#if defined(__SANITIZE_THREAD__)
+#define VFT_SIMD_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define VFT_SIMD_TSAN 1
+#endif
+#endif
+#ifndef VFT_SIMD_TSAN
+#define VFT_SIMD_TSAN 0
+#endif
+
+using CellFn = std::size_t (*)(const std::uint64_t*, std::size_t,
+                               std::uint32_t);
+
+CellFn pick_cells_read() {
+  if (VFT_SIMD_TSAN) return &cells_match_read_prefix_scalar;
+  switch (g_isa) {
+    case Isa::kAvx2: return &cells_match_read_prefix_avx2;
+    case Isa::kSse2: return &cells_match_read_prefix_sse2;
+    default: return &cells_match_read_prefix_scalar;
+  }
+}
+CellFn pick_cells_write() {
+  if (VFT_SIMD_TSAN) return &cells_match_write_prefix_scalar;
+  switch (g_isa) {
+    case Isa::kAvx2: return &cells_match_write_prefix_avx2;
+    case Isa::kSse2: return &cells_match_write_prefix_sse2;
+    default: return &cells_match_write_prefix_scalar;
+  }
+}
+
 const LeqFn g_leq = pick_leq();
 const JoinFn g_join = pick_join();
 const MaskFn g_mask = pick_mask();
+const CellFn g_cells_read = pick_cells_read();
+const CellFn g_cells_write = pick_cells_write();
 
 }  // namespace
 
@@ -281,6 +505,16 @@ void copy_words(std::uint32_t* dst, const std::uint32_t* src, std::size_t n) {
 bool all_masked_zero(const std::uint32_t* a, std::size_t n,
                      std::uint32_t mask) {
   return g_mask(a, n, mask);
+}
+
+std::size_t cells_match_read_prefix(const std::uint64_t* cells, std::size_t n,
+                                    std::uint32_t epoch_bits) {
+  return g_cells_read(cells, n, epoch_bits);
+}
+
+std::size_t cells_match_write_prefix(const std::uint64_t* cells, std::size_t n,
+                                     std::uint32_t epoch_bits) {
+  return g_cells_write(cells, n, epoch_bits);
 }
 
 }  // namespace vft::simd

@@ -61,6 +61,31 @@ void copy_words(std::uint32_t* dst, const std::uint32_t* src, std::size_t n);
 /// the other clock's length must be at bottom", mask = the clock bits).
 bool all_masked_zero(const std::uint32_t* a, std::size_t n, std::uint32_t mask);
 
+// --- Packed-cell range kernels ---------------------------------------------
+//
+// Range interposition (memcpy/memset/str* wrappers) resolves whole runs of
+// packed shadow cells at once: count the leading cells of `cells[0, n)`
+// that the inline same-epoch fast path would accept for this thread's
+// epoch. A read matches when the cell's R half (high 32 bits) equals
+// `epoch_bits`; a write matches when the W half (low 32 bits) equals it
+// AND the R half is not all-ones (the ESCALATING/ESCALATED sentinels park
+// there, and the ESCALATED W half is 1 = tid 0 @ clock 1 - the same
+// collision the scalar fast path guards against). The SIMD bodies check
+// 2 (SSE2) or 4 (AVX2) cells per iteration with plain vector loads; a
+// failed block is re-resolved with the scalar kernel's atomic acquire
+// loads, so the returned prefix is always exact. A torn racy read can
+// only shorten the prefix (the word then takes the scalar spill-out),
+// never extend it past a non-matching cell.
+//
+// Under ThreadSanitizer builds the dispatcher pins these to the scalar
+// variant: raw vector loads over the std::atomic cell array would be
+// flagged even though the verdict tolerates tearing.
+
+std::size_t cells_match_read_prefix(const std::uint64_t* cells, std::size_t n,
+                                    std::uint32_t epoch_bits);
+std::size_t cells_match_write_prefix(const std::uint64_t* cells, std::size_t n,
+                                     std::uint32_t epoch_bits);
+
 // --- Per-ISA entry points (testing / benchmarking) -------------------------
 // Calling an entry point whose ISA isa_available() rejects is undefined
 // (illegal-instruction trap); guard with isa_available first.
@@ -76,5 +101,24 @@ bool all_masked_zero_sse2(const std::uint32_t* a, std::size_t n, std::uint32_t m
 bool leq_all_avx2(const std::uint32_t* a, const std::uint32_t* b, std::size_t n);
 void join_max_avx2(std::uint32_t* dst, const std::uint32_t* src, std::size_t n);
 bool all_masked_zero_avx2(const std::uint32_t* a, std::size_t n, std::uint32_t mask);
+
+std::size_t cells_match_read_prefix_scalar(const std::uint64_t* cells,
+                                           std::size_t n,
+                                           std::uint32_t epoch_bits);
+std::size_t cells_match_write_prefix_scalar(const std::uint64_t* cells,
+                                            std::size_t n,
+                                            std::uint32_t epoch_bits);
+std::size_t cells_match_read_prefix_sse2(const std::uint64_t* cells,
+                                         std::size_t n,
+                                         std::uint32_t epoch_bits);
+std::size_t cells_match_write_prefix_sse2(const std::uint64_t* cells,
+                                          std::size_t n,
+                                          std::uint32_t epoch_bits);
+std::size_t cells_match_read_prefix_avx2(const std::uint64_t* cells,
+                                         std::size_t n,
+                                         std::uint32_t epoch_bits);
+std::size_t cells_match_write_prefix_avx2(const std::uint64_t* cells,
+                                          std::size_t n,
+                                          std::uint32_t epoch_bits);
 
 }  // namespace vft::simd

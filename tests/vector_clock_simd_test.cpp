@@ -216,6 +216,104 @@ TEST(VectorClockSimd, ReserveKeepsContentsAndPreventsReallocation) {
   for (Tid t = 6; t < 200; ++t) EXPECT_EQ(v.get(t), Epoch::bottom(t));
 }
 
+// --- Packed-cell prefix kernels --------------------------------------------
+//
+// Every ISA variant must return exactly the scalar reference's prefix
+// length on identical cells, across lengths straddling the 2/8-cell
+// vector blocks, for epochs on both sides of the write kernel's hoisted
+// sentinel compare (epoch_bits 1 collides with ESCALATED's W half = 1;
+// every epoch > 1 takes the lean loop), and with sentinel cells planted
+// at block-interior offsets.
+
+struct CellKernels {
+  std::size_t (*read)(const std::uint64_t*, std::size_t, std::uint32_t);
+  std::size_t (*write)(const std::uint64_t*, std::size_t, std::uint32_t);
+};
+
+CellKernels cell_kernels_for(simd::Isa isa) {
+  switch (isa) {
+    case simd::Isa::kSse2:
+      return {simd::cells_match_read_prefix_sse2,
+              simd::cells_match_write_prefix_sse2};
+    case simd::Isa::kAvx2:
+      return {simd::cells_match_read_prefix_avx2,
+              simd::cells_match_write_prefix_avx2};
+    default:
+      return {simd::cells_match_read_prefix_scalar,
+              simd::cells_match_write_prefix_scalar};
+  }
+}
+
+constexpr std::uint64_t kEscalatingCell = 0xFFFFFFFF00000000ull;
+constexpr std::uint64_t kEscalatedCell = 0xFFFFFFFF00000001ull;
+
+TEST(VectorClockSimd, CellPrefixKernelsMatchScalarReference) {
+  std::mt19937 rng(11);
+  // Epoch 1 = tid 0 at clock 1 (the sentinel-collision epoch); 2 = the
+  // smallest lean-loop epoch; the third is an arbitrary high tid@clock.
+  const std::uint32_t epochs[] = {1u, 2u, (7u << Epoch::kClockBits) | 9001u};
+  for (const std::uint32_t e : epochs) {
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+          std::size_t{7}, std::size_t{8}, std::size_t{9}, std::size_t{15},
+          std::size_t{16}, std::size_t{17}, std::size_t{64},
+          std::size_t{513}}) {
+      for (int variant = 0; variant < 8; ++variant) {
+        std::vector<std::uint64_t> cells(n, 0);
+        // Baseline: every cell a same-epoch hit for both kernels.
+        for (auto& c : cells) {
+          c = (static_cast<std::uint64_t>(e) << 32) | e;
+        }
+        // Variants plant a breaker at a random position: a different
+        // epoch, a sentinel, or a cell matching only one half.
+        if (variant > 0 && n > 0) {
+          std::uniform_int_distribution<std::size_t> pos(0, n - 1);
+          const std::size_t at = pos(rng);
+          switch (variant % 4) {
+            case 0: cells[at] = kEscalatingCell; break;
+            case 1: cells[at] = kEscalatedCell; break;
+            case 2:  // W matches, R stale: read breaker only.
+              cells[at] = (static_cast<std::uint64_t>(e + 1) << 32) | e;
+              break;
+            case 3:  // R matches, W stale: write breaker only.
+              cells[at] =
+                  (static_cast<std::uint64_t>(e) << 32) | (e + 1);
+              break;
+          }
+        }
+        const std::size_t ref_r =
+            simd::cells_match_read_prefix_scalar(cells.data(), n, e);
+        const std::size_t ref_w =
+            simd::cells_match_write_prefix_scalar(cells.data(), n, e);
+        for (const simd::Isa isa : kAllIsas) {
+          if (!simd::isa_available(isa)) continue;
+          const CellKernels k = cell_kernels_for(isa);
+          EXPECT_EQ(k.read(cells.data(), n, e), ref_r)
+              << simd::isa_name(isa) << " read e=" << e << " n=" << n
+              << " variant=" << variant;
+          EXPECT_EQ(k.write(cells.data(), n, e), ref_w)
+              << simd::isa_name(isa) << " write e=" << e << " n=" << n
+              << " variant=" << variant;
+        }
+      }
+    }
+  }
+}
+
+TEST(VectorClockSimd, WritePrefixRejectsEscalatedAtCollisionEpoch) {
+  // The exact collision the hoist must not break: epoch_bits == 1 and a
+  // cell holding ESCALATED (W half == 1). The W-lane compare alone would
+  // accept it; the guarded loop must stop there.
+  std::vector<std::uint64_t> cells(16, (std::uint64_t{1} << 32) | 1u);
+  cells[9] = kEscalatedCell;
+  for (const simd::Isa isa : kAllIsas) {
+    if (!simd::isa_available(isa)) continue;
+    const CellKernels k = cell_kernels_for(isa);
+    EXPECT_EQ(k.write(cells.data(), cells.size(), 1u), 9u)
+        << simd::isa_name(isa);
+  }
+}
+
 TEST(VectorClockSimd, ActiveIsaIsAvailable) {
   EXPECT_TRUE(simd::isa_available(simd::active_isa()));
   // Kernel sanity at the dispatch point itself.
