@@ -567,6 +567,73 @@ void sampling_section(JsonReport& json, std::size_t scale) {
 }
 
 // ---------------------------------------------------------------------------
+// Section: atomic-event cost (the __tsan_atomic* sync surface).
+// ---------------------------------------------------------------------------
+
+/// What an interposed std::atomic load costs per declared order, against
+/// the plain read8 ABI sweep as the baseline. The two orders take
+/// structurally different paths (docs/ALGORITHM.md §16.2-16.3):
+///   acquire  after a single release publisher the fast-epoch arm holds
+///            that publisher's epoch; a loader whose clock already
+///            covers it (here: the publisher itself) resolves with one
+///            acquire load + epoch compare, no lock;
+///   relaxed  always takes the locked accumulate path - the location's
+///            sync clock must be folded into the thread's fence TLS so
+///            a later acquire fence can retroactively pair with the
+///            load. This is the price of fence soundness, and it is
+///            paid per relaxed load.
+/// Both loops hit one address, the steady state of a spin-loop consumer.
+void atomics_section(JsonReport& json, std::size_t scale) {
+  const std::size_t words = std::size_t{1} << 12;
+  const std::size_t sweeps = 2048 * scale;
+  const std::size_t ops = sweeps * words;
+  std::vector<std::uint64_t> buf(words, 1);
+  static std::uint64_t flag = 0;  // the "atomic" address (analysis only)
+
+  rt::ambient::Session::instance().configure("v2");
+  rt::ambient::Session::instance().reset();
+
+  // Plain-access baseline: the same-epoch read8 sweep through the ABI.
+  for (const std::uint64_t& w : buf) vft_write8(&w);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    for (const std::uint64_t& w : buf) vft_read8(&w);
+  }
+  const double plain_ns = 1e9 * now_minus(t0) / static_cast<double>(ops);
+
+  // Arm the fast epoch: one release publication by this thread.
+  vft_atomic_store(&flag, 3 /* __ATOMIC_RELEASE */);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    vft_atomic_load(&flag, 2 /* __ATOMIC_ACQUIRE */);
+  }
+  const double acq_ns = 1e9 * now_minus(t1) / static_cast<double>(ops);
+
+  const auto t2 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    vft_atomic_load(&flag, 0 /* __ATOMIC_RELAXED */);
+  }
+  const double rlx_ns = 1e9 * now_minus(t2) / static_cast<double>(ops);
+
+  VFT_CHECK(vft_race_count() == 0);
+  vft_detach();
+  rt::ambient::Session::instance().reset();
+
+  std::printf("atomic load events (one address) vs plain read8 sweep\n");
+  std::printf("%12s %12s %12s %12s\n", "", "acquire ns", "relaxed ns",
+              "plain ns");
+  std::printf("%12s %12.2f %12.2f %12.2f\n\n", "atomic_load", acq_ns,
+              rlx_ns, plain_ns);
+  json.add("atomic_dispatch", "load",
+           {{"acquire_ns", acq_ns},
+            {"relaxed_ns", rlx_ns},
+            {"plain_read8_ns", plain_ns},
+            {"acquire_vs_plain", acq_ns / plain_ns},
+            {"relaxed_vs_acquire", rlx_ns / acq_ns}});
+}
+
+// ---------------------------------------------------------------------------
 // Section: interposed-range cost (the mem* wrappers' SIMD prefix kernel).
 // ---------------------------------------------------------------------------
 
@@ -731,6 +798,7 @@ int main() {
   abi_section(json, scale);
   report_ctx_section(json, scale);
   sampling_section(json, scale);
+  atomics_section(json, scale);
   range_section(json, scale);
   volatile_section(json, max_threads, scale);
   barrier_section(json, max_threads, scale);

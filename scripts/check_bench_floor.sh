@@ -16,6 +16,8 @@
 #   sampling / sampled_out drop_ns  - the inline drop-policy skip
 #   range_memcpy / b4096   vft_ns   - SIMD range interposition, L1 copies
 #   range_memcpy / b65536  vft_ns   - SIMD range interposition, L2 copies
+#   atomic_dispatch / load acquire_ns - armed fast-epoch acquire load
+#   atomic_dispatch / load relaxed_ns - locked accumulate relaxed load
 #
 # Ratio rows (range_memcpy ratio vs raw memcpy) are deliberately NOT
 # guarded: the ratio divides by raw memcpy throughput, which varies more
@@ -35,6 +37,8 @@ fi
 #   sampling sampled_out drop_ns:   3.25
 #   range_memcpy b4096 vft_ns:    322
 #   range_memcpy b65536 vft_ns:  4680
+#   atomic_dispatch load acquire_ns: 31.2
+#   atomic_dispatch load relaxed_ns: 56.1
 fail=0
 check() {
   local section="$1" name="$2" field="$3" floor="$4"
@@ -69,6 +73,8 @@ check abi_dispatch read8       abi_ns   3.08
 check sampling     sampled_out drop_ns  3.25
 check range_memcpy b4096       vft_ns   322
 check range_memcpy b65536      vft_ns   4680
+check atomic_dispatch load     acquire_ns 31.2
+check atomic_dispatch load     relaxed_ns 56.1
 
 if [[ "$fail" -ne 0 ]]; then
   echo "check_bench_floor: hot-path regression detected" >&2

@@ -111,6 +111,27 @@ void slow_access(const void* addr, size_t size, bool is_write,
   vft_tl_event_ctx.pc = nullptr;
 }
 
+/// Clamp an untrusted morder from the target to the ABI range; anything
+/// out of range degrades to seq_cst (the conservative reading).
+int clamp_mo(int mo) { return mo >= 0 && mo <= 5 ? mo : 5; }
+
+/// Atomic sync dispatch: devirtualized entry table when its generation
+/// snapshot is current, virtual backend otherwise (same protocol as
+/// slow_access; atomics never route through the inline descriptor, so
+/// there is no descriptor re-sync to do here).
+void atomic_event(const void* addr, int mo,
+                  EntryTable::AtomicFn EntryTable::* slot,
+                  void (SessionBackend::*virt)(const void*, int)) {
+  mo = clamp_mo(mo);
+  const uint64_t gen = __atomic_load_n(&vft_g_fastpath_gen, __ATOMIC_ACQUIRE);
+  const EntryTable* t = Session::instance().entry_table();
+  if (t != nullptr && t->generation == gen) {
+    (t->*slot)(t->self, addr, mo);
+  } else {
+    (backend().*virt)(addr, mo);
+  }
+}
+
 int write_report(const char* path, int json, int clean) {
   // Snapshot first, open the file second: on the crash path the document
   // is built before any stdio state is trusted with it.
@@ -242,6 +263,47 @@ void vft_range_write(const void* addr, size_t size) {
   AbiScope guard;
   if (!guard.entered() || size == 0) return;
   slow_access(addr, size, /*is_write=*/true, /*is_range=*/true);
+}
+
+void vft_atomic_load(const void* addr, int mo) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  atomic_event(addr, mo, &EntryTable::atomic_load,
+               &SessionBackend::atomic_load);
+}
+
+void vft_atomic_store(const void* addr, int mo) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  atomic_event(addr, mo, &EntryTable::atomic_store,
+               &SessionBackend::atomic_store);
+}
+
+void vft_atomic_rmw_pre(const void* addr, int mo) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  atomic_event(addr, mo, &EntryTable::atomic_rmw_pre,
+               &SessionBackend::atomic_rmw_pre);
+}
+
+void vft_atomic_rmw_post(const void* addr, int mo) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  atomic_event(addr, mo, &EntryTable::atomic_rmw_post,
+               &SessionBackend::atomic_rmw_post);
+}
+
+void vft_atomic_fence(int mo) {
+  AbiScope guard;
+  if (!guard.entered()) return;
+  mo = clamp_mo(mo);
+  const uint64_t gen = __atomic_load_n(&vft_g_fastpath_gen, __ATOMIC_ACQUIRE);
+  const EntryTable* t = Session::instance().entry_table();
+  if (t != nullptr && t->generation == gen) {
+    t->atomic_fence(t->self, mo);
+  } else {
+    backend().atomic_fence(mo);
+  }
 }
 
 void vft_mutex_lock(const void* m) {

@@ -107,6 +107,37 @@ void vft_abi_slow_write(const void* addr, size_t size);
  * same enclosing access would capture an analysis-internal stack. */
 int vft_abi_in_runtime(void);
 
+/* --- atomics (__tsan_atomic* sync surface) ----------------------------- */
+
+/* Synchronization halves of the target's C11/C++11 atomic operations,
+ * keyed by address like native locks. `mo` is the operation's declared
+ * memory order in the TSan ABI encoding (identical to the compiler's
+ * __ATOMIC_* values: 0 relaxed, 1 consume, 2 acquire, 3 release,
+ * 4 acq_rel, 5 seq_cst); out-of-range values are treated as seq_cst.
+ *
+ * Ordering discipline, extending Section 4: the caller invokes
+ *   - vft_atomic_store / vft_atomic_rmw_pre  *before* the real operation
+ *     (the publication must be in the sync clock before the stored value
+ *     can be observed),
+ *   - vft_atomic_load / vft_atomic_rmw_post  *after* it (the join happens
+ *     once the value was actually read).
+ * A compare_exchange calls rmw_pre with the success order, performs the
+ * real CAS, then calls rmw_post with the success order (CAS won) or the
+ * failure order (CAS lost - a failed CAS is a load).
+ *
+ * Semantics per order follow VFT_ATOMICS mode (default "precise"):
+ * acquire-class loads join the location's release clock, release-class
+ * stores publish the thread clock into it, relaxed accesses contribute no
+ * edge. VFT_ATOMICS=sc upgrades every order to seq_cst (the conservative
+ * TSan-on-x86 view); VFT_ATOMICS=off ignores atomics entirely. */
+void vft_atomic_load(const void* addr, int mo);
+void vft_atomic_store(const void* addr, int mo);
+void vft_atomic_rmw_pre(const void* addr, int mo);
+void vft_atomic_rmw_post(const void* addr, int mo);
+
+/* __tsan_atomic_thread_fence: per-thread fence event (no address). */
+void vft_atomic_fence(int mo);
+
 /* --- native locks ------------------------------------------------------ */
 
 /* Acquire/release events for a native lock identified by its address

@@ -345,8 +345,23 @@ int munmap(void* addr, size_t len) {
   } while (0)
 
 void __tsan_init(void) {}
-void __tsan_func_entry(void*) {}
-void __tsan_func_exit(void) {}
+
+// Shadow call stack (vft/event_ctx.h): the compiler instruments every
+// function prologue with the call site's return address and every
+// epilogue with an exit. Two TLS stores per call on the hot path; the
+// payoff is that __tsan_*-sourced race reports carry caller stacks even
+// for targets built without frame pointers (capture_event_stack falls
+// back to this stack when the fp walk dies). depth counts past the cap
+// so deep recursion unwinds balanced.
+void __tsan_func_entry(void* call_pc) {
+  vft_shadow_stack_s& ss = vft_tl_shadow_stack;
+  if (ss.depth < VFT_SHADOW_STACK_MAX) ss.pc[ss.depth] = call_pc;
+  ss.depth++;
+}
+void __tsan_func_exit(void) {
+  vft_shadow_stack_s& ss = vft_tl_shadow_stack;
+  if (ss.depth != 0) ss.depth--;
+}
 
 // Sized wrappers compile the header-inlined fast path directly into the
 // interposition boundary: a same-epoch hit (or a drop-policy sampled-out
@@ -422,6 +437,97 @@ void __tsan_vptr_update(void** a, void*) {
   if (vft_fastpath_try_write(a, 8)) return;
   VFT_ARM_EVENT_CTX();
   vft_abi_slow_write(a, 8);
+  asm volatile("" ::: "memory");
+}
+
+// ---------------------------------------------------------------------
+// __tsan_atomic*: with -fsanitize=thread the compiler replaces the
+// atomic operation itself with these calls, so each wrapper must perform
+// the REAL operation via the __atomic builtins *and* feed the sync
+// halves to the analysis, in the Section 4 ordering: publish
+// (vft_atomic_store / _rmw_pre) before the value becomes visible, join
+// (vft_atomic_load / _rmw_post) after it was observed.
+//
+// The real operation runs with *hardened* hardware ordering - loads at
+// least acquire, stores at least release, RMWs acq_rel (TSan's runtime
+// makes the same choice). Strengthening the execution never hides a
+// race from the clock analysis (verdicts come from the declared orders,
+// which are forwarded to the ABI untouched), and it is what makes the
+// runtime's fast-epoch protocol sound on any host: reading a value
+// implies seeing its writer's sync-state updates. The declared order
+// arrives as the TSan morder argument, which is numerically identical
+// to __ATOMIC_* - it is passed through verbatim.
+// ---------------------------------------------------------------------
+
+#define VFT_HW_LOAD(mo) ((mo) == 5 ? __ATOMIC_SEQ_CST : __ATOMIC_ACQUIRE)
+#define VFT_HW_STORE(mo) ((mo) == 5 ? __ATOMIC_SEQ_CST : __ATOMIC_RELEASE)
+#define VFT_HW_RMW(mo) ((mo) == 5 ? __ATOMIC_SEQ_CST : __ATOMIC_ACQ_REL)
+#define VFT_HW_FAIL(mo) ((mo) == 5 ? __ATOMIC_SEQ_CST : __ATOMIC_ACQUIRE)
+
+#define VFT_TSAN_RMW(bits, type, name, builtin)                            \
+  type __tsan_atomic##bits##_##name(volatile type* a, type v, int mo) {    \
+    vft_atomic_rmw_pre((const void*)a, mo);                                \
+    const type r = builtin(a, v, VFT_HW_RMW(mo));                          \
+    vft_atomic_rmw_post((const void*)a, mo);                               \
+    return r;                                                              \
+  }
+
+#define VFT_TSAN_ATOMIC(bits, type)                                        \
+  type __tsan_atomic##bits##_load(const volatile type* a, int mo) {        \
+    const type v = __atomic_load_n(a, VFT_HW_LOAD(mo));                    \
+    vft_atomic_load((const void*)a, mo);                                   \
+    return v;                                                              \
+  }                                                                        \
+  void __tsan_atomic##bits##_store(volatile type* a, type v, int mo) {     \
+    vft_atomic_store((const void*)a, mo);                                  \
+    __atomic_store_n(a, v, VFT_HW_STORE(mo));                              \
+  }                                                                        \
+  VFT_TSAN_RMW(bits, type, exchange, __atomic_exchange_n)                  \
+  VFT_TSAN_RMW(bits, type, fetch_add, __atomic_fetch_add)                  \
+  VFT_TSAN_RMW(bits, type, fetch_sub, __atomic_fetch_sub)                  \
+  VFT_TSAN_RMW(bits, type, fetch_and, __atomic_fetch_and)                  \
+  VFT_TSAN_RMW(bits, type, fetch_or, __atomic_fetch_or)                    \
+  VFT_TSAN_RMW(bits, type, fetch_xor, __atomic_fetch_xor)                  \
+  VFT_TSAN_RMW(bits, type, fetch_nand, __atomic_fetch_nand)                \
+  int __tsan_atomic##bits##_compare_exchange_strong(                       \
+      volatile type* a, type* c, type v, int mo, int fmo) {                \
+    vft_atomic_rmw_pre((const void*)a, mo);                                \
+    const int ok = __atomic_compare_exchange_n(                            \
+        a, c, v, 0, VFT_HW_RMW(mo), VFT_HW_FAIL(fmo));                     \
+    /* a failed CAS is a load: join with the failure order */              \
+    vft_atomic_rmw_post((const void*)a, ok ? mo : fmo);                    \
+    return ok;                                                             \
+  }                                                                        \
+  int __tsan_atomic##bits##_compare_exchange_weak(                         \
+      volatile type* a, type* c, type v, int mo, int fmo) {                \
+    return __tsan_atomic##bits##_compare_exchange_strong(a, c, v, mo,      \
+                                                         fmo);             \
+  }                                                                        \
+  type __tsan_atomic##bits##_compare_exchange_val(                         \
+      volatile type* a, type c, type v, int mo, int fmo) {                 \
+    __tsan_atomic##bits##_compare_exchange_strong(a, &c, v, mo, fmo);      \
+    return c;                                                              \
+  }
+
+VFT_TSAN_ATOMIC(8, uint8_t)
+VFT_TSAN_ATOMIC(16, uint16_t)
+VFT_TSAN_ATOMIC(32, uint32_t)
+VFT_TSAN_ATOMIC(64, uint64_t)
+
+#undef VFT_TSAN_ATOMIC
+#undef VFT_TSAN_RMW
+
+void __tsan_atomic_thread_fence(int mo) {
+  // Real fence first (strongest form: correct for every declared order,
+  // and a fence is far off any hot path), then the clock-level fence.
+  __atomic_thread_fence(__ATOMIC_SEQ_CST);
+  vft_atomic_fence(mo);
+}
+
+void __tsan_atomic_signal_fence(int mo) {
+  // Compiler-only barrier; orders nothing between threads, so the
+  // analysis sees no event.
+  (void)mo;
   asm volatile("" ::: "memory");
 }
 

@@ -43,6 +43,7 @@
 
 #include "runtime/lock_registry.h"
 #include "runtime/tool.h"
+#include "vft/atomics.h"
 #include "vft/detector.h"
 #include "vft/fastpath_ctx.h"
 #include "vft/report_io.h"
@@ -61,12 +62,22 @@ namespace vft::rt::ambient {
 /// current global can never dispatch into a torn-down backend.
 struct EntryTable {
   using AccessFn = void (*)(void*, const void*, std::size_t);
+  /// Atomic sync entries: (self, addr, morder). morder is the TSan ABI
+  /// value (== __ATOMIC_*); address identity is the sync-state key, so no
+  /// size is needed.
+  using AtomicFn = void (*)(void*, const void*, int);
+  using FenceFn = void (*)(void*, int);
 
   void* self = nullptr;
   AccessFn read = nullptr;
   AccessFn write = nullptr;
   AccessFn range_read = nullptr;
   AccessFn range_write = nullptr;
+  AtomicFn atomic_load = nullptr;
+  AtomicFn atomic_store = nullptr;
+  AtomicFn atomic_rmw_pre = nullptr;
+  AtomicFn atomic_rmw_post = nullptr;
+  FenceFn atomic_fence = nullptr;
   std::uint64_t generation = 0;
 };
 
@@ -92,6 +103,18 @@ class SessionBackend {
   // mutex_unlock *before* the native release.
   virtual void mutex_lock(const void* m) = 0;
   virtual void mutex_unlock(const void* m) = 0;
+
+  // --- __tsan_atomic* sync events, keyed by address like locks. The
+  // ordering discipline mirrors §4: store/rmw_pre run *before* the real
+  // operation (publish before the value is visible), load/rmw_post run
+  // *after* it (join once the value was observed). `mo` is the target's
+  // declared memory order (TSan ABI == __ATOMIC_* values); the VFT_ATOMICS
+  // mode is applied inside.
+  virtual void atomic_load(const void* a, int mo) = 0;
+  virtual void atomic_store(const void* a, int mo) = 0;
+  virtual void atomic_rmw_pre(const void* a, int mo) = 0;
+  virtual void atomic_rmw_post(const void* a, int mo) = 0;
+  virtual void atomic_fence(int mo) = 0;
 
   // --- thread lifecycle. attach() binds the calling OS thread to a fresh
   // (implicitly detached) target thread; detach() is its end-of-thread
@@ -150,6 +173,21 @@ class SessionImpl final : public SessionBackend {
     };
     entries_.range_write = [](void* s, const void* a, std::size_t n) {
       static_cast<SessionImpl*>(s)->range_write(a, n);
+    };
+    entries_.atomic_load = [](void* s, const void* a, int mo) {
+      static_cast<SessionImpl*>(s)->atomic_load(a, mo);
+    };
+    entries_.atomic_store = [](void* s, const void* a, int mo) {
+      static_cast<SessionImpl*>(s)->atomic_store(a, mo);
+    };
+    entries_.atomic_rmw_pre = [](void* s, const void* a, int mo) {
+      static_cast<SessionImpl*>(s)->atomic_rmw_pre(a, mo);
+    };
+    entries_.atomic_rmw_post = [](void* s, const void* a, int mo) {
+      static_cast<SessionImpl*>(s)->atomic_rmw_post(a, mo);
+    };
+    entries_.atomic_fence = [](void* s, int mo) {
+      static_cast<SessionImpl*>(s)->atomic_fence(mo);
     };
     entries_.generation =
         __atomic_load_n(&vft_g_fastpath_gen, __ATOMIC_ACQUIRE);
@@ -288,6 +326,55 @@ class SessionImpl final : public SessionBackend {
     rt_.tool().release(*ts, locks_.of(m));
   }
 
+  // Atomic sync events run ungated (like mutex_lock/unlock: sampling
+  // thins data accesses, never synchronization - a dropped edge would
+  // manufacture false races, the one thing the sampling layer must never
+  // do). VFT_ATOMICS=off restores the PR-5 interposer-only behaviour.
+
+  void atomic_load(const void* a, int mo) override {
+    if (atomics_mode_ == atomics::Mode::kOff) return;
+    ThreadState* ts = self_or_attach();
+    if (ts == nullptr) return;
+    rt_.tool().atomic_load(*ts, atomics_.of(a),
+                           atomics::fence_tls(generation_),
+                           atomics::effective_mo(atomics_mode_, mo));
+  }
+
+  void atomic_store(const void* a, int mo) override {
+    if (atomics_mode_ == atomics::Mode::kOff) return;
+    ThreadState* ts = self_or_attach();
+    if (ts == nullptr) return;
+    rt_.tool().atomic_store(*ts, atomics_.of(a),
+                            atomics::fence_tls(generation_),
+                            atomics::effective_mo(atomics_mode_, mo));
+  }
+
+  void atomic_rmw_pre(const void* a, int mo) override {
+    if (atomics_mode_ == atomics::Mode::kOff) return;
+    ThreadState* ts = self_or_attach();
+    if (ts == nullptr) return;
+    rt_.tool().atomic_rmw_pre(*ts, atomics_.of(a),
+                              atomics::fence_tls(generation_),
+                              atomics::effective_mo(atomics_mode_, mo));
+  }
+
+  void atomic_rmw_post(const void* a, int mo) override {
+    if (atomics_mode_ == atomics::Mode::kOff) return;
+    ThreadState* ts = self_or_attach();
+    if (ts == nullptr) return;
+    rt_.tool().atomic_rmw_post(*ts, atomics_.of(a),
+                               atomics::fence_tls(generation_),
+                               atomics::effective_mo(atomics_mode_, mo));
+  }
+
+  void atomic_fence(int mo) override {
+    if (atomics_mode_ == atomics::Mode::kOff) return;
+    ThreadState* ts = self_or_attach();
+    if (ts == nullptr) return;
+    rt_.tool().atomic_fence(*ts, atomics::fence_tls(generation_),
+                            atomics::effective_mo(atomics_mode_, mo));
+  }
+
   bool attach() override { return self_or_attach() != nullptr; }
 
   /// End-of-thread event for the calling thread (interposer: pthread key
@@ -395,6 +482,7 @@ class SessionImpl final : public SessionBackend {
       if (rt_.has_packed_space()) rt_.packed_space().reset_range(addr, size);
     }
     locks_.reset_range(addr, size);
+    atomics_.reset_range(addr, size);
     // Recycled addresses are new variables: any cooled sampling state
     // covering them goes back to full rate.
     if (gate_ != nullptr) gate_->on_page_reset(addr, size);
@@ -592,6 +680,8 @@ class SessionImpl final : public SessionBackend {
 
   Runtime<D> rt_;
   LockRegistry locks_;
+  atomics::AtomicRegistry atomics_;
+  const atomics::Mode atomics_mode_ = atomics::mode_from_env();
   const std::uint64_t generation_;
   sampling::Gate* const gate_;  ///< nullptr: sampling off, classic route
   const bool drop_mode_;

@@ -29,6 +29,7 @@
 #include "sched/sched_point.h"
 #include "trace/hb_oracle.h"
 #include "trace/trace.h"
+#include "vft/atomics.h"
 #include "vft/ft_cas.h"
 #include "vft/packed_cell.h"
 #include "vft/probe.h"
@@ -519,6 +520,226 @@ inline Instance make_volatile(bool stale_epoch_shape) {
 }
 
 // ---------------------------------------------------------------------------
+// Atomic sync-state scenarios (the __tsan_atomic* clock layer of
+// vft/atomics.h): the fast-epoch arm CAS in atomic_publish racing an
+// acquire load's fast-skip read, and two unordered CAS-loop publishers
+// contending for the arm. Driven through the DetectorBase handlers with a
+// bare AtomicState, like the duo scenarios. Checks are differential
+// against Spec::on_atomic_*; the data-read gates mirror make_volatile:
+// within the cooperative scheduler a thread runs atomically between sched
+// points, so a flag set right after a handler returns (no point in
+// between) is observable iff the publication completed first.
+// ---------------------------------------------------------------------------
+
+inline bool vc_eq(const VectorClock& a, const VectorClock& b) {
+  return a.leq(b) && b.leq(a);
+}
+
+template <typename D>
+struct AtomicHandoffState {
+  RaceCollector races;
+  RuleStats stats;
+  D det;
+  typename D::VarState x;
+  atomics::AtomicState a;
+  atomics::FenceTls fw, fr;
+  ThreadState t0{0}, t1{1}, t2{2};
+  bool published = false;  ///< set after the writer's store handler returns
+  bool saw = false;        ///< reader's observation, taken before its load
+
+  AtomicHandoffState() : det(make_detector<D>(&races, &stats)) {
+    x.id = kX;
+    det.write(t0, x);
+    det.fork(t0, t1);
+    det.fork(t0, t2);
+  }
+};
+
+/// Release/acquire handoff postcondition. The reader touched x only if it
+/// observed the completed publication, so with a release store NO
+/// schedule may report a race and the terminal state must match the
+/// serialization the observation proves; with a relaxed store the same
+/// observation proves nothing (no edge), so every schedule where the
+/// gated read ran must report exactly the write-read race the Spec halts
+/// on — the relaxed-no-edge property, checked under every interleaving of
+/// the arm CAS, the fast-skip load, and the sync mutex.
+template <typename S>
+std::optional<std::string> atomic_handoff_check(S& s, bool relaxed) {
+  Spec spec;
+  bool okc = !spec.on_write(0, kX).error && !spec.on_fork(0, 1).error &&
+             !spec.on_fork(0, 2).error && !spec.on_write(1, kX).error;
+  if (!okc) return "spec raced on the race-free handoff prefix";
+  const Epoch pub = spec.thread_epoch(1);
+  spec.on_atomic_store(1, kV,
+                       relaxed ? atomics::kMoRelaxed : atomics::kMoRelease);
+  spec.on_atomic_load(2, kV, atomics::kMoAcquire);
+  if (!vc_eq(s.a.sync_V, spec.atomic_vc(kV))) {
+    return "atomic release clock diverges from Spec";
+  }
+  const std::uint32_t bits = s.a.fast_epoch.load(std::memory_order_relaxed);
+  if (relaxed) {
+    if (bits != 0) return "relaxed store armed the fast epoch";
+  } else if (bits != pub.bits()) {
+    return "fast epoch is not the sole publisher's epoch";
+  }
+  const auto reports = s.races.all();
+  if (!s.saw) {
+    if (!reports.empty()) return "race reported without the gated read";
+    const std::string d = diff_var_state(s.x, spec, 2);
+    if (!d.empty()) return "terminal state diverges from Spec: " + d;
+    return std::nullopt;
+  }
+  const Spec::StepResult r = spec.on_read(2, kX);
+  if (relaxed) {
+    if (!r.error || r.rule != Rule::kWriteReadRace) {
+      return "spec did not halt on the relaxed-published read";
+    }
+    if (reports.size() != 1) {
+      return "expected exactly one race report, got " +
+             std::to_string(reports.size());
+    }
+    const RaceReport& rep = reports.front();
+    if (rep.kind != RaceKind::kWriteRead || rep.var != kX ||
+        rep.current_tid != 2) {
+      return "relaxed-handoff race report malformed";
+    }
+    return std::nullopt;
+  }
+  if (r.error) return "spec raced on the release/acquire handoff";
+  if (!reports.empty()) return "false race on a release/acquire handoff";
+  const std::string d = diff_var_state(s.x, spec, 2);
+  if (!d.empty()) return "terminal state diverges from Spec: " + d;
+  return std::nullopt;
+}
+
+template <typename D>
+Instance make_atomic_handoff(bool relaxed) {
+  auto s = std::make_shared<AtomicHandoffState<D>>();
+  Instance inst;
+  inst.state = s;
+  inst.bodies = {
+      [s, relaxed] {
+        s->det.write(s->t1, s->x);
+        s->det.atomic_store(
+            s->t1, s->a, s->fw,
+            relaxed ? atomics::kMoRelaxed : atomics::kMoRelease);
+        // No sched point since the handler's last one: the flag becomes
+        // visible atomically with the completed publication.
+        s->published = true;
+      },
+      [s] {
+        s->saw = s->published;
+        s->det.atomic_load(s->t2, s->a, s->fr, atomics::kMoAcquire);
+        if (s->saw) s->det.read(s->t2, s->x);
+      },
+  };
+  inst.check = [s, relaxed] { return atomic_handoff_check(*s, relaxed); };
+  return inst;
+}
+
+template <typename D>
+struct AtomicCasState {
+  RaceCollector races;
+  RuleStats stats;
+  D det;
+  typename D::VarState x, y;
+  atomics::AtomicState a;
+  atomics::FenceTls f1, f2;
+  ThreadState t0{0}, t1{1}, t2{2};
+  bool pub1 = false, pub2 = false;
+  bool saw_by1 = false;  ///< t1 observed t2's completed publication
+  bool saw_by2 = false;  ///< t2 observed t1's completed publication
+
+  AtomicCasState() : det(make_detector<D>(&races, &stats)) {
+    x.id = kX;
+    y.id = kY;
+    det.write(t0, x);
+    det.write(t0, y);
+    det.fork(t0, t1);
+    det.fork(t0, t2);
+  }
+};
+
+/// Two unordered acq_rel publishers (the rmw_pre/rmw_post split of a CAS
+/// loop) racing for the fast-epoch arm: the terminal arm must be SHARED
+/// in every interleaving of the two mutex sections and CAS attempts
+/// (neither publisher's clock covers the other's publication), the sync
+/// clock must be the exact join of both (release = JOIN, not copy: no
+/// schedule may lose a publisher), and the gated cross-reads must be
+/// race-free exactly when the gate's serialization says so.
+template <typename S>
+std::optional<std::string> atomic_cas_check(S& s) {
+  if (s.saw_by1 && s.saw_by2) {
+    return "both threads observed the other publishing first";
+  }
+  Spec spec;
+  const auto t1_ops = [&spec] {
+    return !spec.on_write(1, kX).error &&
+           !spec.on_atomic_rmw(1, kV, atomics::kMoAcqRel).error;
+  };
+  const auto t2_ops = [&spec] {
+    return !spec.on_write(2, kY).error &&
+           !spec.on_atomic_rmw(2, kV, atomics::kMoAcqRel).error;
+  };
+  bool okc = !spec.on_write(0, kX).error && !spec.on_write(0, kY).error &&
+             !spec.on_fork(0, 1).error && !spec.on_fork(0, 2).error;
+  if (s.saw_by1) {
+    okc = okc && t2_ops() && t1_ops() && !spec.on_read(1, kY).error;
+  } else if (s.saw_by2) {
+    okc = okc && t1_ops() && t2_ops() && !spec.on_read(2, kX).error;
+  } else {
+    okc = okc && t1_ops() && t2_ops();
+  }
+  if (!okc) return "spec raced on the gated CAS publication program";
+  if (!s.races.empty()) {
+    const RaceReport r = *s.races.first();
+    return "false race: " + std::string(race_kind_name(r.kind)) + " on var " +
+           std::to_string(r.var) + " by t" + std::to_string(r.current_tid);
+  }
+  if (!vc_eq(s.a.sync_V, spec.atomic_vc(kV))) {
+    return "CAS release clock is not the join of both publishers";
+  }
+  if (s.a.fast_epoch.load(std::memory_order_relaxed) !=
+      atomics::AtomicState::kSharedBits) {
+    return "unordered publishers must collapse the fast epoch to SHARED";
+  }
+  if (probe_w(s.x) != spec.var(kX).W || probe_r(s.x) != spec.var(kX).R) {
+    return "terminal x state diverges from Spec";
+  }
+  if (probe_w(s.y) != spec.var(kY).W || probe_r(s.y) != spec.var(kY).R) {
+    return "terminal y state diverges from Spec";
+  }
+  return std::nullopt;
+}
+
+template <typename D>
+Instance make_atomic_cas_publish() {
+  auto s = std::make_shared<AtomicCasState<D>>();
+  Instance inst;
+  inst.state = s;
+  inst.bodies = {
+      [s] {
+        s->det.write(s->t1, s->x);
+        s->saw_by1 = s->pub2;
+        s->det.atomic_rmw_pre(s->t1, s->a, s->f1, atomics::kMoAcqRel);
+        s->det.atomic_rmw_post(s->t1, s->a, s->f1, atomics::kMoAcqRel);
+        s->pub1 = true;
+        if (s->saw_by1) s->det.read(s->t1, s->y);
+      },
+      [s] {
+        s->det.write(s->t2, s->y);
+        s->saw_by2 = s->pub1;
+        s->det.atomic_rmw_pre(s->t2, s->a, s->f2, atomics::kMoAcqRel);
+        s->det.atomic_rmw_post(s->t2, s->a, s->f2, atomics::kMoAcqRel);
+        s->pub2 = true;
+        if (s->saw_by2) s->det.read(s->t2, s->x);
+      },
+  };
+  inst.check = [s] { return atomic_cas_check(*s); };
+  return inst;
+}
+
+// ---------------------------------------------------------------------------
 // Harness self-test: a textbook AB-BA deadlock over cooperative mutexes.
 // The explorer must FIND the deadlock (deadlocks > 0); a harness that
 // cannot is not exploring lock orders.
@@ -582,6 +803,15 @@ inline const std::vector<Scenario>& scenarios() {
       {"volatile-stale-epoch",
        "Volatile re-arm: stale fast epoch must not skip the join", false,
        [] { return make_volatile(true); }},
+      {"atomic-handoff",
+       "atomic release/acquire handoff: gated read is ordered", false,
+       [] { return make_atomic_handoff<VftV2>(false); }},
+      {"atomic-handoff-relaxed",
+       "relaxed publication orders nothing: gated read must race", false,
+       [] { return make_atomic_handoff<VftV2>(true); }},
+      {"atomic-cas-publish",
+       "unordered CAS publishers: joined clock, SHARED arm", false,
+       [] { return make_atomic_cas_publish<VftV2>(); }},
       {"toy-deadlock", "AB-BA lock order: explorer must find the deadlock",
        true, make_toy_deadlock},
   };

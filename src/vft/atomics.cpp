@@ -1,0 +1,44 @@
+#include "vft/atomics.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace vft::atomics {
+
+Mode mode_from_env() {
+  const char* e = std::getenv("VFT_ATOMICS");
+  if (e == nullptr || *e == '\0' || std::strcmp(e, "precise") == 0) {
+    return Mode::kPrecise;
+  }
+  if (std::strcmp(e, "sc") == 0) return Mode::kSc;
+  if (std::strcmp(e, "off") == 0) return Mode::kOff;
+  return Mode::kPrecise;
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kPrecise:
+      return "precise";
+    case Mode::kSc:
+      return "sc";
+    case Mode::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+FenceTls& fence_tls(std::uint64_t gen) {
+  thread_local FenceTls tl;
+  if (tl.generation != gen) {
+    // A Session::reset() happened since this thread last fenced: the old
+    // clocks belong to a torn-down backend. Start from scratch.
+    tl.has_release = false;
+    tl.has_acquire = false;
+    tl.release_V.reset();
+    tl.acquire_V.reset();
+    tl.generation = gen;
+  }
+  return tl;
+}
+
+}  // namespace vft::atomics

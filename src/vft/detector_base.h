@@ -20,6 +20,9 @@
 // up to and including the first race.
 #pragma once
 
+#include <mutex>
+
+#include "vft/atomics.h"
 #include "vft/report.h"
 #include "vft/shadow_state.h"
 #include "vft/stats.h"
@@ -59,12 +62,171 @@ class DetectorBase {
     count(Rule::kJoin);
   }
 
+  // --- __tsan_atomic* sync handlers (vft/atomics.h). Shared by every
+  // variant exactly like the four pthread handlers above: they touch only
+  // ThreadState, the location's AtomicState, and the thread's fence TLS.
+  // `eff` is the mode-adjusted memory order (atomics::effective_mo); the
+  // interposer executes the real operation with hardened hardware
+  // ordering (loads at least acquire, stores at least release), which is
+  // what makes the fast-epoch skip below sound: reading a value implies
+  // seeing its writer's fast_epoch update, because every edge-creating
+  // publication completes that update before its real store runs.
+
+  /// [Atomic Load]: acquire-class joins Sa.V; relaxed contributes no edge
+  /// but feeds the pending-acquire accumulator for a later acquire fence.
+  void atomic_load(ThreadState& st, atomics::AtomicState& sa,
+                   atomics::FenceTls& f, int eff) {
+    count(Rule::kAtomicLoad);
+    if (atomics::mo_is_acquire(eff)) {
+      atomic_join(st, sa);
+      return;
+    }
+    count(Rule::kAtomicRelaxed);
+    atomic_accumulate(sa, f);
+  }
+
+  /// [Atomic Store]: release-class publishes St.V into Sa.V; relaxed
+  /// publishes only a pending release-fence snapshot (or nothing).
+  void atomic_store(ThreadState& st, atomics::AtomicState& sa,
+                    atomics::FenceTls& f, int eff) {
+    count(Rule::kAtomicStore);
+    if (atomics::mo_is_release(eff)) {
+      atomic_publish(st, sa);
+      return;
+    }
+    count(Rule::kAtomicRelaxed);
+    if (f.has_release) atomic_publish_snapshot(sa, f.release_V);
+  }
+
+  /// [Atomic RMW], store half - runs *before* the real operation so the
+  /// publication is in Sa.V by the time the stored value is visible.
+  /// A failed compare_exchange leaves this publication behind: a spurious
+  /// hb edge (the value never became visible), never a missed race.
+  void atomic_rmw_pre(ThreadState& st, atomics::AtomicState& sa,
+                      atomics::FenceTls& f, int eff) {
+    count(Rule::kAtomicRmw);
+    if (atomics::mo_is_release(eff)) {
+      atomic_publish(st, sa);
+      return;
+    }
+    if (!atomics::mo_is_acquire(eff)) count(Rule::kAtomicRelaxed);
+    if (f.has_release) atomic_publish_snapshot(sa, f.release_V);
+  }
+
+  /// [Atomic RMW], load half - runs *after* the real operation observed
+  /// its prior value. For a failed compare_exchange the caller passes the
+  /// failure order (a failed CAS is a load).
+  void atomic_rmw_post(ThreadState& st, atomics::AtomicState& sa,
+                       atomics::FenceTls& f, int eff) {
+    if (atomics::mo_is_acquire(eff)) {
+      atomic_join(st, sa);
+    } else {
+      atomic_accumulate(sa, f);
+    }
+  }
+
+  /// [Atomic Fence]: the C++ fence-synchronization rules in clock form.
+  /// Acquire half first, so an acq_rel/seq_cst fence's release snapshot
+  /// includes what its acquire half just joined.
+  void atomic_fence(ThreadState& st, atomics::FenceTls& f, int eff) {
+    count(Rule::kAtomicFence);
+    const bool acq = atomics::mo_is_acquire(eff);
+    const bool rel = atomics::mo_is_release(eff);
+    if (acq && f.has_acquire) st.join(f.acquire_V);
+    if (rel) {
+      // Snapshot now; inc so the snapshot's own epoch t@c never covers a
+      // later access by t (the same reason [Release] increments).
+      f.release_V.copy(st.V);
+      f.has_release = true;
+      st.inc();
+    }
+    if (!acq && !rel) count(Rule::kAtomicRelaxed);
+  }
+
   RaceCollector* races() const { return races_; }
   RuleStats* stats() const { return stats_; }
 
  protected:
   void count(Rule r) {
     if (stats_ != nullptr) stats_->bump(r);
+  }
+
+  /// Acquire edge: St.V := St.V join Sa.V, behind the fast-epoch skip.
+  /// Knowing the armed epoch t@c means St.V already holds t's clock at c,
+  /// which the dominating arm made a superset of Sa.V; a SHARED or
+  /// unknown arm takes the locked join.
+  void atomic_join(ThreadState& st, atomics::AtomicState& sa) {
+    VFT_SCHED_POINT(kLoad, &sa.fast_epoch);
+    const std::uint32_t bits = sa.fast_epoch.load(std::memory_order_acquire);
+    if (bits == 0) return;  // nothing ever published: Sa.V is bottom
+    if (bits != atomics::AtomicState::kSharedBits) {
+      const Epoch fe = Epoch::from_bits(bits);
+      if (leq(fe, st.V.get(fe.tid()))) return;
+    }
+    std::scoped_lock lk(sa.mu);
+    st.join(sa.sync_V);
+  }
+
+  /// Release edge: Sa.V := Sa.V join St.V; St.V := inc_t(St.V). The join
+  /// (not the [Release] copy) because unordered publishers must not lose
+  /// each other's clocks - this matches the specification's volatile
+  /// handler. The fast-epoch arm runs as a CAS *outside* the lock: a
+  /// publisher that raced in since the snapshot fails the exchange and
+  /// collapses the arm to SHARED instead of clobbering a concurrent arm.
+  void atomic_publish(ThreadState& st, atomics::AtomicState& sa) {
+    bool dominated;
+    std::uint32_t prev;
+    {
+      std::scoped_lock lk(sa.mu);
+      dominated = sa.sync_V.leq(st.V);
+      sa.sync_V.join(st.V);
+      prev = sa.fast_epoch.load(std::memory_order_relaxed);
+    }
+    std::uint32_t next =
+        dominated ? st.epoch().bits() : atomics::AtomicState::kSharedBits;
+    std::uint32_t cur = prev;
+    for (;;) {
+      VFT_SCHED_POINT(kCas, &sa.fast_epoch);
+      if (sa.fast_epoch.compare_exchange_weak(cur, next,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed)) {
+        break;
+      }
+      next = atomics::AtomicState::kSharedBits;
+    }
+    st.inc();
+  }
+
+  /// Fence-backed publication: a relaxed store after a release fence
+  /// publishes the fence's snapshot. No single epoch summarizes a
+  /// snapshot, so the arm collapses to SHARED (CAS loop: an armer racing
+  /// in concurrently loses either here or in its own exchange).
+  void atomic_publish_snapshot(atomics::AtomicState& sa,
+                               const VectorClock& snap) {
+    {
+      std::scoped_lock lk(sa.mu);
+      if (snap.leq(sa.sync_V)) return;  // already published: keep the arm
+      sa.sync_V.join(snap);
+    }
+    std::uint32_t cur = sa.fast_epoch.load(std::memory_order_relaxed);
+    for (;;) {
+      VFT_SCHED_POINT(kCas, &sa.fast_epoch);
+      if (sa.fast_epoch.compare_exchange_weak(
+              cur, atomics::AtomicState::kSharedBits,
+              std::memory_order_release, std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+
+  /// Relaxed load: fold Sa.V into the pending-acquire accumulator (the
+  /// acquire-fence rule needs the release clock of every location read
+  /// relaxed since the last fence). Never cleared: once joined into St.V
+  /// the accumulator is dominated, so later joins are no-ops.
+  void atomic_accumulate(atomics::AtomicState& sa, atomics::FenceTls& f) {
+    std::scoped_lock lk(sa.mu);
+    f.acquire_V.join(sa.sync_V);
+    f.has_acquire = true;
   }
 
   void report(RaceKind kind, std::uint64_t var, const ThreadState& st,

@@ -14,6 +14,8 @@
 #ifndef VFT_VFT_EVENT_CTX_H_
 #define VFT_VFT_EVENT_CTX_H_
 
+#include <stdint.h>
+
 #ifdef __cplusplus
 #define VFT_EVENT_CTX_TLS thread_local
 extern "C" {
@@ -27,6 +29,22 @@ typedef struct vft_event_ctx_s {
 } vft_event_ctx_s;
 
 extern VFT_EVENT_CTX_TLS vft_event_ctx_s vft_tl_event_ctx;
+
+/* Per-thread shadow call stack, maintained by __tsan_func_entry/exit
+ * (the compiler instruments every function's prologue/epilogue with the
+ * call site's return address). capture_event_stack() falls back to it
+ * when the frame-pointer walk comes up empty - targets compiled with
+ * -fomit-frame-pointer still get race stacks this way. depth keeps
+ * counting past the cap so deep recursion stays balanced; only the
+ * outermost VFT_SHADOW_STACK_MAX call sites are recorded. */
+#define VFT_SHADOW_STACK_MAX 64
+
+typedef struct vft_shadow_stack_s {
+  uint32_t depth; /* live frames; may exceed VFT_SHADOW_STACK_MAX */
+  const void* pc[VFT_SHADOW_STACK_MAX];
+} vft_shadow_stack_s;
+
+extern VFT_EVENT_CTX_TLS vft_shadow_stack_s vft_tl_shadow_stack;
 
 #ifdef __cplusplus
 } /* extern "C" */

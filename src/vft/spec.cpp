@@ -1,6 +1,7 @@
 #include "vft/spec.h"
 
 #include "vft/assert.h"
+#include "vft/atomics.h"
 
 namespace vft {
 
@@ -30,6 +31,14 @@ VectorClock& Spec::lock_state(LockId m) {
 
 VectorClock& Spec::vol_state(VolId v) {
   return volatiles_[v];  // S0: bottom vector clock
+}
+
+VectorClock& Spec::atomic_state(VolId a) {
+  return atomics_[a];  // S0: bottom release clock Sa.V
+}
+
+Spec::FenceState& Spec::fence_state(Tid t) {
+  return fences_[t];  // S0: no pending fence halves
 }
 
 Spec::VarState& Spec::var_state(VarId x) {
@@ -134,6 +143,74 @@ Spec::StepResult Spec::on_vol_write(Tid t, VolId v) {
   vol_state(v).join(st);
   st.inc(t);
   return ok(Rule::kVolWrite);
+}
+
+Spec::StepResult Spec::on_atomic_load(Tid t, VolId a, int mo) {
+  VFT_CHECK(!halted_);
+  VectorClock& st = thread_state(t);
+  if (atomics::mo_is_acquire(mo)) {
+    // Acquire: St.V := St.V join Sa.V.
+    st.join(atomic_state(a));
+    return ok(Rule::kAtomicLoad);
+  }
+  // Relaxed: no edge now; Sa.V feeds the pending-acquire accumulator so a
+  // later acquire fence can pick it up (C++ fence-synchronization rule).
+  FenceState& f = fence_state(t);
+  f.acquire_V.join(atomic_state(a));
+  f.has_acquire = true;
+  return ok(Rule::kAtomicLoad);
+}
+
+Spec::StepResult Spec::on_atomic_store(Tid t, VolId a, int mo) {
+  VFT_CHECK(!halted_);
+  VectorClock& st = thread_state(t);
+  if (atomics::mo_is_release(mo)) {
+    // Release: Sa.V := Sa.V join St.V (join, not copy: unordered
+    // publishers must not lose each other's clocks); St.V := inc_t(St.V).
+    atomic_state(a).join(st);
+    st.inc(t);
+    return ok(Rule::kAtomicStore);
+  }
+  // Relaxed: publishes only a pending release fence's snapshot.
+  FenceState& f = fence_state(t);
+  if (f.has_release) atomic_state(a).join(f.release_V);
+  return ok(Rule::kAtomicStore);
+}
+
+Spec::StepResult Spec::on_atomic_rmw(Tid t, VolId a, int mo) {
+  VFT_CHECK(!halted_);
+  // Store half first, then load half - the runtime's rmw_pre/rmw_post
+  // ordering collapsed into one sequential step.
+  VectorClock& st = thread_state(t);
+  FenceState& f = fence_state(t);
+  if (atomics::mo_is_release(mo)) {
+    atomic_state(a).join(st);
+    st.inc(t);
+  } else if (f.has_release) {
+    atomic_state(a).join(f.release_V);
+  }
+  if (atomics::mo_is_acquire(mo)) {
+    st.join(atomic_state(a));
+  } else {
+    f.acquire_V.join(atomic_state(a));
+    f.has_acquire = true;
+  }
+  return ok(Rule::kAtomicRmw);
+}
+
+Spec::StepResult Spec::on_atomic_fence(Tid t, int mo) {
+  VFT_CHECK(!halted_);
+  VectorClock& st = thread_state(t);
+  FenceState& f = fence_state(t);
+  // Acquire half before release half, so an acq_rel/seq_cst fence's
+  // snapshot includes what its acquire half just joined.
+  if (atomics::mo_is_acquire(mo) && f.has_acquire) st.join(f.acquire_V);
+  if (atomics::mo_is_release(mo)) {
+    f.release_V.copy(st);
+    f.has_release = true;
+    st.inc(t);
+  }
+  return ok(Rule::kAtomicFence);
 }
 
 Spec::StepResult Spec::on_fork(Tid t, Tid u) {

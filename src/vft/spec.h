@@ -69,6 +69,18 @@ class Spec {
   // and starts a new epoch. Volatile accesses never race.
   StepResult on_vol_read(Tid t, VolId v);
   StepResult on_vol_write(Tid t, VolId v);
+  // C11/C++11 atomics with memory orders (the __tsan_atomic* surface;
+  // vft/atomics.h gives the clock semantics). `mo` is the __ATOMIC_*
+  // value: acquire-class loads join the location's release clock Sa.V,
+  // release-class stores publish (join) the thread clock into it, an RMW
+  // combines both ends, and relaxed accesses contribute no edge - they
+  // only feed the fence machinery (a relaxed load accumulates Sa.V for a
+  // later acquire fence; a relaxed store publishes a pending release
+  // fence's snapshot). Atomic accesses never race.
+  StepResult on_atomic_load(Tid t, VolId a, int mo);
+  StepResult on_atomic_store(Tid t, VolId a, int mo);
+  StepResult on_atomic_rmw(Tid t, VolId a, int mo);
+  StepResult on_atomic_fence(Tid t, int mo);
 
   bool halted() const { return halted_; }
   RuleSet rules() const { return rules_; }
@@ -78,14 +90,26 @@ class Spec {
   const VectorClock& thread_vc(Tid t) { return thread_state(t); }
   const VectorClock& lock_vc(LockId m) { return lock_state(m); }
   const VectorClock& vol_vc(VolId v) { return vol_state(v); }
+  const VectorClock& atomic_vc(VolId a) { return atomic_state(a); }
   const VarState& var(VarId x) { return var_state(x); }
   Epoch thread_epoch(Tid t) { return thread_state(t).get(t); }
 
  private:
+  /// Per-thread fence state: the last release fence's snapshot and the
+  /// pending-acquire accumulation over relaxed loads since.
+  struct FenceState {
+    bool has_release = false;
+    bool has_acquire = false;
+    VectorClock release_V;
+    VectorClock acquire_V;
+  };
+
   VectorClock& thread_state(Tid t);
   VectorClock& lock_state(LockId m);
   VectorClock& vol_state(VolId v);
+  VectorClock& atomic_state(VolId a);
   VarState& var_state(VarId x);
+  FenceState& fence_state(Tid t);
 
   StepResult ok(Rule r) { return {r, false}; }
   StepResult error(Rule r) {
@@ -98,6 +122,8 @@ class Spec {
   std::unordered_map<Tid, VectorClock> threads_;
   std::unordered_map<LockId, VectorClock> locks_;
   std::unordered_map<VolId, VectorClock> volatiles_;
+  std::unordered_map<VolId, VectorClock> atomics_;
+  std::unordered_map<Tid, FenceState> fences_;
   std::unordered_map<VarId, VarState> vars_;
 };
 

@@ -13,6 +13,7 @@
 
 extern "C" {
 thread_local vft_event_ctx_s vft_tl_event_ctx = {nullptr, nullptr};
+thread_local vft_shadow_stack_s vft_tl_shadow_stack = {};
 thread_local vft_fastpath_s vft_tl_fastpath = {};
 // Starts at 1 so a zero-initialized thread descriptor is always stale.
 uint64_t vft_g_fastpath_gen = 1;
@@ -76,13 +77,39 @@ std::uint64_t hash_stack(const CallStack& s) {
   return h;
 }
 
+namespace {
+
+/// Fallback caller frames from the __tsan_func_entry/exit shadow stack
+/// (vft/event_ctx.h), innermost first. Used when the frame-pointer walk
+/// found no caller - a target compiled without frame pointers leaves the
+/// fp chain dead, but its instrumented prologues still recorded every
+/// live call site.
+void append_shadow_frames(CallStack& cs, int limit) {
+  const vft_shadow_stack_s& ss = vft_tl_shadow_stack;
+  uint32_t top = ss.depth;
+  if (top > VFT_SHADOW_STACK_MAX) top = VFT_SHADOW_STACK_MAX;
+  for (uint32_t i = top; i != 0 && cs.depth < limit; --i) {
+    const auto pc = reinterpret_cast<std::uintptr_t>(ss.pc[i - 1]);
+    if (pc < 4096) continue;
+    // The innermost shadow entry is the call into the function holding
+    // the access; if the fp walk already produced that frame, skip it.
+    if (cs.depth > 0 && cs.pc[cs.depth - 1] == pc) continue;
+    cs.push(pc);
+  }
+}
+
+}  // namespace
+
 CallStack capture_event_stack() {
   CallStack cs;
   const vft_event_ctx_s ctx = vft_tl_event_ctx;
   if (ctx.pc == nullptr) return cs;
   const int limit = stack_depth_limit();
   cs.push(reinterpret_cast<std::uintptr_t>(ctx.pc));
-  if (ctx.fp == nullptr) return cs;
+  if (ctx.fp == nullptr) {
+    append_shadow_frames(cs, limit);
+    return cs;
+  }
 
   // Walk caller frames from the boundary wrapper's frame. Every frame
   // address must stay inside this thread's stack mapping and strictly
@@ -99,7 +126,10 @@ CallStack capture_event_stack() {
     return p >= bounds.lo && p + 2 * sizeof(std::uintptr_t) <= bounds.hi &&
            (p & (sizeof(std::uintptr_t) - 1)) == 0;
   };
-  if (!valid(fp)) return cs;
+  if (!valid(fp)) {
+    append_shadow_frames(cs, limit);
+    return cs;
+  }
   // [fp+8] here is the return into the target - ctx.pc again - so only
   // the *next* frame up contributes a new caller PC.
   fp = reinterpret_cast<const std::uintptr_t*>(fp)[0];
@@ -112,6 +142,9 @@ CallStack capture_event_stack() {
     prev = fp;
     fp = frame[0];
   }
+  // An fp walk that never left the boundary frame means the target has no
+  // frame-pointer chain; the shadow stack still knows the callers.
+  if (cs.depth < 2) append_shadow_frames(cs, limit);
   return cs;
 }
 

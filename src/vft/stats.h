@@ -36,6 +36,15 @@ enum class Rule : std::uint8_t {
   kVolRead,
   kVolWrite,
   kBarrier,
+  // __tsan_atomic* sync accounting (vft/atomics.h). Like the sync rows
+  // above these are not data accesses: an atomic op never routes through
+  // the access rules, so the rows live past kSharedWriteRace and never
+  // perturb total_accesses() or the Table 1 distribution.
+  kAtomicLoad,     ///< __tsan_atomicN_load (any order)
+  kAtomicStore,    ///< __tsan_atomicN_store (any order)
+  kAtomicRmw,      ///< exchange / fetch_* / compare_exchange (any order)
+  kAtomicFence,    ///< __tsan_atomic_thread_fence
+  kAtomicRelaxed,  ///< of the above, ops that contributed NO sync edge
   // Packed-cell fast-path accounting (vft/packed_cell.h). These are
   // *extra* observations layered over the access rules above: a fast-path
   // hit also bumps its [.. Same Epoch]/[.. Exclusive] rule (the detector
@@ -72,6 +81,11 @@ inline const char* rule_name(Rule r) {
     case Rule::kVolRead: return "[Volatile Read]";
     case Rule::kVolWrite: return "[Volatile Write]";
     case Rule::kBarrier: return "[Barrier]";
+    case Rule::kAtomicLoad: return "[Atomic Load]";
+    case Rule::kAtomicStore: return "[Atomic Store]";
+    case Rule::kAtomicRmw: return "[Atomic RMW]";
+    case Rule::kAtomicFence: return "[Atomic Fence]";
+    case Rule::kAtomicRelaxed: return "[Atomic Relaxed]";
     case Rule::kFastReadHit: return "[Fast Read Hit]";
     case Rule::kFastWriteHit: return "[Fast Write Hit]";
     case Rule::kFastSpill: return "[Fast Spill]";

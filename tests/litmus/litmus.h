@@ -1,0 +1,43 @@
+// Shared scaffolding for the litmus corpus: spawn the two (or three)
+// sides of a shape as plain pthreads and join them all.
+//
+// Litmus programs are *unmodified* C++ atomics programs: no vft headers,
+// no wrappers. They are compiled with `-fsanitize=thread` (compile-only)
+// so the compiler replaces every std::atomic operation with a
+// __tsan_atomic* call and every plain access with a __tsan_read*/write*
+// call; libvft_preload supplies that surface (examples/native explains
+// the build recipe). pthreads are used directly - std::thread would pull
+// instrumented libstdc++ internals into every shape's baseline.
+#ifndef VFT_TESTS_LITMUS_LITMUS_H_
+#define VFT_TESTS_LITMUS_LITMUS_H_
+
+#include <pthread.h>
+
+namespace litmus {
+
+using Fn = void (*)();
+
+inline void* trampoline(void* p) {
+  reinterpret_cast<Fn>(p)();
+  return nullptr;
+}
+
+/// Run each body on its own thread; return after all have joined. The
+/// bodies are unordered with each other (the only edges are the parent's
+/// fork/join), which is the point: any cross-body ordering must come from
+/// the shape's own atomics.
+inline void run(Fn a, Fn b, Fn c = nullptr) {
+  pthread_t ta, tb, tc;
+  pthread_create(&ta, nullptr, trampoline, reinterpret_cast<void*>(a));
+  pthread_create(&tb, nullptr, trampoline, reinterpret_cast<void*>(b));
+  if (c != nullptr) {
+    pthread_create(&tc, nullptr, trampoline, reinterpret_cast<void*>(c));
+  }
+  pthread_join(ta, nullptr);
+  pthread_join(tb, nullptr);
+  if (c != nullptr) pthread_join(tc, nullptr);
+}
+
+}  // namespace litmus
+
+#endif  // VFT_TESTS_LITMUS_LITMUS_H_

@@ -1,0 +1,32 @@
+// Publication via compare_exchange: the writer CASes the flag 0->1 with
+// release on success (relaxed on failure - it cannot fail here), the
+// reader spins with acquire.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  int expected = 0;
+  while (!flag.compare_exchange_weak(expected, 1, std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+    expected = 0;
+  }
+}
+
+void reader() {
+  while (flag.load(std::memory_order_acquire) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+// A hand-rolled CAS spinlock: lock = CAS 0->1 with acquire on success,
+// unlock = release store. Both threads increment plain data under the
+// lock; each unlock->lock pair is a release/acquire edge.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> lock{0};
+
+void lock_acquire() {
+  int expected = 0;
+  while (!lock.compare_exchange_weak(expected, 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+    expected = 0;
+  }
+}
+
+void lock_release() { lock.store(0, std::memory_order_release); }
+
+void worker() {
+  for (int i = 0; i < 100; i++) {
+    lock_acquire();
+    data = data + 1;
+    lock_release();
+  }
+}
+}  // namespace
+
+int main() {
+  litmus::run(worker, worker);
+  return data == 200 ? 0 : 1;
+}

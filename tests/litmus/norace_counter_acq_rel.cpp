@@ -1,0 +1,30 @@
+// Reference-count shape: each thread writes its own plain slot, then
+// bumps a shared counter with acq_rel fetch_add. Whichever thread sees
+// the *second* bump (return value 1) has joined the other's clock and
+// may read both slots.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long slot0 = 0;
+long slot1 = 0;
+std::atomic<int> done{0};
+long sum = 0;
+
+void worker0() {
+  slot0 = 1;
+  if (done.fetch_add(1, std::memory_order_acq_rel) == 1) sum = slot0 + slot1;
+}
+
+void worker1() {
+  slot1 = 2;
+  if (done.fetch_add(1, std::memory_order_acq_rel) == 1) sum = slot0 + slot1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(worker0, worker1);
+  return sum == 3 ? 0 : 1;
+}

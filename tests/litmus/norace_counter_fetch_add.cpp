@@ -1,0 +1,23 @@
+// A shared counter bumped with relaxed fetch_add from two threads, with
+// no dependent plain data. Relaxed RMWs on the same atomic are always
+// race-free with each other - the detector must not report atomic-atomic
+// conflicts.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+std::atomic<long> counter{0};
+
+void bump() {
+  for (int i = 0; i < 1000; i++) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+}  // namespace
+
+int main() {
+  litmus::run(bump, bump);
+  return counter.load(std::memory_order_relaxed) == 2000 ? 0 : 1;
+}

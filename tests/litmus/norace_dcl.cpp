@@ -1,0 +1,39 @@
+// Double-checked initialization done right: fast path is an acquire load
+// of the init flag; the slow path re-checks under a CAS-based lock and
+// publishes with release. Whoever observes init==1 - on either check -
+// is ordered after the initializer.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long value = 0;
+std::atomic<int> init{0};
+std::atomic<int> lock{0};
+long observed[2] = {0, 0};
+
+void ensure_init(int self) {
+  if (init.load(std::memory_order_acquire) == 0) {
+    int expected = 0;
+    while (!lock.compare_exchange_weak(expected, 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      expected = 0;
+    }
+    if (init.load(std::memory_order_relaxed) == 0) {
+      value = 42;
+      init.store(1, std::memory_order_release);
+    }
+    lock.store(0, std::memory_order_release);
+  }
+  observed[self] = value;
+}
+
+void worker0() { ensure_init(0); }
+void worker1() { ensure_init(1); }
+}  // namespace
+
+int main() {
+  litmus::run(worker0, worker1);
+  return (observed[0] == 42 && observed[1] == 42) ? 0 : 1;
+}

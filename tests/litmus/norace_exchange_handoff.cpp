@@ -1,0 +1,28 @@
+// Publication via exchange: the writer hands off data with an acq_rel
+// exchange, the reader spins on an acquire load. RMWs must carry both a
+// release (publish) and an acquire (join) half.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  flag.exchange(1, std::memory_order_acq_rel);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_acquire) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

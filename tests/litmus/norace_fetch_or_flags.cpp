@@ -1,0 +1,35 @@
+// Bit-flag publication: each writer sets its own plain slot and then ORs
+// its bit into a shared mask with release; the reader spins until both
+// bits are visible with acquire loads, then reads both slots.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long slot0 = 0;
+long slot1 = 0;
+std::atomic<unsigned> mask{0};
+long sum = 0;
+
+void writer0() {
+  slot0 = 1;
+  mask.fetch_or(1u, std::memory_order_release);
+}
+
+void writer1() {
+  slot1 = 2;
+  mask.fetch_or(2u, std::memory_order_release);
+}
+
+void reader() {
+  while (mask.load(std::memory_order_acquire) != 3u) {
+  }
+  sum = slot0 + slot1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer0, writer1, reader);
+  return sum == 3 ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+// Fence-backed consumption: the reader spins with relaxed loads and only
+// then issues an acquire fence. The fence must retroactively acquire the
+// publication observed by the relaxed loads.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  flag.store(1, std::memory_order_release);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_relaxed) == 0) {
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// Fences on both sides around fully relaxed atomics: release fence +
+// relaxed store on the writer, relaxed spin + acquire fence on the
+// reader. The entire edge is carried by the two fences.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  std::atomic_thread_fence(std::memory_order_release);
+  flag.store(1, std::memory_order_relaxed);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_relaxed) == 0) {
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+// Three-thread release/acquire chain: t1 publishes data via flag1, t2
+// observes flag1 and republishes via flag2, t3 observes flag2 and reads
+// the data. Ordering must be transitive through t2's clock.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag1{0};
+std::atomic<int> flag2{0};
+
+void t1() {
+  data = 1;
+  flag1.store(1, std::memory_order_release);
+}
+
+void t2() {
+  while (flag1.load(std::memory_order_acquire) == 0) {
+  }
+  flag2.store(1, std::memory_order_release);
+}
+
+void t3() {
+  while (flag2.load(std::memory_order_acquire) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(t1, t2, t3);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Message passing, correctly ordered: writer publishes plain data with a
+// release store, reader spins on an acquire load before touching it.
+// Expected: no race (the release->acquire edge orders the plain accesses).
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  flag.store(1, std::memory_order_release);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_acquire) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+// Fence-backed publication: a release *fence* followed by a relaxed store
+// publishes everything the thread did before the fence. The reader's
+// acquire load must pick that up even though the store itself is relaxed.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  std::atomic_thread_fence(std::memory_order_release);
+  flag.store(1, std::memory_order_relaxed);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_acquire) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Message passing with seq_cst on both ends. seq_cst subsumes
+// release/acquire, so the plain accesses are ordered.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  flag.store(1, std::memory_order_seq_cst);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_seq_cst) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Message passing through a two-byte atomic flag: exercises the
+// __tsan_atomic16_* entry points.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<unsigned short> flag{0};
+
+void writer() {
+  data = 1;
+  flag.store(1, std::memory_order_release);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_acquire) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

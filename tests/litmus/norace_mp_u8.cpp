@@ -1,0 +1,27 @@
+// Message passing through a one-byte atomic flag: exercises the
+// __tsan_atomic8_* entry points rather than the 32-bit ones.
+// Expected: no race (release/acquire ordering is width-independent).
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<unsigned char> flag{0};
+
+void writer() {
+  data = 1;
+  flag.store(1, std::memory_order_release);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_acquire) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

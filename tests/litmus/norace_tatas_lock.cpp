@@ -1,0 +1,36 @@
+// Test-and-test-and-set lock built on exchange: spin on a relaxed read
+// until the lock looks free, then try to grab it with an acquire
+// exchange; unlock is a release store. The relaxed peek is fine - only
+// the successful exchange is relied on for ordering.
+// Expected: no race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> lock{0};
+
+void lock_acquire() {
+  for (;;) {
+    while (lock.load(std::memory_order_relaxed) != 0) {
+    }
+    if (lock.exchange(1, std::memory_order_acquire) == 0) return;
+  }
+}
+
+void lock_release() { lock.store(0, std::memory_order_release); }
+
+void worker() {
+  for (int i = 0; i < 100; i++) {
+    lock_acquire();
+    data = data + 1;
+    lock_release();
+  }
+}
+}  // namespace
+
+int main() {
+  litmus::run(worker, worker);
+  return data == 200 ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+// The CAS publication with both the success and failure orders demoted
+// to relaxed: the flag flips, nothing is published.
+// Expected: race (hidden under VFT_ATOMICS=sc).
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  int expected = 0;
+  while (!flag.compare_exchange_weak(expected, 1, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    expected = 0;
+  }
+}
+
+void reader() {
+  while (flag.load(std::memory_order_acquire) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+// The CAS spinlock with the unlock demoted to a relaxed store: mutual
+// exclusion still holds (the CAS itself is atomic), but the unlock no
+// longer publishes the critical section, so the next lock holder's
+// plain increment races with the previous one's.
+// Expected: race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> lock{0};
+
+void lock_acquire() {
+  int expected = 0;
+  while (!lock.compare_exchange_weak(expected, 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+    expected = 0;
+  }
+}
+
+void lock_release() { lock.store(0, std::memory_order_relaxed); }
+
+void worker() {
+  for (int i = 0; i < 100; i++) {
+    lock_acquire();
+    data = data + 1;
+    lock_release();
+  }
+}
+}  // namespace
+
+int main() {
+  litmus::run(worker, worker);
+  return data == 200 ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// The refcount shape from norace_counter_acq_rel with the fetch_add
+// demoted to relaxed: the second bumper still *observes* the count but
+// no longer joins the first bumper's clock, so its read of the other
+// slot races with that slot's write.
+// Expected: race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long slot0 = 0;
+long slot1 = 0;
+std::atomic<int> done{0};
+long sum = 0;
+
+void worker0() {
+  slot0 = 1;
+  if (done.fetch_add(1, std::memory_order_relaxed) == 1) sum = slot0 + slot1;
+}
+
+void worker1() {
+  slot1 = 2;
+  if (done.fetch_add(1, std::memory_order_relaxed) == 1) sum = slot0 + slot1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(worker0, worker1);
+  return (sum == 3 || sum == 0) ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+// The classic double-checked locking bug: the fast-path check is a
+// relaxed load. A thread that skips the lock because it saw init==1 via
+// the relaxed load is NOT ordered after the initializer's plain write,
+// even though the initializer published with release.
+// Expected: race. The reader spins until the flag is visible so the
+// unsynchronized read happens in every execution.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long value = 0;
+std::atomic<int> init{0};
+long observed = 0;
+
+void initializer() {
+  value = 42;
+  init.store(1, std::memory_order_release);
+}
+
+void reader() {
+  while (init.load(std::memory_order_relaxed) == 0) {
+  }
+  observed = value;
+}
+}  // namespace
+
+int main() {
+  litmus::run(initializer, reader);
+  return observed == 42 ? 0 : 1;
+}

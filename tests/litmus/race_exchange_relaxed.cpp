@@ -1,0 +1,28 @@
+// The exchange handoff with the RMW demoted to relaxed: the exchange
+// still flips the flag but publishes nothing, so the reader's acquire
+// has nothing to join.
+// Expected: race (hidden under VFT_ATOMICS=sc).
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  flag.exchange(1, std::memory_order_relaxed);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_acquire) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+// Atomics are not holy water: each thread does perfectly ordered seq_cst
+// operations on its OWN private atomic, then both touch the same plain
+// variable. The atomics never interact, so they create no edge between
+// the threads and the plain accesses race regardless of order strength.
+// Expected: race - in every atomics mode, including VFT_ATOMICS=sc.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> a{0};
+std::atomic<int> b{0};
+
+void left() {
+  a.store(1, std::memory_order_seq_cst);
+  data = 1;
+}
+
+void right() {
+  b.store(1, std::memory_order_seq_cst);
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(left, right);
+  return data >= 1 ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+// A release fence in the wrong place: it comes *after* the relaxed store,
+// so at the moment the flag flips nothing has been published. A fence
+// only covers stores that follow it.
+// Expected: race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  flag.store(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_acquire) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// Writer publishes correctly via a release fence + relaxed store, but
+// the reader spins with relaxed loads and never issues the acquire fence
+// that would complete the edge: the publication sits at the flag, unjoined.
+// Expected: race (hidden under VFT_ATOMICS=sc, where the spin loads are
+// upgraded to seq_cst).
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  std::atomic_thread_fence(std::memory_order_release);
+  flag.store(1, std::memory_order_relaxed);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_relaxed) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

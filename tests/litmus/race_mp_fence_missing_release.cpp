@@ -1,0 +1,29 @@
+// The reader does everything right (relaxed spin + acquire fence), but
+// the writer's store is relaxed with no release fence before it: nothing
+// was ever published for the acquire fence to join.
+// Expected: race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  flag.store(1, std::memory_order_relaxed);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_relaxed) == 0) {
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

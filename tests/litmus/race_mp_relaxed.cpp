@@ -1,0 +1,31 @@
+// Message passing with relaxed on both ends: neither side contributes a
+// synchronization edge, so the plain accesses are concurrent. The reader
+// still spins until the flag flips, which makes the racy read determinate
+// in program order without making it *ordered*.
+// Expected: race. Under VFT_ATOMICS=sc (TSan-on-x86 style upgrade to
+// seq_cst) the edge appears and the race is hidden - the A/B ctest case
+// asserts exactly that.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  flag.store(1, std::memory_order_relaxed);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_relaxed) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

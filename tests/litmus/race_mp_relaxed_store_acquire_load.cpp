@@ -1,0 +1,27 @@
+// The mirror image: the reader spins with acquire, but the writer's store
+// is relaxed and publishes nothing, so there is nothing to acquire.
+// Expected: race (hidden under VFT_ATOMICS=sc).
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  flag.store(1, std::memory_order_relaxed);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_acquire) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Relaxed message passing through a one-byte flag: the width-specific
+// __tsan_atomic8_* entries must preserve the declared order too.
+// Expected: race.
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<unsigned char> flag{0};
+
+void writer() {
+  data = 1;
+  flag.store(1, std::memory_order_relaxed);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_relaxed) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+// Writer publishes with release, but the reader's spin uses a relaxed
+// load: half an edge is no edge. The release store parks the writer's
+// clock at the flag; nobody ever joins it.
+// Expected: race (hidden under VFT_ATOMICS=sc).
+#include <atomic>
+
+#include "litmus.h"
+
+namespace {
+long data = 0;
+std::atomic<int> flag{0};
+
+void writer() {
+  data = 1;
+  flag.store(1, std::memory_order_release);
+}
+
+void reader() {
+  while (flag.load(std::memory_order_relaxed) == 0) {
+  }
+  data = data + 1;
+}
+}  // namespace
+
+int main() {
+  litmus::run(writer, reader);
+  return data == 2 ? 0 : 1;
+}

@@ -226,6 +226,29 @@ TEST(SchedExplore, VolatileStaleEpochBounded) {
   EXPECT_EQ(r.schedules, 66u);
 }
 
+// Atomic sync-state scenarios (vft/atomics.h): every interleaving of the
+// fast-epoch arm CAS, the acquire load's fast-skip read, and the sync
+// mutex sections is Spec-checked, including that the relaxed variant
+// reports the race in every schedule its gate makes reachable.
+
+TEST(SchedExplore, AtomicHandoffExhaustive) {
+  const ExploreResult r = run_dfs("atomic-handoff");
+  expect_clean(r);
+  EXPECT_EQ(r.schedules, 22u);
+}
+
+TEST(SchedExplore, AtomicHandoffRelaxedExhaustive) {
+  const ExploreResult r = run_dfs("atomic-handoff-relaxed");
+  expect_clean(r);
+  EXPECT_EQ(r.schedules, 9u);
+}
+
+TEST(SchedExplore, AtomicCasPublishExhaustive) {
+  const ExploreResult r = run_dfs("atomic-cas-publish");
+  expect_clean(r);
+  EXPECT_EQ(r.schedules, 312u);
+}
+
 TEST(SchedExplore, SleepSetsOnlyPrune) {
   // Same scenario with pruning off: strictly more schedules, same verdict.
   // (v2-read-share, not packed-escalate: the latter's unpruned space is
