@@ -32,6 +32,12 @@
 //                     (packed-cell fast path only) at a 1/4096 fixed
 //                     rate, vs the exact path; plus the target-overhead
 //                     controller's settling point under VFT_BUDGET=5.
+//   history           ISSUE-10 A/B: the bounded access-history ring on the
+//                     detector slow path ([Write Exclusive] traffic: epoch
+//                     bumped every sweep so every access records a ring
+//                     entry) vs the same traffic with the ring uninstalled,
+//                     plus a same-epoch row where the fast path must never
+//                     touch the ring (pinned by check_bench_floor.sh).
 //   range_memcpy      interposed bulk copy: vft_range_read + vft_range_write
 //                     (the mem* wrappers' SIMD packed-cell prefix kernel)
 //                     plus the real memcpy, vs the raw copy alone, on warm
@@ -49,6 +55,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -567,6 +574,95 @@ void sampling_section(JsonReport& json, std::size_t scale) {
 }
 
 // ---------------------------------------------------------------------------
+// Section: access-history recording cost (ISSUE-10).
+// ---------------------------------------------------------------------------
+
+/// What the two-stack report machinery costs, and where. Recording is
+/// slow-path-only by construction, so two interleaved A/B rows:
+///   spill_write  every write is [Write Exclusive] (the thread's epoch is
+///                bumped between sweeps), so with the ring installed every
+///                access captures its stack, interns it, and pushes a ring
+///                entry under the shard lock. The on/off delta is the full
+///                per-record cost - paid only on epoch transitions, which
+///                the Section 5 access mix puts at ~1% of accesses.
+///   same_epoch_write  the same traffic without the epoch bump: pure
+///                [Write Same Epoch] hits that return before the history
+///                hook, so installed-vs-not must be indistinguishable.
+///                check_bench_floor.sh pins the installed value.
+void history_section(JsonReport& json, std::size_t scale) {
+  const std::size_t vars_n = std::size_t{1} << 10;
+  const int kBlocks = 8;
+  const std::size_t block_sweeps = std::max<std::size_t>(1, 16 * scale);
+
+  RaceCollector races;
+  VftV2 det(&races);
+  ThreadState st(0);
+  std::deque<VftV2::VarState> vars(vars_n);
+  for (std::size_t i = 0; i < vars_n; ++i) {
+    vars[i].id = 0x1000 + 8 * i;
+  }
+
+  // One shared history instance for every "on" block: steady-state rings
+  // and a warm intern table, not first-touch allocation.
+  auto* hist = new history::AccessHistory();
+
+  auto block = [&](bool slow, bool with_history) {
+    history::install(with_history ? hist : nullptr);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < block_sweeps; ++s) {
+      for (auto& x : vars) {
+        // The interposer's arming stores, so a recorded stack is the
+        // real fp-walk capture, not the empty-context degenerate case.
+        vft_tl_event_ctx.pc = __builtin_return_address(0);
+        vft_tl_event_ctx.fp = __builtin_frame_address(0);
+        det.write(st, x);
+      }
+      if (slow) st.inc();  // next sweep: every write is [Write Exclusive]
+    }
+    history::install(nullptr);
+    vft_tl_event_ctx = vft_event_ctx_s{};
+    return 1e9 * now_minus(t0) /
+           (static_cast<double>(block_sweeps) * static_cast<double>(vars_n));
+  };
+
+  std::printf("access-history ring on the v2 slow path "
+              "(%d interleaved blocks/mode)\n", kBlocks);
+  std::printf("%18s %12s %12s %14s %12s\n", "", "off ns/op", "on ns/op",
+              "overhead ns", "spread ns");
+  for (const bool slow : {true, false}) {
+    block(slow, false);  // warm both modes before measuring
+    block(slow, true);
+    double sum[2] = {0, 0};
+    double lo[2] = {1e30, 1e30};
+    double hi[2] = {0, 0};
+    for (int b = 0; b < kBlocks; ++b) {
+      for (int on = 0; on < 2; ++on) {
+        const double ns = block(slow, on != 0);
+        sum[on] += ns;
+        lo[on] = std::min(lo[on], ns);
+        hi[on] = std::max(hi[on], ns);
+      }
+    }
+    const double off_ns = sum[0] / kBlocks;
+    const double on_ns = sum[1] / kBlocks;
+    const double spread_ns = std::max(hi[0] - lo[0], hi[1] - lo[1]);
+    const char* name = slow ? "spill_write" : "same_epoch_write";
+    std::printf("%18s %12.2f %12.2f %14.2f %12.2f\n", name, off_ns, on_ns,
+                on_ns - off_ns, spread_ns);
+    json.add("history", name,
+             {{"off_ns", off_ns},
+              {"on_ns", on_ns},
+              {"overhead_ns", on_ns - off_ns},
+              {"spread_ns", spread_ns},
+              {"ratio", on_ns / off_ns}});
+  }
+  VFT_CHECK(races.empty());
+  std::printf("recorded=%llu interned_stacks=%zu\n\n",
+              static_cast<unsigned long long>(hist->recorded()),
+              hist->interned_stacks());
+}
+
+// ---------------------------------------------------------------------------
 // Section: atomic-event cost (the __tsan_atomic* sync surface).
 // ---------------------------------------------------------------------------
 
@@ -798,6 +894,7 @@ int main() {
   abi_section(json, scale);
   report_ctx_section(json, scale);
   sampling_section(json, scale);
+  history_section(json, scale);
   atomics_section(json, scale);
   range_section(json, scale);
   volatile_section(json, max_threads, scale);

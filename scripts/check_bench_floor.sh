@@ -18,6 +18,11 @@
 #   range_memcpy / b65536  vft_ns   - SIMD range interposition, L2 copies
 #   atomic_dispatch / load acquire_ns - armed fast-epoch acquire load
 #   atomic_dispatch / load relaxed_ns - locked accumulate relaxed load
+#   history / same_epoch_write on_ns  - same-epoch writes with the access
+#                                       history installed: the ring records
+#                                       only on the slow path, so this row
+#                                       pins "installed but never touched"
+#                                       at the inline fast-path cost
 #
 # Ratio rows (range_memcpy ratio vs raw memcpy) are deliberately NOT
 # guarded: the ratio divides by raw memcpy throughput, which varies more
@@ -39,6 +44,7 @@ fi
 #   range_memcpy b65536 vft_ns:  4680
 #   atomic_dispatch load acquire_ns: 31.2
 #   atomic_dispatch load relaxed_ns: 56.1
+#   history same_epoch_write on_ns:  3.45
 fail=0
 check() {
   local section="$1" name="$2" field="$3" floor="$4"
@@ -75,6 +81,7 @@ check range_memcpy b4096       vft_ns   322
 check range_memcpy b65536      vft_ns   4680
 check atomic_dispatch load     acquire_ns 31.2
 check atomic_dispatch load     relaxed_ns 56.1
+check history      same_epoch_write on_ns 3.45
 
 if [[ "$fail" -ne 0 ]]; then
   echo "check_bench_floor: hot-path regression detected" >&2

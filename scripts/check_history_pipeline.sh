@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# End-to-end check of the access-history layer (ISSUE 10 acceptance):
+#   1. two-stack reports: every racy corpus program's report carries a
+#      `prior` access with a captured stack of >= 2 frames and an access
+#      kind on both sides;
+#   2. kill switch: VFT_HISTORY=off still reports the race, with the
+#      prior stack empty - byte-compatible with pre-history reports;
+#   3. norace corpus: the history layer must not change a clean verdict;
+#   4. prior-side symbolization: offline `vft report symbolize` resolves
+#      the prior access's innermost frame to the racing source line
+#      (gated on addr2line, like the report-pipeline leg);
+#   5. fleet merge + schema golden: reports with prior stacks merge and
+#      their structural skeleton matches the checked-in golden.
+#
+# Usage: check_history_pipeline.sh <vft> <plain_ww> <memcpy> <norace> \
+#                                  <golden_skeleton> <workdir> [corpus_bin...]
+# The trailing corpus binaries join the fleet-merge leg only: the golden
+# skeleton is the field union over the whole corpus (e.g. dynamic-symbol
+# frames), so the merge must cover the same programs CI's fleet step runs.
+set -u
+
+# Absolutized: the legs run from inside the workdir.
+VFT=$(readlink -f "$1")
+PLAIN=$(readlink -f "$2")
+MEMCPY=$(readlink -f "$3")
+NORACE=$(readlink -f "$4")
+GOLDEN=$(readlink -f "$5")
+WORK="$6"
+shift 6
+FLEET_BINS=("$PLAIN" "$MEMCPY" "$NORACE")
+for extra in "$@"; do
+  FLEET_BINS+=("$(readlink -f "$extra")")
+done
+
+fail() {
+  echo "history_pipeline: FAIL: $*" >&2
+  exit 1
+}
+
+# Fail fast on a miswired harness (see check_report_pipeline.sh).
+for bin in "$VFT" "${FLEET_BINS[@]}"; do
+  [ -x "$bin" ] || fail "required binary '$bin' missing or not executable (rebuild the corpus/tools targets)"
+done
+[ -f "$GOLDEN" ] || fail "golden skeleton '$GOLDEN' not found"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+# --- 1. two-stack reports on the racy corpus ------------------------------
+for bin in "$PLAIN" "$MEMCPY"; do
+  name=$(basename "$bin")
+  "$VFT" run --expect race --report "$name.json" -- "$bin" \
+    > "$name.out" 2>&1 \
+    || fail "$name did not report a race (see $PWD/$name.out)"
+  python3 - "$name.json" <<'EOF' || fail "$name: no context carries a prior stack with >= 2 frames"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+ok = False
+for c in doc["contexts"]:
+    roles = {a["role"]: a for a in c["accesses"]}
+    assert set(roles) == {"current", "prior"}, sorted(roles)
+    for a in c["accesses"]:
+        assert a.get("kind") in ("read", "write"), a.get("kind")
+    if len(roles["prior"].get("stack", [])) >= 2:
+        ok = True
+assert ok, [len(a.get("stack", [])) for c in doc["contexts"]
+            for a in c["accesses"] if a["role"] == "prior"]
+EOF
+done
+echo "history_pipeline: two-stack reports OK"
+
+# --- 2. VFT_HISTORY=off degrades to a bare prior epoch -------------------
+VFT_HISTORY=off "$VFT" run --expect race --report off.json -- "$PLAIN" \
+  > off.out 2>&1 \
+  || fail "race lost under VFT_HISTORY=off (see $PWD/off.out)"
+python3 - off.json <<'EOF' || fail "VFT_HISTORY=off still captured a prior stack"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for c in doc["contexts"]:
+    for a in c["accesses"]:
+        if a["role"] == "prior":
+            assert not a.get("stack"), a["stack"]
+EOF
+echo "history_pipeline: VFT_HISTORY=off kill switch OK"
+
+# --- 3. norace corpus unchanged -------------------------------------------
+"$VFT" run --expect none -- "$NORACE" > norace.out 2>&1 \
+  || fail "norace verdict changed with the history layer on (see $PWD/norace.out)"
+echo "history_pipeline: norace verdict OK"
+
+# --- 4. prior side symbolizes to the racing source line -------------------
+if command -v addr2line >/dev/null 2>&1; then
+  plain=$(basename "$PLAIN")
+  "$VFT" report symbolize --out sym.json "$plain.json" \
+    || fail "symbolize failed on $plain.json"
+  # race_plain_write_write: both racing writes are `counter = counter + 1`
+  # inside bump() - the prior side must resolve into that source file, in
+  # bump's line range.
+  python3 - sym.json <<'EOF' || fail "prior stack does not symbolize to the racing source line"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+ok = False
+for c in doc["contexts"]:
+    for a in c["accesses"]:
+        if a["role"] != "prior" or not a.get("stack"):
+            continue
+        f = a["stack"][0]
+        if f.get("file", "").endswith("race_plain_write_write.cpp") and \
+           17 <= f.get("line", -1) <= 21:
+            ok = True
+assert ok
+EOF
+  echo "history_pipeline: prior-side symbolization OK"
+else
+  echo "history_pipeline: addr2line not found, skipping symbolize leg" >&2
+fi
+
+# --- 5. fleet merge + schema golden ---------------------------------------
+for pass in 1 2; do
+  for bin in "${FLEET_BINS[@]}"; do
+    name=$(basename "$bin")
+    "$VFT" run --report "fleet-$name-p$pass.json" -- "$bin" \
+      > /dev/null 2>&1 || true
+  done
+done
+"$VFT" report merge --out merged.json fleet-*.json \
+  || fail "fleet merge over two-stack reports failed"
+"$VFT" report skeleton merged.json > merged.skeleton \
+  || fail "skeleton extraction failed"
+diff -u "$GOLDEN" merged.skeleton \
+  || fail "merged skeleton diverged from the checked-in golden"
+echo "history_pipeline: fleet merge + skeleton OK"
+
+echo "history_pipeline: OK"
+exit 0

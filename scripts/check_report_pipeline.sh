@@ -24,14 +24,21 @@ NORACE="$5"
 SUPP="$6"
 WORK="$7"
 
-rm -rf "$WORK"
-mkdir -p "$WORK"
-cd "$WORK"
-
 fail() {
   echo "report_pipeline: FAIL: $*" >&2
   exit 1
 }
+
+# Fail fast on a miswired harness: a missing corpus binary would
+# otherwise show up as a misleading verdict failure deep in the legs.
+for bin in "$VFT" "$HOT" "$PLAIN" "$CRASH" "$NORACE"; do
+  [ -x "$bin" ] || fail "required binary '$bin' missing or not executable (rebuild the corpus/tools targets)"
+done
+[ -f "$SUPP" ] || fail "suppression file '$SUPP' not found"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
 
 # --- 1. dedup: three runs of the hot loop --------------------------------
 for i in 1 2 3; do

@@ -29,6 +29,15 @@ BINS=("$@")
 
 MAX_SEEDS=8
 
+# Fail fast with a usable message when the harness was wired up wrong
+# (stale build tree, renamed target): a missing corpus binary would
+# otherwise surface as a confusing per-program verdict failure.
+[ -x "$VFT" ] || { echo "litmus: FAIL: vft binary '$VFT' missing or not executable (build the tools target first)" >&2; exit 1; }
+[ "${#BINS[@]}" -gt 0 ] || { echo "litmus: FAIL: no litmus binaries passed (usage: run_litmus.sh <vft> <workdir> <litmus_bin>...)" >&2; exit 1; }
+for bin in "${BINS[@]}"; do
+  [ -x "$bin" ] || { echo "litmus: FAIL: corpus binary '$bin' missing or not executable (rebuild the litmus targets)" >&2; exit 1; }
+done
+
 # Keep in sync with VFT_LITMUS_SC_HIDDEN in tests/litmus/CMakeLists.txt.
 AB_PROGRAMS="race_mp_relaxed race_mp_release_relaxed_load \
 race_mp_relaxed_store_acquire_load race_mp_fence_missing_acquire \

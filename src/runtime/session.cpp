@@ -79,6 +79,11 @@ SessionBackend& Session::create_backend() {
       sampling::Gate::install(scfg.enabled ? new sampling::Gate(scfg)
                                            : nullptr);
     }
+    // Same pattern for the access-history layer (prior-side stacks in
+    // race reports): published before the backend exists so the first
+    // slow-path access can record; default ON, VFT_HISTORY=off disables.
+    history::install(history::enabled_from_env() ? new history::AccessHistory()
+                                                 : nullptr);
     const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
     backend_ = make_backend(detector_, &races_, &stats_, gen);
     if (backend_ == nullptr) {
@@ -124,6 +129,9 @@ void Session::reset() {
   // not see the torn-down session's gate or its counters. The first
   // event re-reads the environment and republishes in create_backend().
   sampling::Gate::install(nullptr);
+  // Retract the access history with the backend: its var ids point into
+  // the torn-down shadow space's address scheme. Leaked like the gate.
+  history::install(nullptr);
 }
 
 }  // namespace vft::rt::ambient

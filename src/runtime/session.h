@@ -43,6 +43,7 @@
 
 #include "runtime/lock_registry.h"
 #include "runtime/tool.h"
+#include "vft/access_history.h"
 #include "vft/atomics.h"
 #include "vft/detector.h"
 #include "vft/fastpath_ctx.h"
@@ -235,6 +236,8 @@ class SessionImpl final : public SessionBackend {
   void read(const void* addr, std::size_t size) override {
     ThreadState* ts = self_or_attach();
     if (ts == nullptr) return;
+    // Size hint for history entries; only consumed on the slow path.
+    history::tl_access_size = static_cast<std::uint32_t>(size);
     if constexpr (SpillableVarState<typename D::VarState>) {
       if (gate_ != nullptr) {
         gated_access</*IsWrite=*/false>(*ts, addr, size);
@@ -260,6 +263,7 @@ class SessionImpl final : public SessionBackend {
   void write(const void* addr, std::size_t size) override {
     ThreadState* ts = self_or_attach();
     if (ts == nullptr) return;
+    history::tl_access_size = static_cast<std::uint32_t>(size);
     if constexpr (SpillableVarState<typename D::VarState>) {
       if (gate_ != nullptr) {
         gated_access</*IsWrite=*/true>(*ts, addr, size);
@@ -285,6 +289,7 @@ class SessionImpl final : public SessionBackend {
   void range_read(const void* addr, std::size_t size) override {
     ThreadState* ts = self_or_attach();
     if (ts == nullptr) return;
+    history::tl_access_size = static_cast<std::uint32_t>(size);
     if constexpr (SpillableVarState<typename D::VarState>) {
       if (gate_ != nullptr) {
         gated_access</*IsWrite=*/false>(*ts, addr, size);
@@ -301,6 +306,7 @@ class SessionImpl final : public SessionBackend {
   void range_write(const void* addr, std::size_t size) override {
     ThreadState* ts = self_or_attach();
     if (ts == nullptr) return;
+    history::tl_access_size = static_cast<std::uint32_t>(size);
     if constexpr (SpillableVarState<typename D::VarState>) {
       if (gate_ != nullptr) {
         gated_access</*IsWrite=*/true>(*ts, addr, size);
@@ -486,6 +492,11 @@ class SessionImpl final : public SessionBackend {
     // Recycled addresses are new variables: any cooled sampling state
     // covering them goes back to full rate.
     if (gate_ != nullptr) gate_->on_page_reset(addr, size);
+    // Drop access-history rings too: a freed allocation's stacks must not
+    // appear as the prior side of a race on recycled memory.
+    if (history::AccessHistory* h = history::active()) {
+      h->reset_range(reinterpret_cast<std::uint64_t>(addr), size);
+    }
   }
 
   std::size_t threads_seen() const override {

@@ -420,11 +420,13 @@ class PackedShadowSpace {
   /// Slot-resolved variants (wrappers cache the Slot per element).
   template <typename Tool>
   bool read_slot(Tool& tool, ThreadState& st, const Slot& s) {
-    return packed_read(tool, st, *s.cell, spill_make(s), spill_get(s));
+    return packed_read(tool, st, *s.cell, spill_make(s), spill_get(s),
+                       /*spilled=*/nullptr, /*var=*/s.id);
   }
   template <typename Tool>
   bool write_slot(Tool& tool, ThreadState& st, const Slot& s) {
-    return packed_write(tool, st, *s.cell, spill_make(s), spill_get(s));
+    return packed_write(tool, st, *s.cell, spill_make(s), spill_get(s),
+                        /*spilled=*/nullptr, /*var=*/s.id);
   }
 
   /// The spilled VarState of `s`, escalating the cell first if needed.
@@ -441,14 +443,14 @@ class PackedShadowSpace {
                   bool* spilled = nullptr) {
     const Slot s = slot_of(addr);
     return sampled_packed_read(tool, st, *s.cell, spill_make(s), spill_get(s),
-                               sampled, spilled);
+                               sampled, spilled, /*var=*/s.id);
   }
   template <typename Tool>
   bool write_gated(Tool& tool, ThreadState& st, const void* addr, bool sampled,
                    bool* spilled = nullptr) {
     const Slot s = slot_of(addr);
     return sampled_packed_write(tool, st, *s.cell, spill_make(s), spill_get(s),
-                                sampled, spilled);
+                                sampled, spilled, /*var=*/s.id);
   }
 
   /// The raw cell words of the page covering `base` (allocated on first

@@ -22,6 +22,7 @@
 
 #include <mutex>
 
+#include "vft/access_history.h"
 #include "vft/atomics.h"
 #include "vft/report.h"
 #include "vft/shadow_state.h"
@@ -229,6 +230,17 @@ class DetectorBase {
     f.has_acquire = true;
   }
 
+  /// History hooks: every slow-path access handler calls one of these
+  /// after the same-epoch checks (a same-epoch hit and a sampled-out
+  /// access never record - see access_history.h). One predicted-null
+  /// load when the history layer is off.
+  void record_read(std::uint64_t var, const ThreadState& st) {
+    history::note_access(var, st.t, st.epoch(), history::AccessKind::kRead);
+  }
+  void record_write(std::uint64_t var, const ThreadState& st) {
+    history::note_access(var, st.t, st.epoch(), history::AccessKind::kWrite);
+  }
+
   void report(RaceKind kind, std::uint64_t var, const ThreadState& st,
               Epoch prior) {
     switch (kind) {
@@ -238,11 +250,30 @@ class DetectorBase {
       case RaceKind::kSharedWrite: count(Rule::kSharedWriteRace); break;
     }
     if (races_ != nullptr) {
-      RaceReport r{kind, var, st.t, prior, st.epoch(), CallStack{}};
+      RaceReport r{kind, var, st.t, prior, st.epoch(), CallStack{},
+                   CallStack{}};
       // Stack capture is fire-on-race only: the race-free fast path never
       // reaches this line. Yields an empty stack unless an interposition
       // boundary armed the per-thread event context (vft/stack.h).
       r.stack = capture_event_stack();
+      // Look the prior side up in the access history: an exact full-epoch
+      // match (t@c) on the opposite access kind. Exact matching makes
+      // tid-slot reuse safe: a reused slot continues its predecessor's
+      // clock, so the same t@c can never denote two different accesses.
+      // A SHARED prior (read-shared write race) carries no single epoch
+      // and finds nothing; the report then degrades to a bare epoch,
+      // exactly like pre-history reports.
+      if (history::AccessHistory* h = history::active();
+          h != nullptr && !prior.is_shared()) {
+        const history::AccessKind want =
+            (kind == RaceKind::kReadWrite || kind == RaceKind::kSharedWrite)
+                ? history::AccessKind::kRead
+                : history::AccessKind::kWrite;
+        history::Entry pe;
+        if (h->find(var, prior, want, &pe)) {
+          h->stack_of(pe.stack_id, &r.prior_stack);
+        }
+      }
       races_->report(r);
     }
   }

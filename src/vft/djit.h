@@ -45,6 +45,7 @@ class Djit : public DetectorBase {
     }
     sx.Rvc.set(t, e);
     if (ok) count(Rule::kReadShared);  // every read is a full-VC update
+    record_read(sx.id, st);  // history: DJIT+ has no same-epoch fast path
     return ok;
   }
 
@@ -65,6 +66,7 @@ class Djit : public DetectorBase {
     }
     sx.Wvc.set(t, e);
     if (ok) count(Rule::kWriteShared);
+    record_write(sx.id, st);  // history: DJIT+ has no same-epoch fast path
     return ok;
   }
 

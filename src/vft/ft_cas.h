@@ -96,6 +96,7 @@ class FtCas : public DetectorBase {
         // Fail-over: record the read as if ordered (CAS keeps others' view
         // consistent), then stop treating this access as racy.
         force_read(sx, st, e);
+        record_read(sx.id, st);  // history: the racing read is a prior too
         return false;
       }
       if (ordered_before(r, st)) {
@@ -103,6 +104,7 @@ class FtCas : public DetectorBase {
         // so the checks above hold at the commit point.
         if (sx.cas_rw(cur, VarState::pack(e, w))) {
           count(Rule::kReadExclusive);
+          record_read(sx.id, st);  // history: non-same-epoch commit
           return true;
         }
         continue;  // interference: cur reloaded, re-run all checks
@@ -124,17 +126,20 @@ class FtCas : public DetectorBase {
       if (!ordered_before(w, st)) {  // [Write-Write Race]
         report(RaceKind::kWriteWrite, sx.id, st, w);
         force_write(sx, e);
+        record_write(sx.id, st);  // history: the racing write is a prior too
         return false;
       }
       if (r.is_shared()) return write_shared_locked(st, sx);
       if (!ordered_before(r, st)) {  // [Read-Write Race]
         report(RaceKind::kReadWrite, sx.id, st, r);
         force_write(sx, e);
+        record_write(sx.id, st);  // history: the racing write is a prior too
         return false;
       }
       // [Write Exclusive]: lock-free CAS commit.
       if (sx.cas_rw(cur, VarState::pack(r, e))) {
         count(Rule::kWriteExclusive);
+        record_write(sx.id, st);  // history: non-same-epoch commit
         return true;
       }
     }
@@ -159,6 +164,7 @@ class FtCas : public DetectorBase {
       if (r.is_shared()) {
         sx.V.set_locked(t, e);  // raced with another share: just our slot
         if (ok) count(Rule::kReadShared);
+        record_read(sx.id, st);
         return ok;
       }
       if (r == e) return true;  // another CAS of ours? defensive no-op
@@ -166,6 +172,7 @@ class FtCas : public DetectorBase {
         // The previous read got ordered in the meantime: exclusive update.
         if (sx.cas_rw(cur, VarState::pack(e, w))) {
           if (ok) count(Rule::kReadExclusive);
+          record_read(sx.id, st);
           return ok;
         }
         continue;
@@ -176,6 +183,7 @@ class FtCas : public DetectorBase {
       sx.V.set_locked(t, e);
       if (sx.cas_rw(cur, VarState::pack(Epoch::shared(), w))) {
         if (ok) count(Rule::kReadShare);
+        record_read(sx.id, st);
         return ok;
       }
     }
@@ -196,6 +204,7 @@ class FtCas : public DetectorBase {
     }
     sx.V.set_locked(t, e);
     if (ok) count(Rule::kReadShared);
+    record_read(sx.id, st);
     return ok;
   }
 
@@ -222,6 +231,7 @@ class FtCas : public DetectorBase {
       }
     }
     if (ok) count(Rule::kWriteShared);
+    record_write(sx.id, st);
     return ok;
   }
 

@@ -77,6 +77,7 @@ class FtMutex : public DetectorBase {
       if (sx.r_locked() == r && sx.w_locked() == w) {
         sx.set_r_locked(e);  // [Read Exclusive]
         count(Rule::kReadExclusive);
+        record_read(sx.id, st);  // history: a committed non-same-epoch read
         return true;
       }
       // Interference: another thread committed between our read and the
@@ -101,6 +102,7 @@ class FtMutex : public DetectorBase {
       if (sx.r_locked() == r && sx.w_locked() == w) {
         sx.set_w_locked(e);  // [Write Exclusive]
         count(Rule::kWriteExclusive);
+        record_write(sx.id, st);  // history: a committed non-same-epoch write
         return true;
       }
     }
@@ -126,6 +128,7 @@ class FtMutex : public DetectorBase {
         return true;
       }
     }
+    record_read(sx.id, st);  // history: past the same-epoch fast paths
     bool ok = true;
     const Epoch w = sx.w_locked();
     if (!ordered_before(w, st)) {
@@ -157,6 +160,7 @@ class FtMutex : public DetectorBase {
       count(Rule::kWriteSameEpoch);
       return true;
     }
+    record_write(sx.id, st);  // history: past the same-epoch fast path
     bool ok = true;
     if (!ordered_before(w, st)) {
       report(RaceKind::kWriteWrite, sx.id, st, w);

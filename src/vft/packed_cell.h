@@ -50,6 +50,7 @@
 #include <utility>
 
 #include "sched/sched_point.h"
+#include "vft/access_history.h"
 #include "vft/detector_base.h"
 #include "vft/probe.h"
 
@@ -252,7 +253,8 @@ inline auto& escalate_cell(PackedCell& cell, Make&& make, Get&& get,
 /// sampling layer's reheat signal).
 template <typename Tool, typename Make, typename Get>
 inline bool packed_read(Tool& tool, ThreadState& st, PackedCell& cell,
-                        Make&& make, Get&& get, bool* spilled = nullptr) {
+                        Make&& make, Get&& get, bool* spilled = nullptr,
+                        std::uint64_t var = 0) {
   switch (cell.fast_read(st)) {
     case PackedCell::Fast::kSameEpoch:
       bump_rule(tool, Rule::kReadSameEpoch);
@@ -261,6 +263,16 @@ inline bool packed_read(Tool& tool, ThreadState& st, PackedCell& cell,
     case PackedCell::Fast::kAdvanced:
       bump_rule(tool, Rule::kReadExclusive);
       bump_rule(tool, Rule::kFastReadHit);
+      // An exclusive advance installs a NEW last-read epoch without ever
+      // reaching a detector, and that epoch is exactly what a later racing
+      // write will name as its prior - so the advance is a history-worthy
+      // (non-same-epoch) transition. Callers with a stable variable id
+      // (the packed shadow space) pass it; var 0 (trace tests, benches)
+      // keeps the historical un-instrumented behaviour.
+      if (var != 0) {
+        history::note_access(var, st.t, st.epoch(),
+                             history::AccessKind::kRead);
+      }
       return true;
     case PackedCell::Fast::kSlow:
       break;
@@ -276,7 +288,8 @@ inline bool packed_read(Tool& tool, ThreadState& st, PackedCell& cell,
 
 template <typename Tool, typename Make, typename Get>
 inline bool packed_write(Tool& tool, ThreadState& st, PackedCell& cell,
-                         Make&& make, Get&& get, bool* spilled = nullptr) {
+                         Make&& make, Get&& get, bool* spilled = nullptr,
+                         std::uint64_t var = 0) {
   switch (cell.fast_write(st)) {
     case PackedCell::Fast::kSameEpoch:
       bump_rule(tool, Rule::kWriteSameEpoch);
@@ -285,6 +298,12 @@ inline bool packed_write(Tool& tool, ThreadState& st, PackedCell& cell,
     case PackedCell::Fast::kAdvanced:
       bump_rule(tool, Rule::kWriteExclusive);
       bump_rule(tool, Rule::kFastWriteHit);
+      // See packed_read: the advanced last-write epoch is the prior a
+      // racing access will look up, so it must be in the history.
+      if (var != 0) {
+        history::note_access(var, st.t, st.epoch(),
+                             history::AccessKind::kWrite);
+      }
       return true;
     case PackedCell::Fast::kSlow:
       break;
@@ -312,10 +331,11 @@ inline bool packed_write(Tool& tool, ThreadState& st, PackedCell& cell,
 template <typename Tool, typename Make, typename Get>
 inline bool sampled_packed_read(Tool& tool, ThreadState& st, PackedCell& cell,
                                 Make&& make, Get&& get, bool sampled,
-                                bool* spilled = nullptr) {
+                                bool* spilled = nullptr,
+                                std::uint64_t var = 0) {
   if (sampled) [[likely]] {
     return packed_read(tool, st, cell, std::forward<Make>(make),
-                       std::forward<Get>(get), spilled);
+                       std::forward<Get>(get), spilled, var);
   }
   (void)cell.fast_read(st);  // keep last-reader metadata fresh; kSlow: no-op
   bump_rule(tool, Rule::kSampledOut);
@@ -325,10 +345,11 @@ inline bool sampled_packed_read(Tool& tool, ThreadState& st, PackedCell& cell,
 template <typename Tool, typename Make, typename Get>
 inline bool sampled_packed_write(Tool& tool, ThreadState& st, PackedCell& cell,
                                  Make&& make, Get&& get, bool sampled,
-                                 bool* spilled = nullptr) {
+                                 bool* spilled = nullptr,
+                                 std::uint64_t var = 0) {
   if (sampled) [[likely]] {
     return packed_write(tool, st, cell, std::forward<Make>(make),
-                        std::forward<Get>(get), spilled);
+                        std::forward<Get>(get), spilled, var);
   }
   (void)cell.fast_write(st);  // keep last-writer metadata fresh; kSlow: no-op
   bump_rule(tool, Rule::kSampledOut);

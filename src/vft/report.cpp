@@ -107,8 +107,20 @@ void RaceCollector::report(const RaceReport& r) {
   for (std::uint8_t i = 0; i < r.stack.depth; ++i) {
     ctx.frames.push_back(resolve_frame(r.stack.pc[i]));
   }
+  ctx.prior_frames.reserve(r.prior_stack.depth);
+  for (std::uint8_t i = 0; i < r.prior_stack.depth; ++i) {
+    ctx.prior_frames.push_back(resolve_frame(r.prior_stack.pc[i]));
+  }
   ctx.key = stable_key(r, ctx.frames);
+  // A fun:/obj: rule may match EITHER side of the race: the racing pair
+  // is symmetric, and a rule written against the library function that
+  // owns the allocation should hide the context no matter which side the
+  // detector happened to catch second.
   ctx.suppressed_by = suppressions_.match(race_kind_name(r.kind), ctx.frames);
+  if (ctx.suppressed_by == nullptr && !ctx.prior_frames.empty()) {
+    ctx.suppressed_by =
+        suppressions_.match(race_kind_name(r.kind), ctx.prior_frames);
+  }
   if (ctx.suppressed_by == nullptr &&
       (visible_contexts_ >= total_limit_ ||
        per_var_contexts_[r.var] >= per_var_limit_)) {

@@ -77,10 +77,13 @@ struct RaceReport {
   Epoch current;
   /// The racing (current) access's call stack, captured when the race
   /// fired (vft/stack.h). Empty when no interposition boundary was armed.
-  /// The prior access's stack is not recorded - that needs access
-  /// history, the planned predictive tier's substrate - so the context
-  /// "stack pair" is {current stack, prior epoch} for now.
   CallStack stack;
+  /// The prior access's call stack, looked up in the bounded access
+  /// history (vft/access_history.h) by exact prior epoch. Empty when the
+  /// history layer is off, the ring evicted the entry, or the prior is
+  /// SHARED - the report then degrades to a bare prior epoch, exactly
+  /// like pre-history reports.
+  CallStack prior_stack;
 
   std::string str() const;
 };
@@ -91,6 +94,7 @@ struct RaceContext {
   std::uint64_t key = 0;  ///< ASLR-stable cross-run key (see file header)
   RaceReport first;       ///< representative (first) occurrence
   std::vector<ResolvedFrame> frames;  ///< resolved first.stack
+  std::vector<ResolvedFrame> prior_frames;  ///< resolved first.prior_stack
   std::uint64_t count = 0;            ///< occurrences folded in
   /// Matching suppression rule, or nullptr. Suppressed contexts are
   /// hidden from count()/all()/first() but remain in contexts() so the

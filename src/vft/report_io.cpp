@@ -387,8 +387,13 @@ ReportDoc build_report_doc(const RaceCollector& rc, const char* detector,
       out.suppressed_by = "<limit>";
     }
 
+    // Access kinds follow from the race kind: a write-read race is a
+    // current *read* against a prior *write*; every other kind has a
+    // current write, racing against a prior write (write-write) or a
+    // prior read (read-write, shared-write).
     Access cur;
     cur.role = "current";
+    cur.kind = c.first.kind == RaceKind::kWriteRead ? "read" : "write";
     cur.tid = c.first.current_tid;
     cur.epoch = c.first.current.str();
     for (const ResolvedFrame& f : c.frames) {
@@ -402,8 +407,21 @@ ReportDoc build_report_doc(const RaceCollector& rc, const char* detector,
     }
     Access prior;
     prior.role = "prior";
+    prior.kind = (c.first.kind == RaceKind::kWriteRead ||
+                  c.first.kind == RaceKind::kWriteWrite)
+                     ? "write"
+                     : "read";
     prior.tid = c.first.prior.is_shared() ? 0 : c.first.prior.tid();
     prior.epoch = c.first.prior.str();
+    for (const ResolvedFrame& f : c.prior_frames) {
+      Frame fr;
+      fr.pc = f.pc;
+      fr.module = f.module;
+      fr.offset = f.offset;
+      fr.symbol = f.symbol;
+      fr.symbol_offset = f.sym_offset;
+      prior.stack.push_back(std::move(fr));
+    }
     out.accesses.push_back(std::move(cur));
     out.accesses.push_back(std::move(prior));
     doc.contexts.push_back(std::move(out));
@@ -449,9 +467,10 @@ void render_frame(std::string& o, const Frame& f, const char* indent) {
 }
 
 void render_access(std::string& o, const Access& a) {
-  o += "      {\"role\": \"" + json_escape(a.role) + "\", \"tid\": " +
-       std::to_string(a.tid) + ", \"epoch\": \"" + json_escape(a.epoch) +
-       "\",\n       \"stack\": [";
+  o += "      {\"role\": \"" + json_escape(a.role) + "\"";
+  if (!a.kind.empty()) o += ", \"kind\": \"" + json_escape(a.kind) + "\"";
+  o += ", \"tid\": " + std::to_string(a.tid) + ", \"epoch\": \"" +
+       json_escape(a.epoch) + "\",\n       \"stack\": [";
   for (std::size_t i = 0; i < a.stack.size(); ++i) {
     o += i == 0 ? "\n" : ",\n";
     render_frame(o, a.stack[i], "         ");
@@ -593,6 +612,33 @@ std::string render_plain(const ReportDoc& doc) {
          prior_epoch;
     if (c.count > 1) o += " (x" + std::to_string(c.count) + ")";
     o += "\n";
+    // Both sides of the race, indented under the scraper-stable "race:"
+    // line. The prior side's stack comes from the access history; when
+    // the ring evicted it the side renders with "(no stack)".
+    for (const Access& a : c.accesses) {
+      o += "  " + a.role;
+      if (!a.kind.empty()) o += " " + a.kind;
+      o += " by thread " + std::to_string(a.tid) + " at " + a.epoch + ":";
+      if (a.stack.empty()) {
+        o += " (no stack)\n";
+        continue;
+      }
+      o += "\n";
+      for (std::size_t i = 0; i < a.stack.size(); ++i) {
+        const Frame& f = a.stack[i];
+        o += "    #" + std::to_string(i) + " ";
+        if (!f.symbol.empty()) o += f.symbol + " ";
+        if (!f.module.empty()) {
+          o += f.module + "+" + hex(f.offset);
+        } else {
+          o += hex(f.pc);
+        }
+        if (!f.file.empty()) {
+          o += " " + f.file + ":" + std::to_string(f.line < 0 ? 0 : f.line);
+        }
+        o += "\n";
+      }
+    }
   }
   for (const Context* cp : ordered) {
     if (!cp->hidden()) continue;
@@ -632,6 +678,7 @@ Frame frame_from_json(const Json& j) {
 Access access_from_json(const Json& j) {
   Access a;
   if (const Json* v = j.get("role")) a.role = v->string;
+  if (const Json* v = j.get("kind")) a.kind = v->string;
   if (const Json* v = j.get("tid")) a.tid = static_cast<unsigned>(v->as_u64());
   if (const Json* v = j.get("epoch")) a.epoch = v->string;
   if (const Json* v = j.get("stack")) {

@@ -21,11 +21,14 @@
 //         "count": 1000,              // occurrences folded into the context
 //         "suppressed_by": "rule",    // only when hidden ("<limit>": caps)
 //         "accesses": [
-//           { "role": "current", "tid": 2, "epoch": "2@7",
+//           { "role": "current", "kind": "write", "tid": 2, "epoch": "2@7",
 //             "stack": [ { "pc": "0x..", "module": "/path", "offset": "0x..",
 //                          "symbol": "fn", "symbol_offset": "0x..",
 //                          "file": "x.cpp", "line": 12 } ] },
-//           { "role": "prior", "tid": 1, "epoch": "1@5", "stack": [] }
+//           { "role": "prior", "kind": "write", "tid": 1, "epoch": "1@5",
+//             "stack": [ ...the prior access's frames, from the bounded
+//                        access history (vft/access_history.h); empty when
+//                        the ring evicted the entry or history is off... ] }
 //         ]
 //       }
 //     ],
@@ -114,6 +117,7 @@ struct Frame {
 
 struct Access {
   std::string role;  ///< "current" | "prior"
+  std::string kind;  ///< "read" | "write"; empty in pre-history reports
   unsigned tid = 0;
   std::string epoch;  ///< "t@c"
   std::vector<Frame> stack;

@@ -103,8 +103,16 @@ void append_shadow_frames(CallStack& cs, int limit) {
 CallStack capture_event_stack() {
   CallStack cs;
   const vft_event_ctx_s ctx = vft_tl_event_ctx;
-  if (ctx.pc == nullptr) return cs;
   const int limit = stack_depth_limit();
+  if (ctx.pc == nullptr) {
+    // No interposition boundary armed the event context (wrapper-path
+    // callers, or a prior-side capture after the boundary already
+    // cleared it). The __tsan_func_entry/exit shadow stack still knows
+    // the live call chain, so prior-side history entries degrade to the
+    // instrumented callers instead of to an empty stack.
+    append_shadow_frames(cs, limit);
+    return cs;
+  }
   cs.push(reinterpret_cast<std::uintptr_t>(ctx.pc));
   if (ctx.fp == nullptr) {
     append_shadow_frames(cs, limit);

@@ -48,6 +48,7 @@ class VftV1 : public DetectorBase {
       count(Rule::kReadSharedSameEpoch);
       return true;
     }
+    record_read(sx.id, st);  // history: past the same-epoch fast paths
     bool ok = true;
     const Epoch w = sx.W;
     if (!ordered_before(w, st)) {  // [Write-Read Race]
@@ -82,6 +83,7 @@ class VftV1 : public DetectorBase {
       count(Rule::kWriteSameEpoch);
       return true;
     }
+    record_write(sx.id, st);  // history: past the same-epoch fast path
     bool ok = true;
     if (!ordered_before(w, st)) {  // [Write-Write Race]
       report(RaceKind::kWriteWrite, sx.id, st, w);

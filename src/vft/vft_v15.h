@@ -39,6 +39,7 @@ class VftV15 : public DetectorBase {
       count(Rule::kReadSharedSameEpoch);
       return true;
     }
+    record_read(sx.id, st);  // history: past the same-epoch fast paths
     bool ok = true;
     const Epoch w = sx.w_locked();
     if (!ordered_before(w, st)) {  // [Write-Read Race]
@@ -72,6 +73,7 @@ class VftV15 : public DetectorBase {
       }
     }
     std::scoped_lock lk(sx.mu);
+    record_write(sx.id, st);  // history: past the same-epoch fast path
     bool ok = true;
     const Epoch w = sx.w_locked();
     if (!ordered_before(w, st)) {  // [Write-Write Race]

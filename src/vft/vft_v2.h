@@ -46,6 +46,7 @@ class VftV2 : public DetectorBase {
     }
     // -- slow path, as v1 --
     std::scoped_lock lk(sx.mu);
+    record_read(sx.id, st);  // history: past the same-epoch fast paths
     bool ok = true;
     const Epoch w = sx.w_locked();
     if (!ordered_before(w, st)) {  // [Write-Read Race]
@@ -85,6 +86,7 @@ class VftV2 : public DetectorBase {
       }
     }
     std::scoped_lock lk(sx.mu);
+    record_write(sx.id, st);  // history: past the same-epoch fast path
     // Re-read W under the lock in case it changed (Section 5). W = e is
     // impossible here (only this thread writes epoch e), so fall through.
     bool ok = true;
